@@ -1,0 +1,174 @@
+// Package repro_test wires every paper table and figure into `go test
+// -bench`. Each BenchmarkFig*/BenchmarkTab*/BenchmarkAbl* regenerates
+// the corresponding experiment (the same code paths as
+// `cmd/paradmm-bench <id>`); the Iteration benchmarks time the raw
+// engine kernels per domain with allocation reporting.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate a specific artifact with readable output instead:
+//
+//	go run ./cmd/paradmm-bench fig7
+package repro_test
+
+import (
+	"io"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/admm"
+	"repro/internal/bench"
+	"repro/internal/gpusim"
+	"repro/internal/mpc"
+	"repro/internal/packing"
+	"repro/internal/svm"
+)
+
+// benchExperiment regenerates one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(bench.Scale{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range tables {
+			if err := t.WriteASCII(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// One benchmark per paper artifact (see DESIGN.md per-experiment index).
+
+func BenchmarkFig7PackingGPU(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8PackingMultiCPU(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig10MPCGPU(b *testing.B)          { benchExperiment(b, "fig10") }
+func BenchmarkFig11MPCMultiCPU(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFig13SVMGPU(b *testing.B)          { benchExperiment(b, "fig13") }
+func BenchmarkFig14SVMMultiCPU(b *testing.B)     { benchExperiment(b, "fig14") }
+func BenchmarkNtbPacking(b *testing.B)           { benchExperiment(b, "tab-ntb-packing") }
+func BenchmarkNtbMPC(b *testing.B)               { benchExperiment(b, "tab-ntb-mpc") }
+func BenchmarkSVMDim(b *testing.B)               { benchExperiment(b, "tab-svm-dim") }
+func BenchmarkBreakdown(b *testing.B)            { benchExperiment(b, "tab-breakdown") }
+func BenchmarkCopyTimes(b *testing.B)            { benchExperiment(b, "tab-copy-times") }
+func BenchmarkPackingReference(b *testing.B)     { benchExperiment(b, "tab-packing-reference") }
+func BenchmarkFig5SolverTable(b *testing.B)      { benchExperiment(b, "fig5") }
+func BenchmarkAblBalancedZ(b *testing.B)         { benchExperiment(b, "abl-balanced-z") }
+func BenchmarkAblAsync(b *testing.B)             { benchExperiment(b, "abl-async") }
+func BenchmarkAblAdaptiveRho(b *testing.B)       { benchExperiment(b, "abl-adaptive-rho") }
+func BenchmarkAblDevices(b *testing.B)           { benchExperiment(b, "abl-devices") }
+func BenchmarkAblMultiGPU(b *testing.B)          { benchExperiment(b, "abl-multigpu") }
+func BenchmarkAblTWA(b *testing.B)               { benchExperiment(b, "abl-twa") }
+func BenchmarkAblSharedMemStrategy(b *testing.B) { benchExperiment(b, "abl-openmp-strategy") }
+
+// Raw engine kernel benchmarks (real wall time per ADMM iteration).
+
+func BenchmarkIterationPackingSerial(b *testing.B) {
+	for _, n := range []int{100, 500} {
+		b.Run(intName("N", n), func(b *testing.B) {
+			p, err := packing.Build(packing.Config{N: n})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.InitRandom(rand.New(rand.NewSource(1)))
+			var nanos [admm.NumPhases]int64
+			be := admm.NewSerial()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				be.Iterate(p.Graph, 1, &nanos)
+			}
+		})
+	}
+}
+
+func BenchmarkIterationPackingParallel(b *testing.B) {
+	for _, workers := range []int{2, 4} {
+		b.Run(intName("workers", workers), func(b *testing.B) {
+			p, err := packing.Build(packing.Config{N: 500})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.InitRandom(rand.New(rand.NewSource(1)))
+			var nanos [admm.NumPhases]int64
+			be := admm.NewParallelFor(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				be.Iterate(p.Graph, 1, &nanos)
+			}
+		})
+	}
+}
+
+func BenchmarkIterationMPCSerial(b *testing.B) {
+	p, err := mpc.Build(mpc.Config{K: 5000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Graph.InitZero()
+	var nanos [admm.NumPhases]int64
+	be := admm.NewSerial()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		be.Iterate(p.Graph, 1, &nanos)
+	}
+}
+
+func BenchmarkIterationSVMSerial(b *testing.B) {
+	ds := svm.TwoGaussians(5000, 2, 4, rand.New(rand.NewSource(1)))
+	p, err := svm.Build(svm.Config{Data: ds})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Graph.InitZero()
+	var nanos [admm.NumPhases]int64
+	be := admm.NewSerial()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		be.Iterate(p.Graph, 1, &nanos)
+	}
+}
+
+func BenchmarkGPUSimKernelTime(b *testing.B) {
+	p, err := packing.Build(packing.Config{N: 500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := gpusim.BuildPhaseTasks(p.Graph, admm.PhaseX)
+	dev := gpusim.TeslaK40()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = dev.KernelTime(tasks, gpusim.LaunchConfig{Ntb: 32})
+	}
+}
+
+func BenchmarkGraphEncode(b *testing.B) {
+	p, err := packing.Build(packing.Config{N: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(p.Graph.EncodedSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Graph.Encode()
+	}
+}
+
+func intName(prefix string, v int) string {
+	return prefix + "=" + strconv.Itoa(v)
+}

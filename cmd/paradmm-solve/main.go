@@ -1,0 +1,165 @@
+// Command paradmm-solve builds one of the four application domains and
+// solves it with a chosen backend, printing domain-specific quality
+// metrics — a quick way to exercise the full stack end to end.
+//
+// Usage:
+//
+//	paradmm-solve -problem packing -size 20 -iters 4000 -backend gpu
+//	paradmm-solve -problem mpc -size 50 -iters 20000 -backend serial
+//	paradmm-solve -problem svm -size 200 -iters 5000 -backend parallel -workers 4
+//	paradmm-solve -problem lasso -size 100 -iters 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro/internal/admm"
+	"repro/internal/gpusim"
+	"repro/internal/graph"
+	"repro/internal/lasso"
+	"repro/internal/mpc"
+	"repro/internal/packing"
+	"repro/internal/svm"
+)
+
+func main() {
+	problem := flag.String("problem", "packing", "packing | mpc | svm | lasso")
+	size := flag.Int("size", 10, "circles / horizon / data points / observations")
+	iters := flag.Int("iters", 2000, "ADMM iterations")
+	backendName := flag.String("backend", "serial", "serial | parallel | barrier | gpu | cpusim | multicpu | async | twa")
+	workers := flag.Int("workers", 4, "workers for parallel/barrier/multicpu")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	backend, err := makeBackend(*backendName, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	defer backend.Close()
+
+	switch *problem {
+	case "packing":
+		solvePacking(*size, *iters, backend, *seed)
+	case "mpc":
+		solveMPC(*size, *iters, backend)
+	case "svm":
+		solveSVM(*size, *iters, backend, *seed)
+	case "lasso":
+		solveLasso(*size, *iters, backend, *seed)
+	default:
+		fatal(fmt.Errorf("unknown problem %q", *problem))
+	}
+}
+
+func makeBackend(name string, workers int) (admm.Backend, error) {
+	switch name {
+	case "serial":
+		return admm.NewSerial(), nil
+	case "parallel":
+		return admm.NewParallelFor(workers), nil
+	case "barrier":
+		return admm.NewBarrier(workers), nil
+	case "gpu":
+		return gpusim.NewBackend(nil), nil
+	case "cpusim":
+		return gpusim.NewCPUBackend(nil), nil
+	case "multicpu":
+		return gpusim.NewMultiCoreBackend(nil, workers), nil
+	case "async":
+		return admm.NewAsync(1), nil
+	case "twa":
+		return admm.NewTWA(), nil
+	}
+	return nil, fmt.Errorf("unknown backend %q", name)
+}
+
+func report(res admm.Result, g *graph.Graph, backend admm.Backend) {
+	s := g.Stats()
+	fmt.Printf("graph: %d functions, %d variables, %d edges (d=%d)\n",
+		s.Functions, s.Variables, s.Edges, s.D)
+	fmt.Printf("backend %s: %d iterations in %v\n", backend.Name(), res.Iterations, res.Elapsed)
+	fr := res.PhaseFractions()
+	fmt.Printf("phase time: x %.0f%%, m %.0f%%, z %.0f%%, u %.0f%%, n %.0f%%\n",
+		100*fr[0], 100*fr[1], 100*fr[2], 100*fr[3], 100*fr[4])
+}
+
+func solvePacking(n, iters int, backend admm.Backend, seed int64) {
+	p, err := packing.Build(packing.Config{N: n})
+	if err != nil {
+		fatal(err)
+	}
+	p.InitRandom(rand.New(rand.NewSource(seed)))
+	res, err := admm.Run(p.Graph, admm.Options{MaxIter: iters, Backend: backend})
+	if err != nil {
+		fatal(err)
+	}
+	report(res, p.Graph, backend)
+	v := p.CheckValidity()
+	fmt.Printf("packing: coverage %.1f%%, max overlap %.2e, max wall violation %.2e, min radius %.4f\n",
+		100*p.Coverage(), v.MaxOverlap, v.MaxWall, v.MinRadius)
+}
+
+func solveMPC(k, iters int, backend admm.Backend) {
+	p, err := mpc.Build(mpc.Config{K: k})
+	if err != nil {
+		fatal(err)
+	}
+	p.Graph.InitZero()
+	res, err := admm.Run(p.Graph, admm.Options{MaxIter: iters, Backend: backend})
+	if err != nil {
+		fatal(err)
+	}
+	report(res, p.Graph, backend)
+	fmt.Printf("mpc: cost %.6f, dynamics residual %.2e, u(0) = %.4f\n",
+		p.Cost(), p.DynamicsResidual(), p.Input(0))
+}
+
+func solveSVM(n, iters int, backend admm.Backend, seed int64) {
+	ds := svm.TwoGaussians(n, 2, 4, rand.New(rand.NewSource(seed)))
+	p, err := svm.Build(svm.Config{Data: ds, Lambda: 0.5})
+	if err != nil {
+		fatal(err)
+	}
+	p.Graph.InitZero()
+	res, err := admm.Run(p.Graph, admm.Options{MaxIter: iters, Backend: backend})
+	if err != nil {
+		fatal(err)
+	}
+	report(res, p.Graph, backend)
+	w, b := p.Plane()
+	fmt.Printf("svm: training accuracy %.1f%%, |w| = %.4f, b = %.4f, objective %.4f\n",
+		100*p.Accuracy(ds), norm(w), b, p.HingeObjective())
+}
+
+func solveLasso(m, iters int, backend admm.Backend, seed int64) {
+	inst := lasso.Synthetic(m, m/4+2, m/16+1, 0.05, rand.New(rand.NewSource(seed)))
+	p, err := lasso.Build(lasso.Config{Inst: inst, Blocks: 4, Lambda: 0.3})
+	if err != nil {
+		fatal(err)
+	}
+	p.Graph.InitZero()
+	res, err := admm.Run(p.Graph, admm.Options{MaxIter: iters, Backend: backend})
+	if err != nil {
+		fatal(err)
+	}
+	report(res, p.Graph, backend)
+	x := p.Coefficients()
+	fmt.Printf("lasso: objective %.6f, optimality gap %.2e\n", p.Objective(x), p.OptimalityGap(x))
+}
+
+func norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paradmm-solve:", err)
+	os.Exit(1)
+}

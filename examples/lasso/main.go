@@ -1,0 +1,68 @@
+// Lasso example: consensus Lasso on a star factor-graph (the paper's
+// introduction motivates the ADMM with exactly this row-block
+// decomposition, after Boyd et al.). Solves the same instance with the
+// fine-grained factor-graph engine and the classic two-block ADMM
+// (Algorithm 1) and shows they agree, then reports support recovery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro/internal/admm"
+	"repro/internal/lasso"
+)
+
+func main() {
+	m := flag.Int("m", 120, "observations")
+	p := flag.Int("p", 30, "features")
+	nz := flag.Int("nz", 5, "true nonzeros")
+	blocks := flag.Int("blocks", 6, "row blocks (star spokes)")
+	lambda := flag.Float64("lambda", 0.4, "L1 weight")
+	flag.Parse()
+
+	inst := lasso.Synthetic(*m, *p, *nz, 0.03, rand.New(rand.NewSource(5)))
+	cfg := lasso.Config{Inst: inst, Blocks: *blocks, Lambda: *lambda, Rho: 1}
+
+	prob, err := lasso.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("star factor-graph: %d spokes + 1 L1 node around a degree-%d hub\n",
+		*blocks, prob.Graph.VarDegree(0))
+
+	prob.Graph.InitZero()
+	res, err := admm.Run(prob.Graph, admm.Options{
+		MaxIter: 20000, AbsTol: 1e-11, RelTol: 1e-11, CheckEvery: 25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := prob.Coefficients()
+	fmt.Printf("factor-graph ADMM: %d iterations, objective %.6f, optimality gap %.2e\n",
+		res.Iterations, prob.Objective(x), prob.OptimalityGap(x))
+
+	xb, err := lasso.SolveTwoBlock(cfg, 20000, 1e-11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var worst float64
+	for j := range x {
+		if d := math.Abs(x[j] - xb[j]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("two-block ADMM (Algorithm 1) objective %.6f; max coefficient gap %.2e\n",
+		prob.Objective(xb), worst)
+
+	fmt.Println("support recovery (truth vs estimate):")
+	for j, truth := range inst.XTrue {
+		if truth == 0 && math.Abs(x[j]) < 1e-6 {
+			continue
+		}
+		fmt.Printf("  x[%2d]: true %+8.4f  est %+8.4f\n", j, truth, x[j])
+	}
+}

@@ -1,0 +1,450 @@
+// Package admm implements the message-passing ADMM on a factor-graph —
+// the paper's Algorithm 2 and the core contribution of parADMM.
+//
+// One iteration is five independent loops over graph elements:
+//
+//	x-update: for each function node a:  x_(a,da) = Prox_{fa,rho}(n_(a,da))
+//	m-update: for each edge (a,b):       m = x + u
+//	z-update: for each variable node b:  z_b = sum rho*m / sum rho
+//	u-update: for each edge (a,b):       u += alpha*(x - z_b)
+//	n-update: for each edge (a,b):       n = z_b - u
+//
+// Because edges are stored contiguously per function node, the x-update
+// needs no gather: each proximal operator reads and writes one contiguous
+// block of the flat N and X arrays. The z-update gathers over the
+// variable-side CSR; the u- and n-updates read one z block each.
+//
+// The package provides several executors over identical kernels: Serial
+// (the paper's optimized single-core C baseline), ParallelFor (the
+// paper's first, faster OpenMP strategy: five fork-join loops per
+// iteration), BarrierWorkers (the second strategy: persistent workers
+// with barriers), and Async (a randomized-activation asynchronous variant
+// from the paper's future-work list). The GPU path lives in
+// internal/gpusim and reuses these kernels.
+package admm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/sched"
+)
+
+// Phase identifies one of the five update kinds of Algorithm 2.
+type Phase int
+
+// The five phases, in execution order.
+const (
+	PhaseX Phase = iota
+	PhaseM
+	PhaseZ
+	PhaseU
+	PhaseN
+	NumPhases
+)
+
+// String returns the paper's name for the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseX:
+		return "x-update"
+	case PhaseM:
+		return "m-update"
+	case PhaseZ:
+		return "z-update"
+	case PhaseU:
+		return "u-update"
+	case PhaseN:
+		return "n-update"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// PhaseTasks returns the number of parallel tasks phase p has on g: |F|
+// for x, |V| for z, |E| for m, u, n (the paper's kernel launch sizes).
+func PhaseTasks(g *graph.Graph, p Phase) int {
+	switch p {
+	case PhaseX:
+		return g.NumFunctions()
+	case PhaseZ:
+		return g.NumVariables()
+	default:
+		return g.NumEdges()
+	}
+}
+
+// UpdateXRange evaluates the proximal operators of function nodes
+// [lo, hi). Safe to call concurrently on disjoint ranges.
+func UpdateXRange(g *graph.Graph, lo, hi int) {
+	d := g.D()
+	for a := lo; a < hi; a++ {
+		elo, ehi := g.FuncEdges(a)
+		g.Op(a).Eval(g.X[elo*d:ehi*d], g.N[elo*d:ehi*d], g.Rho[elo:ehi], d)
+	}
+}
+
+// UpdateMRange computes m = x + u for edges [lo, hi).
+func UpdateMRange(g *graph.Graph, lo, hi int) {
+	d := g.D()
+	linalg.AddTo(g.M[lo*d:hi*d], g.X[lo*d:hi*d], g.U[lo*d:hi*d])
+}
+
+// UpdateZRange computes the rho-weighted consensus average for variable
+// nodes [lo, hi).
+func UpdateZRange(g *graph.Graph, lo, hi int) {
+	for b := lo; b < hi; b++ {
+		z := g.VarBlock(g.Z, b)
+		for i := range z {
+			z[i] = 0
+		}
+		var rhoSum float64
+		for _, e := range g.VarEdges(b) {
+			r := g.Rho[e]
+			rhoSum += r
+			m := g.EdgeBlock(g.M, e)
+			for i := range z {
+				z[i] += r * m[i]
+			}
+		}
+		inv := 1 / rhoSum
+		for i := range z {
+			z[i] *= inv
+		}
+	}
+}
+
+// UpdateZVars computes the z-update for an explicit list of variable
+// nodes (used by the degree-balanced scheduler).
+func UpdateZVars(g *graph.Graph, vars []int) {
+	for _, b := range vars {
+		UpdateZRange(g, b, b+1)
+	}
+}
+
+// UpdateURange computes u += alpha*(x - z_b) for edges [lo, hi).
+func UpdateURange(g *graph.Graph, lo, hi int) {
+	d := g.D()
+	for e := lo; e < hi; e++ {
+		al := g.Alpha[e]
+		x := g.EdgeBlock(g.X, e)
+		u := g.EdgeBlock(g.U, e)
+		z := g.VarBlock(g.Z, g.EdgeVar(e))
+		for i := 0; i < d; i++ {
+			u[i] += al * (x[i] - z[i])
+		}
+	}
+}
+
+// UpdateNRange computes n = z_b - u for edges [lo, hi).
+func UpdateNRange(g *graph.Graph, lo, hi int) {
+	d := g.D()
+	for e := lo; e < hi; e++ {
+		n := g.EdgeBlock(g.N, e)
+		u := g.EdgeBlock(g.U, e)
+		z := g.VarBlock(g.Z, g.EdgeVar(e))
+		for i := 0; i < d; i++ {
+			n[i] = z[i] - u[i]
+		}
+	}
+}
+
+// Backend runs ADMM iterations over a graph and accounts per-phase time.
+type Backend interface {
+	// Name identifies the backend in reports.
+	Name() string
+	// Iterate runs iters full iterations, adding per-phase elapsed time
+	// into phaseNanos.
+	Iterate(g *graph.Graph, iters int, phaseNanos *[NumPhases]int64)
+	// Close releases any persistent resources (workers).
+	Close()
+}
+
+// Options configures Run.
+type Options struct {
+	// MaxIter is the iteration budget (required, > 0).
+	MaxIter int
+	// Backend executes iterations; nil means NewSerial().
+	Backend Backend
+	// AbsTol/RelTol control the standard ADMM stopping criterion. Zero
+	// values disable convergence checking (fixed iteration count), which
+	// is how the paper times its experiments.
+	AbsTol, RelTol float64
+	// CheckEvery is how often (in iterations) residuals are evaluated
+	// when tolerances are set. Zero means every 10 iterations.
+	CheckEvery int
+	// Adapt, if non-nil, enables residual-balancing rho adaptation.
+	Adapt *AdaptConfig
+	// OnIteration, if non-nil, is called after every residual check with
+	// the current iteration count and residuals; return false to stop.
+	OnIteration func(iter int, primal, dual float64) bool
+}
+
+// Result reports what Run did.
+type Result struct {
+	Iterations int
+	Converged  bool
+	// Primal and Dual are the last computed residuals (NaN if residual
+	// checking was disabled).
+	Primal, Dual float64
+	// PhaseNanos is the accumulated per-phase execution time. For
+	// simulated backends this is simulated device time.
+	PhaseNanos [NumPhases]int64
+	// Elapsed is total wall-clock time inside the backend.
+	Elapsed time.Duration
+}
+
+// PhaseFractions returns each phase's share of total phase time,
+// reproducing the paper's "% of time per iteration" breakdowns.
+func (r Result) PhaseFractions() [NumPhases]float64 {
+	var total int64
+	for _, v := range r.PhaseNanos {
+		total += v
+	}
+	var out [NumPhases]float64
+	if total == 0 {
+		return out
+	}
+	for i, v := range r.PhaseNanos {
+		out[i] = float64(v) / float64(total)
+	}
+	return out
+}
+
+// Run executes the message-passing ADMM on g.
+func Run(g *graph.Graph, opts Options) (Result, error) {
+	var res Result
+	if !g.Finalized() {
+		return res, errors.New("admm: graph not finalized")
+	}
+	if opts.MaxIter <= 0 {
+		return res, fmt.Errorf("admm: MaxIter = %d, need > 0", opts.MaxIter)
+	}
+	backend := opts.Backend
+	if backend == nil {
+		backend = NewSerial()
+		defer backend.Close()
+	}
+	check := opts.AbsTol > 0 || opts.RelTol > 0 || opts.OnIteration != nil
+	needResiduals := check || opts.Adapt != nil
+	every := opts.CheckEvery
+	if every <= 0 {
+		every = 10
+	}
+	var zPrev []float64
+	if needResiduals {
+		zPrev = make([]float64, len(g.Z))
+	}
+	res.Primal, res.Dual = math.NaN(), math.NaN()
+
+	start := time.Now()
+	done := 0
+	for done < opts.MaxIter {
+		step := opts.MaxIter - done
+		if needResiduals && step > every {
+			step = every
+		}
+		if needResiduals {
+			// Run the block's last iteration separately so the dual
+			// residual reflects one iteration's z movement, not the
+			// whole block's — residual-balancing rho adaptation is
+			// badly biased otherwise.
+			if step > 1 {
+				backend.Iterate(g, step-1, &res.PhaseNanos)
+			}
+			copy(zPrev, g.Z)
+			backend.Iterate(g, 1, &res.PhaseNanos)
+			res.Primal, res.Dual = Residuals(g, zPrev)
+		} else {
+			backend.Iterate(g, step, &res.PhaseNanos)
+		}
+		done += step
+		if opts.Adapt != nil {
+			adaptRho(g, opts.Adapt, res.Primal, res.Dual)
+		}
+		if check {
+			if opts.OnIteration != nil && !opts.OnIteration(done, res.Primal, res.Dual) {
+				break
+			}
+			if converged(g, res.Primal, res.Dual, opts.AbsTol, opts.RelTol) {
+				res.Converged = true
+				break
+			}
+		}
+	}
+	res.Iterations = done
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Residuals computes the primal residual ||x - z||_2 (consensus
+// violation over all edges) and the dual residual ||rho*(z - zPrev)||_2
+// aggregated over edges, the message-passing analogues of the standard
+// two-block residuals.
+func Residuals(g *graph.Graph, zPrev []float64) (primal, dual float64) {
+	d := g.D()
+	var p, du float64
+	for e := 0; e < g.NumEdges(); e++ {
+		b := g.EdgeVar(e)
+		x := g.EdgeBlock(g.X, e)
+		z := g.Z[b*d : (b+1)*d]
+		zp := zPrev[b*d : (b+1)*d]
+		r := g.Rho[e]
+		for i := 0; i < d; i++ {
+			dv := x[i] - z[i]
+			p += dv * dv
+			sv := r * (z[i] - zp[i])
+			du += sv * sv
+		}
+	}
+	return math.Sqrt(p), math.Sqrt(du)
+}
+
+func converged(g *graph.Graph, primal, dual, absTol, relTol float64) bool {
+	if absTol <= 0 && relTol <= 0 {
+		return false
+	}
+	n := float64(g.NumEdges() * g.D())
+	epsP := absTol*math.Sqrt(n) + relTol*math.Max(linalg.Norm2(g.X), linalg.Norm2(g.Z))
+	epsD := absTol*math.Sqrt(n) + relTol*linalg.Norm2(g.U)
+	return primal <= epsP && dual <= epsD
+}
+
+// Objective is a helper for tests and examples: it sums fa evaluated at
+// the consensus point z for problems whose operators expose a Value
+// method (see Valuer); operators without Value contribute zero.
+func Objective(g *graph.Graph) float64 {
+	d := g.D()
+	var total float64
+	buf := make([]float64, 0, 64)
+	for a := 0; a < g.NumFunctions(); a++ {
+		v, ok := g.Op(a).(Valuer)
+		if !ok {
+			continue
+		}
+		lo, hi := g.FuncEdges(a)
+		buf = buf[:0]
+		for e := lo; e < hi; e++ {
+			buf = append(buf, g.VarBlock(g.Z, g.EdgeVar(e))...)
+		}
+		total += v.Value(buf, d)
+	}
+	return total
+}
+
+// Valuer is implemented by proximal operators that can report the value
+// of their underlying function at a point (same block layout as Eval's n).
+type Valuer interface {
+	Value(s []float64, d int) float64
+}
+
+// AdaptConfig tunes residual-balancing rho adaptation (He, Yang, Wang
+// scheme, referenced by the paper via [9]'s improved update schemes):
+// when the primal residual exceeds Mu times the dual residual, every
+// edge rho is multiplied by Tau (and divided symmetrically in the
+// opposite case). Proximal operators observe the new rho on the next
+// x-update; cached factorizations refresh automatically.
+type AdaptConfig struct {
+	Mu  float64 // imbalance threshold, e.g. 10
+	Tau float64 // multiplicative step, e.g. 2
+	Min float64 // rho floor (default 1e-6)
+	Max float64 // rho ceiling (default 1e6)
+	// MaxAdjust caps the total number of rho changes (0 means 50);
+	// stopping adaptation eventually is what keeps the fixed-rho
+	// convergence theory applicable to the tail of the run.
+	MaxAdjust int
+
+	adjusted int
+}
+
+func adaptRho(g *graph.Graph, c *AdaptConfig, primal, dual float64) {
+	if c.Mu <= 0 || c.Tau <= 0 {
+		return
+	}
+	if math.IsNaN(primal) || math.IsNaN(dual) {
+		return
+	}
+	maxAdjust := c.MaxAdjust
+	if maxAdjust <= 0 {
+		maxAdjust = 50
+	}
+	if c.adjusted >= maxAdjust {
+		return
+	}
+	min, max := c.Min, c.Max
+	if min <= 0 {
+		min = 1e-6
+	}
+	if max <= 0 {
+		max = 1e6
+	}
+	scale := 1.0
+	switch {
+	case primal > c.Mu*dual:
+		scale = c.Tau
+	case dual > c.Mu*primal:
+		scale = 1 / c.Tau
+	default:
+		return
+	}
+	c.adjusted++
+	for e := range g.Rho {
+		r := g.Rho[e] * scale
+		g.Rho[e] = linalg.Clamp(r, min, max)
+	}
+	// Rescale u to keep the scaled dual variable consistent: in the
+	// scaled form u represents y/rho, so u must shrink when rho grows.
+	inv := 1 / scale
+	for i := range g.U {
+		g.U[i] *= inv
+	}
+}
+
+// runPhasesSerial executes one iteration's five phases inline, timing
+// each. Shared by the Serial backend and as the fallback core.
+func runPhasesSerial(g *graph.Graph, phaseNanos *[NumPhases]int64) {
+	t := time.Now()
+	UpdateXRange(g, 0, g.NumFunctions())
+	phaseNanos[PhaseX] += time.Since(t).Nanoseconds()
+
+	t = time.Now()
+	UpdateMRange(g, 0, g.NumEdges())
+	phaseNanos[PhaseM] += time.Since(t).Nanoseconds()
+
+	t = time.Now()
+	UpdateZRange(g, 0, g.NumVariables())
+	phaseNanos[PhaseZ] += time.Since(t).Nanoseconds()
+
+	t = time.Now()
+	UpdateURange(g, 0, g.NumEdges())
+	phaseNanos[PhaseU] += time.Since(t).Nanoseconds()
+
+	t = time.Now()
+	UpdateNRange(g, 0, g.NumEdges())
+	phaseNanos[PhaseN] += time.Since(t).Nanoseconds()
+}
+
+// Serial is the single-core backend: the Go analogue of the paper's
+// optimized serial C implementation, against which all speedups are
+// measured.
+type serialBackend struct{}
+
+// NewSerial returns the serial backend.
+func NewSerial() Backend { return serialBackend{} }
+
+func (serialBackend) Name() string { return "serial" }
+func (serialBackend) Close()       {}
+
+func (serialBackend) Iterate(g *graph.Graph, iters int, phaseNanos *[NumPhases]int64) {
+	for it := 0; it < iters; it++ {
+		runPhasesSerial(g, phaseNanos)
+	}
+}
+
+var _ Backend = serialBackend{}
+
+// sanity: ensure sched is linked (executors.go uses it heavily).
+var _ = sched.Range{}

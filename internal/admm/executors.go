@@ -1,0 +1,219 @@
+package admm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// ParallelForBackend is the paper's first (and measured-faster) OpenMP
+// strategy: each iteration runs five fork-join parallel loops, one per
+// update kind. Workers is the core count (the paper sweeps 1..32).
+//
+// ZGrouping selects how z-update tasks map to workers: contiguous static
+// chunks (the paper's current implementation, whose weakness on skewed
+// degree distributions the Conclusion discusses) or degree-balanced
+// groups (the paper's proposed fix, implemented in internal/sched).
+type ParallelForBackend struct {
+	Workers int
+	// Dynamic enables self-scheduled (guided) loops instead of static
+	// chunks for the x- and z-updates, which have non-uniform task costs.
+	Dynamic bool
+	// ZGrouping: nil means contiguous chunking; otherwise a precomputed
+	// degree-balanced partition from PrepareBalancedZ.
+	zGroups [][]int
+}
+
+// NewParallelFor returns a fork-join backend with the given worker count.
+func NewParallelFor(workers int) *ParallelForBackend {
+	if workers <= 0 {
+		panic(fmt.Sprintf("admm: workers = %d, need > 0", workers))
+	}
+	return &ParallelForBackend{Workers: workers}
+}
+
+// PrepareBalancedZ precomputes a degree-balanced z-update partition for
+// g (items = variable nodes, weights = degrees). Call once after the
+// graph is finalized; subsequent Iterate calls use it.
+func (b *ParallelForBackend) PrepareBalancedZ(g *graph.Graph) {
+	w := make([]float64, g.NumVariables())
+	for v := range w {
+		w[v] = float64(g.VarDegree(v) * g.D())
+	}
+	groups, _ := sched.BalancedGroups(w, b.Workers)
+	b.zGroups = groups
+}
+
+// Name implements Backend.
+func (b *ParallelForBackend) Name() string {
+	if b.zGroups != nil {
+		return fmt.Sprintf("parallel-for(%d,balanced-z)", b.Workers)
+	}
+	if b.Dynamic {
+		return fmt.Sprintf("parallel-for(%d,dynamic)", b.Workers)
+	}
+	return fmt.Sprintf("parallel-for(%d)", b.Workers)
+}
+
+// Close implements Backend.
+func (b *ParallelForBackend) Close() {}
+
+// Iterate implements Backend.
+func (b *ParallelForBackend) Iterate(g *graph.Graph, iters int, phaseNanos *[NumPhases]int64) {
+	w := b.Workers
+	loop := func(n int, fn func(lo, hi int)) {
+		sched.ParallelFor(w, n, fn)
+	}
+	heavyLoop := loop
+	if b.Dynamic {
+		heavyLoop = func(n int, fn func(lo, hi int)) {
+			sched.DynamicFor(w, n, 0, fn)
+		}
+	}
+	for it := 0; it < iters; it++ {
+		t := time.Now()
+		heavyLoop(g.NumFunctions(), func(lo, hi int) { UpdateXRange(g, lo, hi) })
+		phaseNanos[PhaseX] += time.Since(t).Nanoseconds()
+
+		t = time.Now()
+		loop(g.NumEdges(), func(lo, hi int) { UpdateMRange(g, lo, hi) })
+		phaseNanos[PhaseM] += time.Since(t).Nanoseconds()
+
+		t = time.Now()
+		switch {
+		case b.zGroups != nil:
+			sched.ParallelFor(len(b.zGroups), len(b.zGroups), func(lo, hi int) {
+				for gi := lo; gi < hi; gi++ {
+					UpdateZVars(g, b.zGroups[gi])
+				}
+			})
+		default:
+			heavyLoop(g.NumVariables(), func(lo, hi int) { UpdateZRange(g, lo, hi) })
+		}
+		phaseNanos[PhaseZ] += time.Since(t).Nanoseconds()
+
+		t = time.Now()
+		loop(g.NumEdges(), func(lo, hi int) { UpdateURange(g, lo, hi) })
+		phaseNanos[PhaseU] += time.Since(t).Nanoseconds()
+
+		t = time.Now()
+		loop(g.NumEdges(), func(lo, hi int) { UpdateNRange(g, lo, hi) })
+		phaseNanos[PhaseN] += time.Since(t).Nanoseconds()
+	}
+}
+
+var _ Backend = (*ParallelForBackend)(nil)
+
+// BarrierBackend is the paper's second OpenMP strategy: persistent
+// workers created once, each processing its static share of every update
+// kind across iterations, separated by barriers. The paper found this
+// slower than fork-join loops in all three problems; the backend exists
+// to reproduce that ablation.
+type BarrierBackend struct {
+	workers int
+	cmd     chan barrierCmd
+	done    chan struct{}
+	barrier *sched.Barrier
+	closed  bool
+
+	g     *graph.Graph
+	iters int
+	// phase boundary timestamps recorded by worker 0
+	phaseNanos *[NumPhases]int64
+}
+
+type barrierCmd struct{}
+
+// NewBarrier returns a persistent-worker backend.
+func NewBarrier(workers int) *BarrierBackend {
+	if workers <= 0 {
+		panic(fmt.Sprintf("admm: workers = %d, need > 0", workers))
+	}
+	b := &BarrierBackend{
+		workers: workers,
+		cmd:     make(chan barrierCmd),
+		done:    make(chan struct{}),
+		barrier: sched.NewBarrier(workers),
+	}
+	for p := 0; p < workers; p++ {
+		go b.worker(p)
+	}
+	return b
+}
+
+// Name implements Backend.
+func (b *BarrierBackend) Name() string { return fmt.Sprintf("barrier-workers(%d)", b.workers) }
+
+// Iterate implements Backend.
+func (b *BarrierBackend) Iterate(g *graph.Graph, iters int, phaseNanos *[NumPhases]int64) {
+	if b.closed {
+		panic("admm: Iterate on closed BarrierBackend")
+	}
+	b.g, b.iters, b.phaseNanos = g, iters, phaseNanos
+	for p := 0; p < b.workers; p++ {
+		b.cmd <- barrierCmd{}
+	}
+	for p := 0; p < b.workers; p++ {
+		<-b.done
+	}
+}
+
+// Close implements Backend: terminates the workers.
+func (b *BarrierBackend) Close() {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	close(b.cmd)
+}
+
+func (b *BarrierBackend) worker(id int) {
+	for range b.cmd {
+		g, iters := b.g, b.iters
+		nF, nE, nV := g.NumFunctions(), g.NumEdges(), g.NumVariables()
+		fr := sched.Chunks(nF, b.workers)[id]
+		er := sched.Chunks(nE, b.workers)[id]
+		vr := sched.Chunks(nV, b.workers)[id]
+		lead := id == 0
+		var t time.Time
+		for it := 0; it < iters; it++ {
+			if lead {
+				t = time.Now()
+			}
+			UpdateXRange(g, fr.Lo, fr.Hi)
+			b.barrier.Await()
+			if lead {
+				b.phaseNanos[PhaseX] += time.Since(t).Nanoseconds()
+				t = time.Now()
+			}
+			UpdateMRange(g, er.Lo, er.Hi)
+			b.barrier.Await()
+			if lead {
+				b.phaseNanos[PhaseM] += time.Since(t).Nanoseconds()
+				t = time.Now()
+			}
+			UpdateZRange(g, vr.Lo, vr.Hi)
+			b.barrier.Await()
+			if lead {
+				b.phaseNanos[PhaseZ] += time.Since(t).Nanoseconds()
+				t = time.Now()
+			}
+			UpdateURange(g, er.Lo, er.Hi)
+			b.barrier.Await()
+			if lead {
+				b.phaseNanos[PhaseU] += time.Since(t).Nanoseconds()
+				t = time.Now()
+			}
+			UpdateNRange(g, er.Lo, er.Hi)
+			b.barrier.Await()
+			if lead {
+				b.phaseNanos[PhaseN] += time.Since(t).Nanoseconds()
+			}
+		}
+		b.done <- struct{}{}
+	}
+}
+
+var _ Backend = (*BarrierBackend)(nil)

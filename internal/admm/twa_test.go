@@ -1,0 +1,116 @@
+package admm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/prox"
+)
+
+// weightedOp wraps an inner op with fixed outgoing weight classes.
+type weightedOp struct {
+	inner   graph.Op
+	classes []graph.WeightClass
+}
+
+func (w weightedOp) Eval(x, n, rho []float64, d int) { w.inner.Eval(x, n, rho, d) }
+func (w weightedOp) Work(deg, d int) graph.Work      { return w.inner.Work(deg, d) }
+func (w weightedOp) Weights(x, n, rho []float64, d int, out []graph.WeightClass) {
+	copy(out, w.classes)
+}
+
+func TestTWAWithoutWeightSettersMatchesSerial(t *testing.T) {
+	g1 := mixedGraph(t, 13, 10, 30, 2)
+	g2 := mixedGraph(t, 13, 10, 30, 2)
+	var n1, n2 [NumPhases]int64
+	NewSerial().Iterate(g1, 20, &n1)
+	b := NewTWA()
+	defer b.Close()
+	b.Iterate(g2, 20, &n2)
+	if d := maxDiff(g1.Z, g2.Z); d > 1e-12 {
+		t.Fatalf("TWA without setters diverged from serial by %g", d)
+	}
+	if d := maxDiff(g1.U, g2.U); d > 1e-12 {
+		t.Fatalf("TWA U diverged by %g", d)
+	}
+}
+
+func TestTWAInfiniteWeightPinsConsensus(t *testing.T) {
+	// Two ops on one variable: one "certain" emitting 7, one standard
+	// pulling toward 0. z must equal the certain message exactly.
+	g := graph.New(1)
+	g.AddNode(weightedOp{
+		inner:   prox.Clamp{Value: []float64{7}},
+		classes: []graph.WeightClass{graph.WeightInf},
+	}, 0)
+	g.AddNode(prox.SquaredNorm{C: 1, Dim: 1}, 0)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	g.SetUniformParams(1, 1)
+	g.InitZero()
+	b := NewTWA()
+	var nanos [NumPhases]int64
+	b.Iterate(g, 5, &nanos)
+	if g.Z[0] != 7 {
+		t.Fatalf("z = %g, want the certain message 7", g.Z[0])
+	}
+	// The certain edge's dual variable must stay reset.
+	if g.U[0] != 0 {
+		t.Fatalf("u on infinite-weight edge = %g, want 0", g.U[0])
+	}
+}
+
+func TestTWAZeroWeightEdgesAreIgnored(t *testing.T) {
+	// One abstaining op (would pull to 100) plus one standard op pulling
+	// to 3: the abstainer must not influence z.
+	g := graph.New(1)
+	g.AddNode(weightedOp{
+		inner:   prox.Clamp{Value: []float64{100}},
+		classes: []graph.WeightClass{graph.WeightZero},
+	}, 0)
+	q, err := prox.NewQuadratic(linalg.Eye(1), []float64{-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddNode(q, 0)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	g.SetUniformParams(1, 1)
+	g.InitZero()
+	b := NewTWA()
+	var nanos [NumPhases]int64
+	b.Iterate(g, 400, &nanos)
+	if math.Abs(g.Z[0]-3) > 1e-6 {
+		t.Fatalf("z = %g, want 3 (abstainer must be ignored)", g.Z[0])
+	}
+}
+
+func TestTWAAllZeroNeighborhoodKeepsZ(t *testing.T) {
+	g := graph.New(1)
+	g.AddNode(weightedOp{
+		inner:   prox.Identity{},
+		classes: []graph.WeightClass{graph.WeightZero},
+	}, 0)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	g.SetUniformParams(1, 1)
+	g.InitZero()
+	g.Z[0] = 42
+	b := NewTWA()
+	var nanos [NumPhases]int64
+	b.Iterate(g, 10, &nanos)
+	if g.Z[0] != 42 {
+		t.Fatalf("all-zero neighborhood moved z to %g", g.Z[0])
+	}
+}
+
+func TestTWAName(t *testing.T) {
+	if NewTWA().Name() != "twa-serial" {
+		t.Fatal("name")
+	}
+}

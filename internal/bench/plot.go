@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart is a minimal ASCII line/scatter chart used to render the paper's
+// figure series (speedup vs problem size, speedup vs cores) next to the
+// numeric tables, so `paradmm-bench fig7` shows the same curve shape the
+// paper plots.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 56)
+	Height int // plot rows (default 14)
+
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	marker byte
+	xs, ys []float64
+}
+
+// NewChart creates a chart with default geometry.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 56, Height: 14}
+}
+
+// AddSeries appends a named series; xs and ys must have equal length.
+// The marker is assigned automatically (*, o, +, x, #).
+func (c *Chart) AddSeries(name string, xs, ys []float64) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("bench: chart series %q has %d xs, %d ys", name, len(xs), len(ys)))
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+	m := markers[len(c.series)%len(markers)]
+	c.series = append(c.series, chartSeries{
+		name: name, marker: m,
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+	})
+}
+
+// WriteASCII renders the chart.
+func (c *Chart) WriteASCII(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1) // speedup charts anchor y at 0
+	empty := true
+	for _, s := range c.series {
+		for i := range s.xs {
+			empty = false
+			xmin = math.Min(xmin, s.xs[i])
+			xmax = math.Max(xmax, s.xs[i])
+			ymax = math.Max(ymax, s.ys[i])
+			ymin = math.Min(ymin, s.ys[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s --\n", c.Title)
+	if empty {
+		b.WriteString("(no data)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range c.series {
+		for i := range s.xs {
+			col := int((s.xs[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := int((s.ys[i] - ymin) / (ymax - ymin) * float64(height-1))
+			r := height - 1 - row
+			grid[r][col] = s.marker
+		}
+	}
+	yTopLabel := fmt.Sprintf("%.1f", ymax)
+	yBotLabel := fmt.Sprintf("%.1f", ymin)
+	pad := len(yTopLabel)
+	if len(yBotLabel) > pad {
+		pad = len(yBotLabel)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yTopLabel)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yBotLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", pad), width-len(fmt.Sprintf("%.0f", xmax)),
+		fmt.Sprintf("%.0f", xmin), fmt.Sprintf("%.0f", xmax))
+	fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", pad), c.XLabel, c.YLabel)
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "%s  %c = %s\n", strings.Repeat(" ", pad), s.marker, s.name)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderTo appends the chart to a table's notes-free textual output by
+// returning the chart as a string (tables and charts are written by the
+// caller in sequence).
+func (c *Chart) String() string {
+	var b strings.Builder
+	_ = c.WriteASCII(&b)
+	return b.String()
+}
+
+// AttachChart renders the chart into the table's notes so every writer
+// (ASCII, CSV-comments) carries the curve.
+func AttachChart(t *Table, c *Chart) {
+	t.Notes = append(t.Notes, "figure series below\n"+c.String())
+}

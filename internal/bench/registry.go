@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Scale selects workload sizes. Quick keeps every experiment fast enough
+// for CI and `go test`; Full matches the paper's largest parameters
+// (memory permitting: packing N=5000 needs ~7 GB of ADMM state).
+type Scale struct {
+	Full bool
+	// Seed makes randomized workloads reproducible.
+	Seed int64
+}
+
+// Experiment regenerates one paper artifact (or one extension ablation).
+type Experiment struct {
+	ID    string // registry key, e.g. "fig7"
+	Paper string // which paper artifact this regenerates
+	Desc  string
+	Run   func(s Scale) ([]*Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// Experiments returns all registered experiments sorted by id.
+func Experiments() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (try `list`)", id)
+}
+
+// RunAndWrite executes an experiment and renders its tables.
+func RunAndWrite(id string, s Scale, w io.Writer) error {
+	e, err := Lookup(id)
+	if err != nil {
+		return err
+	}
+	tables, err := e.Run(s)
+	if err != nil {
+		return fmt.Errorf("bench: %s: %w", id, err)
+	}
+	fmt.Fprintf(w, "# %s — %s\n# %s\n\n", e.ID, e.Paper, e.Desc)
+	for _, t := range tables {
+		if err := t.WriteASCII(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

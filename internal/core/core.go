@@ -1,0 +1,199 @@
+// Package core is the parADMM engine facade: the public, user-facing API
+// of this repository, mirroring the workflow of the paper's C engine
+// (Figure 2) in idiomatic Go.
+//
+// The two tasks a user performs are exactly the paper's:
+//
+//  1. specify the factor-graph topology via AddNode, and
+//  2. provide serial code for each proximal operator (a graph.Op).
+//
+// Everything else — fine-grained parallel scheduling on a simulated GPU,
+// fork-join multi-core execution, serial execution — is selected with a
+// Backend constant, no parallel code required:
+//
+//	e := core.New(2)                          // 2 doubles per edge
+//	e.AddNode(myProx, 0, 1, 2)                // like the paper's addNode
+//	if err := e.Finalize(); err != nil { ... }
+//	e.SetParams(1.0, 1.0)                     // initialize_RHOS_ALPHAS
+//	e.InitRandom(-1, 1, 0)                    // initialize_X_N_Z_M_U_rand
+//	res, err := e.Solve(core.SolveOptions{MaxIter: 1000, Backend: core.GPU})
+//	x := e.Solution(0)                        // read z, like the cudaMemcpy
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/admm"
+	"repro/internal/gpusim"
+	"repro/internal/graph"
+)
+
+// Backend selects the execution substrate for Solve.
+type Backend int
+
+// Available backends.
+const (
+	// Serial is the optimized single-core engine (the paper's baseline).
+	Serial Backend = iota
+	// Parallel is the fork-join multi-core executor (the paper's first,
+	// faster OpenMP strategy) using real goroutines.
+	Parallel
+	// BarrierWorkers is the persistent-worker executor (the paper's
+	// second OpenMP strategy), provided for the ablation.
+	BarrierWorkers
+	// GPU executes on the simulated Tesla-K40-class device; reported
+	// times are simulated device time, iterates are exact.
+	GPU
+	// CPUSim charges modeled single-core time from the same cost meters
+	// as GPU, for apples-to-apples simulated speedups.
+	CPUSim
+	// MultiCPUSim charges modeled multi-core time (32-core Opteron
+	// profile) — the paper's shared-memory measurements.
+	MultiCPUSim
+	// Async is the randomized-activation asynchronous variant from the
+	// paper's future-work list.
+	Async
+	// TWA runs the three-weight message-passing scheme of the paper's
+	// reference [9]: operators implementing graph.WeightSetter can mark
+	// messages "no opinion" or "certain".
+	TWA
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case Serial:
+		return "serial"
+	case Parallel:
+		return "parallel"
+	case BarrierWorkers:
+		return "barrier"
+	case GPU:
+		return "gpu"
+	case CPUSim:
+		return "cpusim"
+	case MultiCPUSim:
+		return "multicpusim"
+	case Async:
+		return "async"
+	case TWA:
+		return "twa"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// Engine wraps a factor-graph with solver configuration.
+type Engine struct {
+	g *graph.Graph
+}
+
+// New creates an engine whose edges carry dims doubles (the paper's
+// number_of_dims_per_edge).
+func New(dims int) *Engine {
+	return &Engine{g: graph.New(dims)}
+}
+
+// Graph exposes the underlying factor-graph for advanced use (custom
+// backends, direct state access).
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// AddNode adds a function node with the given proximal operator attached
+// to the listed variable indices, returning the node id (paper: addNode).
+func (e *Engine) AddNode(op graph.Op, vars ...int) int {
+	return e.g.AddNode(op, vars...)
+}
+
+// Finalize freezes the topology and allocates ADMM state.
+func (e *Engine) Finalize() error { return e.g.Finalize() }
+
+// SetParams sets uniform per-edge rho and alpha (paper:
+// initialize_RHOS_ALPHAS).
+func (e *Engine) SetParams(rho, alpha float64) { e.g.SetUniformParams(rho, alpha) }
+
+// InitRandom initializes all ADMM state uniformly in [lo, hi] using the
+// given seed (paper: initialize_X_N_Z_M_U_rand).
+func (e *Engine) InitRandom(lo, hi float64, seed int64) {
+	e.g.InitRandom(lo, hi, rand.New(rand.NewSource(seed)))
+}
+
+// InitZero zeroes all ADMM state.
+func (e *Engine) InitZero() { e.g.InitZero() }
+
+// SolveOptions configures Solve.
+type SolveOptions struct {
+	MaxIter    int
+	Backend    Backend
+	Workers    int     // cores for Parallel/BarrierWorkers/MultiCPUSim (default all/32)
+	AbsTol     float64 // optional stopping tolerances
+	RelTol     float64
+	CheckEvery int
+	Seed       int64 // Async schedule seed
+	// Device overrides the GPU profile (nil = Tesla K40 class).
+	Device *gpusim.Device
+	// AutoTuneNtb lets the GPU backend pick threads-per-block per kernel.
+	AutoTuneNtb bool
+	// OnIteration, if set, observes residuals every CheckEvery iterations.
+	OnIteration func(iter int, primal, dual float64) bool
+}
+
+// Result re-exports the engine result type.
+type Result = admm.Result
+
+// Solve runs the message-passing ADMM with the selected backend.
+func (e *Engine) Solve(opts SolveOptions) (Result, error) {
+	backend, err := e.makeBackend(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	defer backend.Close()
+	return admm.Run(e.g, admm.Options{
+		MaxIter:     opts.MaxIter,
+		Backend:     backend,
+		AbsTol:      opts.AbsTol,
+		RelTol:      opts.RelTol,
+		CheckEvery:  opts.CheckEvery,
+		OnIteration: opts.OnIteration,
+	})
+}
+
+func (e *Engine) makeBackend(opts SolveOptions) (admm.Backend, error) {
+	workers := opts.Workers
+	switch opts.Backend {
+	case Serial:
+		return admm.NewSerial(), nil
+	case Parallel:
+		if workers <= 0 {
+			workers = 4
+		}
+		return admm.NewParallelFor(workers), nil
+	case BarrierWorkers:
+		if workers <= 0 {
+			workers = 4
+		}
+		return admm.NewBarrier(workers), nil
+	case GPU:
+		b := gpusim.NewBackend(opts.Device)
+		b.AutoTune = opts.AutoTuneNtb
+		return b, nil
+	case CPUSim:
+		return gpusim.NewCPUBackend(nil), nil
+	case MultiCPUSim:
+		if workers <= 0 {
+			workers = 32
+		}
+		return gpusim.NewMultiCoreBackend(nil, workers), nil
+	case Async:
+		return admm.NewAsync(opts.Seed), nil
+	case TWA:
+		return admm.NewTWA(), nil
+	}
+	return nil, fmt.Errorf("core: unknown backend %v", opts.Backend)
+}
+
+// Solution returns a copy of consensus variable b (the paper's "read w*
+// from z").
+func (e *Engine) Solution(b int) []float64 { return e.g.ReadSolution(b, nil) }
+
+// Stats returns factor-graph shape statistics.
+func (e *Engine) Stats() graph.Stats { return e.g.Stats() }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/prox"
+)
+
+// newAveraging builds the mean-of-targets consensus problem.
+func newAveraging(t *testing.T, targets ...float64) *Engine {
+	t.Helper()
+	e := New(1)
+	for _, a := range targets {
+		q, err := prox.NewQuadratic(linalg.Eye(1), []float64{-a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.AddNode(q, 0)
+	}
+	if err := e.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	e.SetParams(1, 1)
+	e.InitZero()
+	return e
+}
+
+func TestAllBackendsSolveAveraging(t *testing.T) {
+	for _, b := range []Backend{Serial, Parallel, BarrierWorkers, GPU, CPUSim, MultiCPUSim, Async, TWA} {
+		t.Run(b.String(), func(t *testing.T) {
+			e := newAveraging(t, 1, 2, 9)
+			res, err := e.Solve(SolveOptions{
+				MaxIter: 600, Backend: b, Workers: 3,
+				AbsTol: 1e-9, RelTol: 1e-9,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := e.Solution(0)[0]
+			if math.Abs(got-4) > 1e-4 {
+				t.Fatalf("solution %g, want 4 (res %+v)", got, res)
+			}
+			if res.Iterations <= 0 || res.Elapsed <= 0 {
+				t.Fatalf("bad result bookkeeping: %+v", res)
+			}
+		})
+	}
+}
+
+func TestBackendString(t *testing.T) {
+	names := map[Backend]string{
+		Serial: "serial", Parallel: "parallel", BarrierWorkers: "barrier",
+		GPU: "gpu", CPUSim: "cpusim", MultiCPUSim: "multicpusim", Async: "async", TWA: "twa",
+	}
+	for b, want := range names {
+		if b.String() != want {
+			t.Errorf("%v != %s", b, want)
+		}
+	}
+	if Backend(42).String() != "backend(42)" {
+		t.Error("unknown backend string")
+	}
+}
+
+func TestUnknownBackendErrors(t *testing.T) {
+	e := newAveraging(t, 1, 2)
+	if _, err := e.Solve(SolveOptions{MaxIter: 1, Backend: Backend(42)}); err == nil {
+		t.Fatal("expected unknown-backend error")
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	e := newAveraging(t, 1, 2, 3)
+	s := e.Stats()
+	if s.Functions != 3 || s.Variables != 1 || s.Edges != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+	if e.Graph() == nil {
+		t.Fatal("Graph() nil")
+	}
+	e.InitRandom(-1, 1, 7)
+	any := false
+	for _, v := range e.Graph().X {
+		if v != 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("InitRandom left X zero")
+	}
+}
+
+func TestOnIterationPlumbing(t *testing.T) {
+	e := newAveraging(t, 0, 10)
+	calls := 0
+	_, err := e.Solve(SolveOptions{
+		MaxIter: 100, CheckEvery: 10,
+		OnIteration: func(iter int, p, d float64) bool { calls++; return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 10 {
+		t.Fatalf("OnIteration calls = %d, want 10", calls)
+	}
+}
+
+func TestGPUAutoTuneOption(t *testing.T) {
+	e := newAveraging(t, 3, 5)
+	if _, err := e.Solve(SolveOptions{MaxIter: 50, Backend: GPU, AutoTuneNtb: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Solution(0)[0]; math.Abs(got-4) > 1e-2 {
+		t.Fatalf("autotuned GPU solution %g", got)
+	}
+}

@@ -1,0 +1,44 @@
+package gpusim
+
+// CPUModel is the scalar-pipeline cost model for the serial baseline —
+// the paper's "single core of an AMD Opteron Abu Dhabi 6300 at 2.8 GHz".
+// It consumes the same Task meters as the device simulator, so a
+// simulated speedup is a ratio of two readings of one instrument.
+type CPUModel struct {
+	Name    string
+	ClockHz float64
+
+	CyclesPerFlop          float64 // superscalar FP: ~2 flops/cycle -> 0.5
+	CyclesPerContigWord    float64 // streamed, prefetched traffic
+	CyclesPerScatterAccess float64 // cache-missing pointer-chase block
+	TaskOverheadCycles     float64 // loop/dispatch per task
+}
+
+// Opteron6300 returns the paper's baseline CPU profile.
+func Opteron6300() *CPUModel {
+	return &CPUModel{
+		Name:                   "opteron-6300-sim",
+		ClockHz:                2.8e9,
+		CyclesPerFlop:          0.5,
+		CyclesPerContigWord:    2.0,
+		CyclesPerScatterAccess: 30,
+		TaskOverheadCycles:     6,
+	}
+}
+
+// TaskCycles returns the modeled cycles for one task.
+func (c *CPUModel) TaskCycles(t Task) float64 {
+	return t.Flops*c.CyclesPerFlop +
+		t.ContigWords*c.CyclesPerContigWord +
+		t.ScatterAccesses*c.CyclesPerScatterAccess +
+		c.TaskOverheadCycles
+}
+
+// PhaseTime returns the modeled serial seconds for a whole phase.
+func (c *CPUModel) PhaseTime(tasks []Task) float64 {
+	var cycles float64
+	for _, t := range tasks {
+		cycles += c.TaskCycles(t)
+	}
+	return cycles / c.ClockHz
+}

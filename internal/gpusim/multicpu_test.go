@@ -1,0 +1,147 @@
+package gpusim
+
+import (
+	"testing"
+
+	"repro/internal/admm"
+)
+
+func TestMultiCPUSingleCoreMatchesSerialModel(t *testing.T) {
+	m := Opteron6300x32()
+	tasks := uniformTasks(5000, Task{Flops: 20, ContigWords: 8, ScatterAccesses: 1})
+	if got, want := m.PhaseTime(tasks, 1), m.CPU.PhaseTime(tasks); got != want {
+		t.Fatalf("1-core time %g != serial model %g", got, want)
+	}
+}
+
+func TestMultiCPUStreamingPhaseSaturates(t *testing.T) {
+	m := Opteron6300x32()
+	// m-update shape: trivially computable streaming tasks.
+	tasks := uniformTasks(2_000_000, Task{Flops: 2, ContigWords: 6})
+	base := m.PhaseTime(tasks, 1)
+	s8 := base / m.PhaseTime(tasks, 8)
+	s32 := base / m.PhaseTime(tasks, 32)
+	if s8 < 3 {
+		t.Fatalf("8-core streaming speedup %.1f too low", s8)
+	}
+	// Bandwidth ceiling: nowhere near linear at 32 cores.
+	if s32 > 12 {
+		t.Fatalf("32-core streaming speedup %.1f exceeds any plausible bandwidth ceiling", s32)
+	}
+}
+
+func TestMultiCPUMoreCoresCanHurt(t *testing.T) {
+	m := Opteron6300x32()
+	tasks := uniformTasks(500_000, Task{Flops: 4, ContigWords: 8, ScatterAccesses: 1})
+	t24 := m.PhaseTime(tasks, 24)
+	t32 := m.PhaseTime(tasks, 32)
+	if t32 <= t24 {
+		t.Fatalf("32 cores (%g) not slower than 24 (%g) on a bandwidth-bound phase", t32, t24)
+	}
+}
+
+func TestMultiCPUComputePhaseScalesFurther(t *testing.T) {
+	m := Opteron6300x32()
+	heavy := uniformTasks(200_000, Task{Flops: 400, ContigWords: 4, SerialFrac: 0.9})
+	light := uniformTasks(200_000, Task{Flops: 2, ContigWords: 16})
+	sHeavy := m.PhaseTime(heavy, 1) / m.PhaseTime(heavy, 16)
+	sLight := m.PhaseTime(light, 1) / m.PhaseTime(light, 16)
+	if sHeavy <= sLight {
+		t.Fatalf("compute-bound phase (%.1fx) should outscale bandwidth-bound (%.1fx)", sHeavy, sLight)
+	}
+}
+
+func TestMultiCPUSkewHurtsStaticChunks(t *testing.T) {
+	m := Opteron6300x32()
+	n := 64_000
+	uniform := uniformTasks(n, Task{Flops: 50, ContigWords: 4})
+	skew := uniformTasks(n, Task{Flops: 50, ContigWords: 4})
+	// One contiguous run of very heavy tasks lands in one chunk.
+	for i := 0; i < n/32; i++ {
+		skew[i].Flops = 50 * 32
+	}
+	su := m.PhaseTime(uniform, 16)
+	ss := m.PhaseTime(skew, 16)
+	if ss <= su {
+		t.Fatalf("skewed chunk not slower: %g vs %g", ss, su)
+	}
+}
+
+func TestMultiCPUForkJoinDominatesTinyPhases(t *testing.T) {
+	m := Opteron6300x32()
+	tiny := uniformTasks(64, Task{Flops: 4, ContigWords: 4})
+	if m.PhaseTime(tiny, 32) <= m.PhaseTime(tiny, 2) {
+		t.Fatal("32-way fork-join should cost more than 2-way on a tiny phase")
+	}
+}
+
+func TestMultiCPUPanicsAndClamps(t *testing.T) {
+	m := Opteron6300x32()
+	tasks := uniformTasks(10, Task{Flops: 1, ContigWords: 1})
+	// Core counts above the machine clamp to Cores.
+	if m.PhaseTime(tasks, 64) != m.PhaseTime(tasks, 32) {
+		t.Fatal("cores above machine size not clamped")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for cores < 1")
+		}
+	}()
+	m.PhaseTime(tasks, 0)
+}
+
+func TestMultiCoreBackendMatchesSerialIterates(t *testing.T) {
+	g1 := testGraph(t, 6, 30, 60, 2)
+	g2 := testGraph(t, 6, 30, 60, 2)
+	var n1, n2 [admm.NumPhases]int64
+	admm.NewSerial().Iterate(g1, 15, &n1)
+	b := NewMultiCoreBackend(nil, 16)
+	b.Iterate(g2, 15, &n2)
+	for i := range g1.Z {
+		if g1.Z[i] != g2.Z[i] {
+			t.Fatal("multicore-sim iterates diverge from serial")
+		}
+	}
+	for p, v := range n2 {
+		if v <= 0 {
+			t.Fatalf("phase %d nanos = %d", p, v)
+		}
+	}
+	if b.Name() == "" {
+		t.Fatal("empty name")
+	}
+	ps := b.PhaseSeconds(g2)
+	for p, v := range ps {
+		if v <= 0 {
+			t.Fatalf("phase %d seconds = %g", p, v)
+		}
+	}
+}
+
+func TestNewMultiCoreBackendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMultiCoreBackend(nil, 0)
+}
+
+func TestCompareMultiCPUPeaksInPaperBand(t *testing.T) {
+	g := testGraph(t, 8, 2000, 20000, 2)
+	best := 0.0
+	for _, cores := range []int{1, 2, 4, 8, 16, 24, 32} {
+		s := CompareMultiCPU(g, nil, cores)
+		if s.Combined > best {
+			best = s.Combined
+		}
+	}
+	// Paper: multi-core peaks at 5-9x.
+	if best < 3 || best > 14 {
+		t.Fatalf("peak multi-core speedup %.1f outside plausible band", best)
+	}
+	// 1 core = 1.0x by construction.
+	if s1 := CompareMultiCPU(g, nil, 1); s1.Combined != 1 {
+		t.Fatalf("1-core speedup = %g", s1.Combined)
+	}
+}

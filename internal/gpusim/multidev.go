@@ -1,0 +1,244 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"repro/internal/admm"
+	"repro/internal/graph"
+)
+
+// MultiDevice models the paper's future-work item 3 — "extend the code
+// to allow the use of multiple GPUs and multiple computers" — as a
+// simulation: function nodes (with their edges) are partitioned across
+// homogeneous devices; variables whose edges span devices become
+// boundary variables whose m-messages must cross the interconnect every
+// iteration (and whose consensus z must be broadcast back).
+//
+// Per iteration, each device runs its shard of the five kernels; the
+// iteration finishes at max(device times) plus the boundary exchange
+// (all-to-all over a PCIe-peer-like link). The result exposes the
+// decomposition trade-off the paper's Conclusion hints at: chain-like
+// graphs (MPC) split with a handful of boundary variables and scale
+// almost linearly, while dense graphs (packing's all-pairs collisions)
+// ship most of their edge state every iteration and scale poorly.
+type MultiDevice struct {
+	Device         *Device
+	Count          int
+	LinkBandwidth  float64 // bytes/s per direction, device to device
+	LinkLatencySec float64 // per-iteration synchronization latency
+}
+
+// NewMultiDevice returns a multi-device simulator with count devices of
+// the given profile (nil = Tesla K40) over a 10 GB/s, 10 us link.
+func NewMultiDevice(dev *Device, count int) (*MultiDevice, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("gpusim: device count %d", count)
+	}
+	if dev == nil {
+		dev = TeslaK40()
+	}
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	return &MultiDevice{
+		Device:         dev,
+		Count:          count,
+		LinkBandwidth:  10e9,
+		LinkLatencySec: 10e-6,
+	}, nil
+}
+
+// Partition describes a function-node split across devices.
+type Partition struct {
+	// FuncDevice maps function node -> device.
+	FuncDevice []int
+	// BoundaryVars lists variable nodes with edges on 2+ devices.
+	BoundaryVars []int
+	// BoundaryEdges counts edges incident to boundary variables.
+	BoundaryEdges int
+}
+
+// PartitionContiguous splits function nodes into contiguous ranges with
+// balanced edge counts — the naive "shard by construction order" split.
+// Builders group functions by kind (all costs, then all dynamics, ...),
+// so this split strands related functions on different devices and
+// serves as the baseline the locality-aware PartitionByVariable is
+// compared against.
+func PartitionContiguous(g *graph.Graph, devices int) Partition {
+	nF := g.NumFunctions()
+	weights := make([]float64, nF)
+	for a := 0; a < nF; a++ {
+		weights[a] = float64(g.FuncDegree(a))
+	}
+	// Walk functions accumulating edges; cut at equal edge shares.
+	p := Partition{FuncDevice: make([]int, nF)}
+	total := float64(g.NumEdges())
+	var acc float64
+	for a := 0; a < nF; a++ {
+		dev := int(acc / total * float64(devices))
+		if dev >= devices {
+			dev = devices - 1
+		}
+		p.FuncDevice[a] = dev
+		acc += weights[a]
+	}
+	finishPartition(g, &p)
+	return p
+}
+
+// PartitionByVariable splits variable nodes into contiguous ranges of
+// balanced degree mass and assigns each function to the device of its
+// first variable. Builders number variables along the problem's natural
+// geometry (time steps in MPC, point index in SVM), so this split keeps
+// neighborhoods together: a K-step MPC chain crosses devices at only
+// count-1 time steps.
+func PartitionByVariable(g *graph.Graph, devices int) Partition {
+	nV := g.NumVariables()
+	varDev := make([]int, nV)
+	total := float64(g.NumEdges())
+	var acc float64
+	for v := 0; v < nV; v++ {
+		dev := int(acc / total * float64(devices))
+		if dev >= devices {
+			dev = devices - 1
+		}
+		varDev[v] = dev
+		acc += float64(g.VarDegree(v))
+	}
+	nF := g.NumFunctions()
+	p := Partition{FuncDevice: make([]int, nF)}
+	for a := 0; a < nF; a++ {
+		lo, _ := g.FuncEdges(a)
+		p.FuncDevice[a] = varDev[g.EdgeVar(lo)]
+	}
+	finishPartition(g, &p)
+	return p
+}
+
+// finishPartition computes boundary statistics for a function placement.
+func finishPartition(g *graph.Graph, p *Partition) {
+	nF := g.NumFunctions()
+	edgeDev := make([]int32, g.NumEdges())
+	for a := 0; a < nF; a++ {
+		lo, hi := g.FuncEdges(a)
+		for e := lo; e < hi; e++ {
+			edgeDev[e] = int32(p.FuncDevice[a])
+		}
+	}
+	for v := 0; v < g.NumVariables(); v++ {
+		edges := g.VarEdges(v)
+		first := edgeDev[edges[0]]
+		boundary := false
+		for _, e := range edges[1:] {
+			if edgeDev[e] != first {
+				boundary = true
+				break
+			}
+		}
+		if boundary {
+			p.BoundaryVars = append(p.BoundaryVars, v)
+			p.BoundaryEdges += len(edges)
+		}
+	}
+}
+
+// IterationTime returns the simulated seconds for one full iteration on
+// the partition, along with the pure-compute and exchange components.
+func (m *MultiDevice) IterationTime(g *graph.Graph, p Partition) (total, compute, exchange float64) {
+	if m.Count == 1 {
+		b := NewBackend(m.Device)
+		t := b.SimulatedIterationSec(g)
+		return t, t, 0
+	}
+	// Shard tasks by device. Edge phases follow their function's device.
+	tasks := IterationTasks(g)
+	nF := g.NumFunctions()
+	edgeDev := make([]int, g.NumEdges())
+	for a := 0; a < nF; a++ {
+		lo, hi := g.FuncEdges(a)
+		for e := lo; e < hi; e++ {
+			edgeDev[e] = p.FuncDevice[a]
+		}
+	}
+	// z tasks: assign each variable to the device owning most of its
+	// edges (simple majority placement).
+	varDev := make([]int, g.NumVariables())
+	counts := make([]int, m.Count)
+	for v := range varDev {
+		for i := range counts {
+			counts[i] = 0
+		}
+		best, bestC := 0, -1
+		for _, e := range g.VarEdges(v) {
+			d := edgeDev[e]
+			counts[d]++
+			if counts[d] > bestC {
+				best, bestC = d, counts[d]
+			}
+		}
+		varDev[v] = best
+	}
+
+	shard := func(phase admm.Phase, owner func(i int) int) float64 {
+		perDev := make([][]Task, m.Count)
+		for i, task := range tasks[phase] {
+			d := owner(i)
+			perDev[d] = append(perDev[d], task)
+		}
+		var worst float64
+		for _, ts := range perDev {
+			t := m.Device.KernelTime(ts, LaunchConfig{Ntb: DefaultNtb})
+			if t > worst {
+				worst = t
+			}
+		}
+		return worst
+	}
+	compute += shard(admm.PhaseX, func(a int) int { return p.FuncDevice[a] })
+	compute += shard(admm.PhaseM, func(e int) int { return edgeDev[e] })
+	compute += shard(admm.PhaseZ, func(v int) int { return varDev[v] })
+	compute += shard(admm.PhaseU, func(e int) int { return edgeDev[e] })
+	compute += shard(admm.PhaseN, func(e int) int { return edgeDev[e] })
+
+	// Exchange: boundary variables gather remote m-blocks and broadcast
+	// z back — 2 transfers of d doubles per remote boundary edge.
+	bytes := float64(2*p.BoundaryEdges*g.D()) * bytesPerWord
+	exchange = m.LinkLatencySec + bytes/m.LinkBandwidth
+	return compute + exchange, compute, exchange
+}
+
+// Scaling reports the speedup of running g on 1..maxDevices devices
+// relative to one device, with the boundary statistics per point.
+type ScalingPoint struct {
+	Devices       int
+	Speedup       float64
+	BoundaryVars  int
+	BoundaryEdges int
+	ExchangeShare float64 // fraction of iteration spent exchanging
+}
+
+// Scaling sweeps device counts using the locality-aware partition.
+func Scaling(g *graph.Graph, dev *Device, counts []int) ([]ScalingPoint, error) {
+	single, err := NewMultiDevice(dev, 1)
+	if err != nil {
+		return nil, err
+	}
+	base, _, _ := single.IterationTime(g, PartitionByVariable(g, 1))
+	out := make([]ScalingPoint, 0, len(counts))
+	for _, c := range counts {
+		md, err := NewMultiDevice(dev, c)
+		if err != nil {
+			return nil, err
+		}
+		part := PartitionByVariable(g, c)
+		total, _, exch := md.IterationTime(g, part)
+		out = append(out, ScalingPoint{
+			Devices:       c,
+			Speedup:       base / total,
+			BoundaryVars:  len(part.BoundaryVars),
+			BoundaryEdges: part.BoundaryEdges,
+			ExchangeShare: exch / total,
+		})
+	}
+	return out, nil
+}

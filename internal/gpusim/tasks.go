@@ -1,0 +1,95 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"repro/internal/admm"
+	"repro/internal/graph"
+)
+
+// BuildPhaseTasks derives the per-thread Task meters for one update
+// phase of Algorithm 2 from the graph's structure and the proximal
+// operators' Work estimates. Task i corresponds to graph element i in
+// the same order the kernels process them (function nodes for x,
+// variable nodes for z, edges otherwise), so warp composition in the
+// simulator matches the memory layout of the real arrays.
+func BuildPhaseTasks(g *graph.Graph, p admm.Phase) []Task {
+	d := g.D()
+	fd := float64(d)
+	switch p {
+	case admm.PhaseX:
+		tasks := make([]Task, g.NumFunctions())
+		for a := range tasks {
+			deg := g.FuncDegree(a)
+			w := g.Op(a).Work(deg, d)
+			// Reads n and rho, writes x: all contiguous per function
+			// node in the edge-major layout. Any extra op-local traffic
+			// (cached matrices, parameters) counts as contiguous too.
+			contig := w.MemWords
+			if min := float64(2*deg*d + deg); contig < min {
+				contig = min
+			}
+			tasks[a] = Task{
+				Flops:       w.Flops,
+				ContigWords: contig,
+				Branchy:     w.Branchy,
+				SerialFrac:  w.Serial,
+			}
+		}
+		return tasks
+	case admm.PhaseM:
+		tasks := make([]Task, g.NumEdges())
+		for e := range tasks {
+			// m = x + u: read x, u; write m. Pure streaming.
+			tasks[e] = Task{Flops: fd, ContigWords: 3 * fd}
+		}
+		return tasks
+	case admm.PhaseZ:
+		tasks := make([]Task, g.NumVariables())
+		for b := range tasks {
+			deg := float64(g.VarDegree(b))
+			// Gathers deg m-blocks and deg rhos through the CSR
+			// (scattered), accumulates, writes one z block (contiguous).
+			tasks[b] = Task{
+				Flops:           2*deg*fd + deg + fd,
+				ContigWords:     fd + deg, // z write + CSR edge list
+				ScatterAccesses: deg,
+				Branchy:         0.1,
+			}
+		}
+		return tasks
+	case admm.PhaseU:
+		tasks := make([]Task, g.NumEdges())
+		for e := range tasks {
+			// u += alpha (x - z): read x, u, alpha (contiguous), read z
+			// through edgeVar (scattered), write u.
+			tasks[e] = Task{
+				Flops:           3 * fd,
+				ContigWords:     3*fd + 2,
+				ScatterAccesses: 1,
+			}
+		}
+		return tasks
+	case admm.PhaseN:
+		tasks := make([]Task, g.NumEdges())
+		for e := range tasks {
+			// n = z - u: read u (contiguous), z (scattered), write n.
+			tasks[e] = Task{
+				Flops:           fd,
+				ContigWords:     2*fd + 1,
+				ScatterAccesses: 1,
+			}
+		}
+		return tasks
+	}
+	panic(fmt.Sprintf("gpusim: unknown phase %v", p))
+}
+
+// IterationTasks returns the task lists for all five phases.
+func IterationTasks(g *graph.Graph) [admm.NumPhases][]Task {
+	var out [admm.NumPhases][]Task
+	for p := admm.Phase(0); p < admm.NumPhases; p++ {
+		out[p] = BuildPhaseTasks(g, p)
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements the host-to-device image of a factor-graph: the
+// paper's copyGraphFromCPUtoGPU materializes the topology, parameters and
+// all ADMM state into GPU global memory. Here the same information is
+// serialized into a flat byte image; internal/gpusim charges a modeled
+// PCIe transfer time proportional to len(image) (paper: up to 450 s for
+// the N=5000 packing graph), and tests round-trip the image to prove it
+// is complete.
+//
+// Proximal operators are compiled code, not data — exactly as in the
+// paper, where the kernels reference function pointers — so Decode takes
+// the operator list from the caller.
+
+const serialMagic = uint64(0x70_61_72_41_44_4d_4d_31) // "parADMM1"
+
+// EncodedSize returns the size in bytes of the device image of g without
+// building it.
+func (g *Graph) EncodedSize() int {
+	g.mustFinal()
+	nF, nE, nV := g.NumFunctions(), g.NumEdges(), g.NumVariables()
+	header := 8 + 4*8
+	ints := (nF + 1 + nE + nV + 1 + nE) * 8
+	floats := (2*nE + 4*nE*g.d + nV*g.d) * 8
+	return header + ints + floats
+}
+
+// Encode serializes the finalized graph (topology, parameters, and all
+// ADMM state) into a device image.
+func (g *Graph) Encode() []byte {
+	g.mustFinal()
+	buf := bytes.NewBuffer(make([]byte, 0, g.EncodedSize()))
+	w := func(v uint64) { _ = binary.Write(buf, binary.LittleEndian, v) }
+	w(serialMagic)
+	w(uint64(g.d))
+	w(uint64(g.NumFunctions()))
+	w(uint64(g.NumVariables()))
+	w(uint64(g.NumEdges()))
+	wi := func(xs []int) {
+		for _, x := range xs {
+			w(uint64(x))
+		}
+	}
+	wf := func(xs []float64) {
+		for _, x := range xs {
+			w(math.Float64bits(x))
+		}
+	}
+	wi(g.fEdgeStart)
+	wi(g.edgeVar)
+	wi(g.vEdgeStart)
+	wi(g.vEdges)
+	wf(g.Rho)
+	wf(g.Alpha)
+	wf(g.X)
+	wf(g.M)
+	wf(g.U)
+	wf(g.N)
+	wf(g.Z)
+	return buf.Bytes()
+}
+
+// Decode reconstructs a graph from a device image produced by Encode.
+// ops supplies the proximal operators in function-node order; its length
+// must match the encoded function count.
+func Decode(data []byte, ops []Op) (*Graph, error) {
+	r := bytes.NewReader(data)
+	var ru = func() (uint64, error) {
+		var v uint64
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	magic, err := ru()
+	if err != nil {
+		return nil, fmt.Errorf("graph: decode header: %w", err)
+	}
+	if magic != serialMagic {
+		return nil, errors.New("graph: bad magic in device image")
+	}
+	d64, err := ru()
+	if err != nil {
+		return nil, err
+	}
+	nF64, err := ru()
+	if err != nil {
+		return nil, err
+	}
+	nV64, err := ru()
+	if err != nil {
+		return nil, err
+	}
+	nE64, err := ru()
+	if err != nil {
+		return nil, err
+	}
+	d, nF, nV, nE := int(d64), int(nF64), int(nV64), int(nE64)
+	if d <= 0 || nF <= 0 || nV <= 0 || nE <= 0 {
+		return nil, fmt.Errorf("graph: corrupt image header (d=%d F=%d V=%d E=%d)", d, nF, nV, nE)
+	}
+	if len(ops) != nF {
+		return nil, fmt.Errorf("graph: decode got %d ops, image has %d functions", len(ops), nF)
+	}
+	ri := func(n int) ([]int, error) {
+		out := make([]int, n)
+		for i := range out {
+			v, err := ru()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = int(v)
+		}
+		return out, nil
+	}
+	rf := func(n int) ([]float64, error) {
+		out := make([]float64, n)
+		for i := range out {
+			v, err := ru()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = math.Float64frombits(v)
+		}
+		return out, nil
+	}
+	g := &Graph{d: d, numVars: nV, ops: append([]Op(nil), ops...)}
+	if g.fEdgeStart, err = ri(nF + 1); err != nil {
+		return nil, err
+	}
+	if g.edgeVar, err = ri(nE); err != nil {
+		return nil, err
+	}
+	if g.vEdgeStart, err = ri(nV + 1); err != nil {
+		return nil, err
+	}
+	if g.vEdges, err = ri(nE); err != nil {
+		return nil, err
+	}
+	if g.Rho, err = rf(nE); err != nil {
+		return nil, err
+	}
+	if g.Alpha, err = rf(nE); err != nil {
+		return nil, err
+	}
+	if g.X, err = rf(nE * d); err != nil {
+		return nil, err
+	}
+	if g.M, err = rf(nE * d); err != nil {
+		return nil, err
+	}
+	if g.U, err = rf(nE * d); err != nil {
+		return nil, err
+	}
+	if g.N, err = rf(nE * d); err != nil {
+		return nil, err
+	}
+	if g.Z, err = rf(nV * d); err != nil {
+		return nil, err
+	}
+	g.finalized = true
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: decoded image invalid: %w", err)
+	}
+	return g, nil
+}

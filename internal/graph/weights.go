@@ -1,0 +1,23 @@
+package graph
+
+// WeightClass classifies one outgoing message under the three-weight
+// scheme of Derbinsky et al. (the paper's reference [9], which Section II
+// notes parADMM can implement): zero = "no opinion", standard = the
+// usual finite rho, infinite = "certain". The TWA engine in
+// internal/admm interprets these during the z- and u-updates.
+type WeightClass uint8
+
+// Message weight classes.
+const (
+	WeightStandard WeightClass = iota
+	WeightZero
+	WeightInf
+)
+
+// WeightSetter is optionally implemented by proximal operators that
+// classify their outgoing messages after each Eval. x and n are the same
+// slices Eval saw; out has one entry per incident edge and arrives
+// pre-filled with WeightStandard.
+type WeightSetter interface {
+	Weights(x, n []float64, rho []float64, d int, out []WeightClass)
+}

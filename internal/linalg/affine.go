@@ -1,0 +1,159 @@
+package linalg
+
+import "fmt"
+
+// AffineProjector computes weighted projections onto an affine subspace
+// {v : C v = d}. Given per-coordinate weights rho (the ADMM edge
+// penalties), the projection solves
+//
+//	argmin_v  sum_i rho_i/2 (v_i - n_i)^2   s.t.  C v = d
+//
+// whose closed form is v = n - W C^T (C W C^T)^{-1} (C n - d) with
+// W = diag(1/rho). The C matrix is fixed at construction; the weights may
+// either be fixed (Precompute) or supplied per call (ProjectWeighted).
+//
+// This is the workhorse behind the MPC linear-dynamics proximal operator
+// (paper Appendix B) and the generic affine-equality operator in
+// internal/prox.
+type AffineProjector struct {
+	C *Mat      // m x n constraint matrix
+	D []float64 // length m right-hand side
+
+	// Cached factorization for fixed weights (nil until Precompute).
+	fixedW  []float64
+	fixedCh *Cholesky
+	wct     *Mat // W C^T, n x m, for the fixed-weight fast path
+}
+
+// NewAffineProjector builds a projector for {v : C v = d}. C must have
+// full row rank for the projection to be well defined; rank deficiency
+// surfaces as a factorization error at Precompute/Project time.
+func NewAffineProjector(c *Mat, d []float64) (*AffineProjector, error) {
+	if len(d) != c.Rows {
+		return nil, fmt.Errorf("linalg: affine projector rhs length %d != rows %d", len(d), c.Rows)
+	}
+	dd := make([]float64, len(d))
+	copy(dd, d)
+	return &AffineProjector{C: c, D: dd}, nil
+}
+
+// Precompute factors the Gram matrix C W C^T for fixed weights rho
+// (len n). Subsequent Project calls reuse the factorization, which is the
+// common case in the ADMM where per-edge rho is constant across
+// iterations.
+func (p *AffineProjector) Precompute(rho []float64) error {
+	n := p.C.Cols
+	if len(rho) != n {
+		return fmt.Errorf("linalg: affine projector got %d weights, want %d", len(rho), n)
+	}
+	w := make([]float64, n)
+	for i, r := range rho {
+		if r <= 0 {
+			return fmt.Errorf("linalg: nonpositive weight rho[%d]=%g", i, r)
+		}
+		w[i] = 1 / r
+	}
+	gram, wct := p.gram(w)
+	ch, err := NewCholesky(gram)
+	if err != nil {
+		return fmt.Errorf("linalg: affine projector gram factorization: %w", err)
+	}
+	p.fixedW, p.fixedCh, p.wct = w, ch, wct
+	return nil
+}
+
+// gram computes G = C W C^T (m x m) and W C^T (n x m).
+func (p *AffineProjector) gram(w []float64) (g, wct *Mat) {
+	m, n := p.C.Rows, p.C.Cols
+	wct = NewMat(n, m)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			wct.Data[j*m+i] = w[j] * p.C.At(i, j)
+		}
+	}
+	g = NewMat(m, m)
+	for i := 0; i < m; i++ {
+		for k := 0; k <= i; k++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += p.C.At(i, j) * wct.At(j, k)
+			}
+			g.Set(i, k, s)
+			g.Set(k, i, s)
+		}
+	}
+	return g, wct
+}
+
+// Project overwrites v with the weighted projection of v onto the
+// subspace, using the weights passed to Precompute. scratch must have
+// length >= C.Rows and is clobbered.
+func (p *AffineProjector) Project(v, scratch []float64) {
+	if p.fixedCh == nil {
+		panic("linalg: AffineProjector.Project before Precompute")
+	}
+	m := p.C.Rows
+	r := scratch[:m]
+	p.C.MulVec(r, v)
+	for i := range r {
+		r[i] -= p.D[i]
+	}
+	p.fixedCh.Solve(r)
+	// v -= W C^T lambda.
+	for j := 0; j < p.C.Cols; j++ {
+		row := p.wct.Row(j)
+		var s float64
+		for i, rv := range r {
+			s += row[i] * rv
+		}
+		v[j] -= s
+	}
+}
+
+// ProjectWeighted projects v with per-call weights rho (len n), factoring
+// the Gram matrix on the fly. Use Precompute+Project when weights are
+// static.
+func (p *AffineProjector) ProjectWeighted(v, rho []float64) error {
+	n := p.C.Cols
+	if len(rho) != n {
+		return fmt.Errorf("linalg: ProjectWeighted got %d weights, want %d", len(rho), n)
+	}
+	w := make([]float64, n)
+	for i, r := range rho {
+		if r <= 0 {
+			return fmt.Errorf("linalg: nonpositive weight rho[%d]=%g", i, r)
+		}
+		w[i] = 1 / r
+	}
+	gram, wct := p.gram(w)
+	ch, err := NewCholesky(gram)
+	if err != nil {
+		return err
+	}
+	m := p.C.Rows
+	r := make([]float64, m)
+	p.C.MulVec(r, v)
+	for i := range r {
+		r[i] -= p.D[i]
+	}
+	ch.Solve(r)
+	for j := 0; j < n; j++ {
+		row := wct.Row(j)
+		var s float64
+		for i, rv := range r {
+			s += row[i] * rv
+		}
+		v[j] -= s
+	}
+	return nil
+}
+
+// Residual returns max_i |(C v - d)_i|, a feasibility measure.
+func (p *AffineProjector) Residual(v []float64) float64 {
+	r := make([]float64, p.C.Rows)
+	p.C.MulVec(r, v)
+	for i := range r {
+		r[i] -= p.D[i]
+	}
+	return MaxAbs(r)
+}

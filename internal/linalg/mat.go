@@ -1,0 +1,316 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mat is a dense, row-major matrix. The zero value is an empty matrix.
+// Matrices in this repository are small (dynamics projections, local
+// quadratic solves), so all algorithms are straightforward O(n^3) dense
+// routines with partial pivoting where needed.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMat returns a zeroed r-by-c matrix.
+func NewMat(r, c int) *Mat {
+	if r < 0 || c < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &Mat{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// MatFromRows builds a matrix from row slices, which must all share one
+// length. The data is copied.
+func MatFromRows(rows [][]float64) *Mat {
+	r := len(rows)
+	if r == 0 {
+		return NewMat(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMat(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("linalg: ragged rows in MatFromRows")
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Eye returns the n-by-n identity matrix.
+func Eye(n int) *Mat {
+	m := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (no copy).
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Mat) T() *Mat {
+	out := NewMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// MulVec computes dst = m * x. dst must have length m.Rows and must not
+// alias x.
+func (m *Mat) MulVec(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVec shape mismatch: %dx%d by %d into %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// Mul returns the product a*b as a new matrix.
+func Mul(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a+b as a new matrix.
+func Add(a, b *Mat) *Mat {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("linalg: Add shape mismatch")
+	}
+	out := NewMat(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Scale returns alpha*a as a new matrix.
+func Scale(a *Mat, alpha float64) *Mat {
+	out := a.Clone()
+	for i := range out.Data {
+		out.Data[i] *= alpha
+	}
+	return out
+}
+
+// String renders the matrix for debugging.
+func (m *Mat) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		fmt.Fprintf(&b, "%v\n", m.Row(i))
+	}
+	return b.String()
+}
+
+// Cholesky holds the lower-triangular Cholesky factor of a symmetric
+// positive-definite matrix, for repeated solves.
+type Cholesky struct {
+	n int
+	l []float64 // row-major lower triangle (full storage)
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a (only the
+// lower triangle is read). It returns an error if a is not (numerically)
+// positive definite.
+func NewCholesky(a *Mat) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				// Relative pivot tolerance: exact-arithmetic-singular
+				// matrices can yield tiny positive pivots under roundoff.
+				if s <= 1e-13*math.Abs(a.At(i, i)) {
+					return nil, fmt.Errorf("linalg: matrix not positive definite (pivot %d = %g)", i, s)
+				}
+				l[i*n+i] = math.Sqrt(s)
+			} else {
+				l[i*n+j] = s / l[j*n+j]
+			}
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Solve solves A x = b in place: on return, b holds x.
+func (c *Cholesky) Solve(b []float64) {
+	n := c.n
+	if len(b) != n {
+		panic("linalg: Cholesky.Solve length mismatch")
+	}
+	// Forward: L y = b.
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l[i*n+k] * b[k]
+		}
+		b[i] = s / c.l[i*n+i]
+	}
+	// Backward: L^T x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l[k*n+i] * b[k]
+		}
+		b[i] = s / c.l[i*n+i]
+	}
+}
+
+// N returns the dimension of the factored matrix.
+func (c *Cholesky) N() int { return c.n }
+
+// LU holds an LU factorization with partial pivoting of a square matrix.
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	sign int
+}
+
+// NewLU factors a square matrix with partial pivoting. It returns an
+// error if the matrix is singular to working precision.
+func NewLU(a *Mat) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: LU needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := make([]float64, n*n)
+	copy(lu, a.Data)
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for col := 0; col < n; col++ {
+		// Pivot search.
+		p := col
+		max := math.Abs(lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu[r*n+col]); v > max {
+				max, p = v, r
+			}
+		}
+		if max == 0 {
+			return nil, fmt.Errorf("linalg: singular matrix at column %d", col)
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				lu[p*n+j], lu[col*n+j] = lu[col*n+j], lu[p*n+j]
+			}
+			piv[p], piv[col] = piv[col], piv[p]
+			sign = -sign
+		}
+		pivVal := lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := lu[r*n+col] / pivVal
+			lu[r*n+col] = f
+			for j := col + 1; j < n; j++ {
+				lu[r*n+j] -= f * lu[col*n+j]
+			}
+		}
+	}
+	return &LU{n: n, lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve solves A x = b, writing the solution into dst (which may alias b).
+func (f *LU) Solve(dst, b []float64) {
+	n := f.n
+	if len(b) != n || len(dst) != n {
+		panic("linalg: LU.Solve length mismatch")
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= f.lu[i*n+k] * x[k]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= f.lu[i*n+k] * x[k]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+	copy(dst, x)
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// SolveSPD is a convenience that factors a (symmetric positive definite)
+// and solves a single right-hand side, returning a fresh solution slice.
+func SolveSPD(a *Mat, b []float64) ([]float64, error) {
+	ch, err := NewCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(b))
+	copy(x, b)
+	ch.Solve(x)
+	return x, nil
+}

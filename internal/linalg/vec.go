@@ -1,0 +1,164 @@
+// Package linalg provides the small dense linear-algebra substrate used by
+// the proximal operators and problem builders in this repository.
+//
+// The package is deliberately minimal and allocation-conscious: the ADMM
+// inner loops evaluate proximal operators millions of times, so every
+// routine here works on caller-provided slices and avoids hidden
+// allocation. Matrices are dense, row-major, and small (the paper's MPC
+// dynamics projections involve 4x4 .. 10x10 systems); there is no attempt
+// at blocking or SIMD beyond what the compiler provides.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. The slices must have equal
+// length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v, guarding against overflow for
+// large components by scaling.
+func Norm2(v []float64) float64 {
+	var scale, ssq float64 = 0, 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Norm2Sq returns the squared Euclidean norm of v.
+func Norm2Sq(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+// Dist2 returns the Euclidean distance between a and b.
+func Dist2(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dist2 length mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// AxpyTo computes dst = a + alpha*x elementwise. dst, a and x must have
+// equal length; dst may alias a or x.
+func AxpyTo(dst, a, x []float64, alpha float64) {
+	if len(dst) != len(a) || len(a) != len(x) {
+		panic("linalg: AxpyTo length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] + alpha*x[i]
+	}
+}
+
+// ScaleTo computes dst = alpha*x. dst may alias x.
+func ScaleTo(dst, x []float64, alpha float64) {
+	if len(dst) != len(x) {
+		panic("linalg: ScaleTo length mismatch")
+	}
+	for i := range dst {
+		dst[i] = alpha * x[i]
+	}
+}
+
+// AddTo computes dst = a + b elementwise.
+func AddTo(dst, a, b []float64) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("linalg: AddTo length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// SubTo computes dst = a - b elementwise.
+func SubTo(dst, a, b []float64) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("linalg: SubTo length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Fill sets every element of v to c.
+func Fill(v []float64, c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// MaxAbs returns the largest absolute value in v, or 0 for an empty slice.
+func MaxAbs(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Clamp returns x restricted to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// SoftThreshold returns the scalar soft-thresholding operator
+// sign(x)*max(|x|-t, 0), the proximal map of t*|x|.
+func SoftThreshold(x, t float64) float64 {
+	switch {
+	case x > t:
+		return x - t
+	case x < -t:
+		return x + t
+	default:
+		return 0
+	}
+}
+
+// AllFinite reports whether every element of v is finite (not NaN/Inf).
+func AllFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

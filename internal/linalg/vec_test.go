@@ -1,0 +1,164 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %g, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %g, want 0", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); !almostEq(got, 5, 1e-14) {
+		t.Fatalf("Norm2 = %g, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Fatalf("Norm2(nil) = %g, want 0", got)
+	}
+	// Overflow guard: naive sum of squares would overflow here.
+	big := []float64{1e200, 1e200}
+	want := 1e200 * math.Sqrt2
+	if got := Norm2(big); !almostEq(got, want, 1e-14) {
+		t.Fatalf("Norm2(big) = %g, want %g", got, want)
+	}
+}
+
+func TestNorm2MatchesNorm2Sq(t *testing.T) {
+	f := func(v []float64) bool {
+		for i := range v {
+			v[i] = math.Mod(v[i], 1e6) // keep magnitudes sane
+			if math.IsNaN(v[i]) {
+				v[i] = 0
+			}
+		}
+		n := Norm2(v)
+		return almostEq(n*n, Norm2Sq(v), 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDist2(t *testing.T) {
+	a := []float64{1, 1}
+	b := []float64{4, 5}
+	if got := Dist2(a, b); !almostEq(got, 5, 1e-14) {
+		t.Fatalf("Dist2 = %g, want 5", got)
+	}
+}
+
+func TestAxpyScaleAddSub(t *testing.T) {
+	a := []float64{1, 2, 3}
+	x := []float64{10, 20, 30}
+	dst := make([]float64, 3)
+	AxpyTo(dst, a, x, 0.5)
+	for i, want := range []float64{6, 12, 18} {
+		if dst[i] != want {
+			t.Fatalf("AxpyTo[%d] = %g, want %g", i, dst[i], want)
+		}
+	}
+	ScaleTo(dst, a, 2)
+	if dst[2] != 6 {
+		t.Fatalf("ScaleTo = %v", dst)
+	}
+	AddTo(dst, a, x)
+	if dst[0] != 11 || dst[2] != 33 {
+		t.Fatalf("AddTo = %v", dst)
+	}
+	SubTo(dst, x, a)
+	if dst[0] != 9 || dst[2] != 27 {
+		t.Fatalf("SubTo = %v", dst)
+	}
+}
+
+func TestAxpyAliasing(t *testing.T) {
+	a := []float64{1, 2, 3}
+	AxpyTo(a, a, a, 1) // a = 2a
+	if a[0] != 2 || a[1] != 4 || a[2] != 6 {
+		t.Fatalf("aliased AxpyTo = %v", a)
+	}
+}
+
+func TestFillMaxAbs(t *testing.T) {
+	v := make([]float64, 4)
+	Fill(v, -3)
+	if MaxAbs(v) != 3 {
+		t.Fatalf("MaxAbs = %g", MaxAbs(v))
+	}
+	if MaxAbs(nil) != 0 {
+		t.Fatal("MaxAbs(nil) != 0")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5}, {-1, 0, 10, 0}, {11, 0, 10, 10}, {0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%g,%g,%g) = %g, want %g", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestSoftThreshold(t *testing.T) {
+	cases := []struct{ x, t, want float64 }{
+		{3, 1, 2}, {-3, 1, -2}, {0.5, 1, 0}, {-0.5, 1, 0}, {1, 1, 0},
+	}
+	for _, c := range cases {
+		if got := SoftThreshold(c.x, c.t); got != c.want {
+			t.Errorf("SoftThreshold(%g,%g) = %g, want %g", c.x, c.t, got, c.want)
+		}
+	}
+}
+
+// Property: soft-thresholding is the prox of t*|x|; verify optimality by
+// comparing the objective at the prox point against nearby points.
+func TestSoftThresholdIsProx(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	obj := func(s, x, tt float64) float64 { return tt*math.Abs(s) + 0.5*(s-x)*(s-x) }
+	for i := 0; i < 200; i++ {
+		x := rng.NormFloat64() * 3
+		tt := rng.Float64() * 2
+		s := SoftThreshold(x, tt)
+		fs := obj(s, x, tt)
+		for _, d := range []float64{-0.1, -0.01, 0.01, 0.1} {
+			if obj(s+d, x, tt) < fs-1e-12 {
+				t.Fatalf("prox point not optimal: x=%g t=%g s=%g", x, tt, s)
+			}
+		}
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, 2, 3}) {
+		t.Fatal("finite slice reported non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Fatal("NaN not detected")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Fatal("Inf not detected")
+	}
+}

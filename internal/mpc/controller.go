@@ -1,0 +1,70 @@
+package mpc
+
+import (
+	"fmt"
+
+	"repro/internal/admm"
+)
+
+// Controller runs the paper's real-time receding-horizon pattern: the
+// factor-graph is built (and, on a GPU, copied) once; each control cycle
+// updates only the measured initial state and runs a few more ADMM
+// iterations warm-started from the previous cycle's solution.
+type Controller struct {
+	Prob *Problem
+	// WarmupIters is the iteration budget for the first solve.
+	WarmupIters int
+	// CycleIters is the per-cycle refinement budget.
+	CycleIters int
+	// Backend executes iterations (nil = serial).
+	Backend admm.Backend
+
+	started bool
+}
+
+// NewController validates and builds a controller.
+func NewController(p *Problem, warmup, perCycle int) (*Controller, error) {
+	if warmup <= 0 || perCycle <= 0 {
+		return nil, fmt.Errorf("mpc: iteration budgets must be positive (got %d, %d)", warmup, perCycle)
+	}
+	return &Controller{Prob: p, WarmupIters: warmup, CycleIters: perCycle}, nil
+}
+
+// Step measures state q, refines the plan, and returns the input to
+// apply now (the first planned input).
+func (c *Controller) Step(q []float64) (float64, error) {
+	c.Prob.SetInitialState(q)
+	iters := c.CycleIters
+	if !c.started {
+		iters = c.WarmupIters
+		c.started = true
+	}
+	_, err := admm.Run(c.Prob.Graph, admm.Options{MaxIter: iters, Backend: c.Backend})
+	if err != nil {
+		return 0, err
+	}
+	return c.Prob.Input(0), nil
+}
+
+// SimulateClosedLoop drives the true (linearized) plant from q0 for the
+// given number of cycles, returning the state trajectory (cycles+1
+// states) and applied inputs.
+func SimulateClosedLoop(c *Controller, q0 []float64, cycles int) ([][]float64, []float64, error) {
+	if len(q0) != StateDim {
+		return nil, nil, fmt.Errorf("mpc: bad initial state length %d", len(q0))
+	}
+	q := append([]float64(nil), q0...)
+	traj := make([][]float64, 0, cycles+1)
+	traj = append(traj, append([]float64(nil), q...))
+	inputs := make([]float64, 0, cycles)
+	for k := 0; k < cycles; k++ {
+		u, err := c.Step(q)
+		if err != nil {
+			return nil, nil, err
+		}
+		StepDynamics(c.Prob.Cfg.A, c.Prob.Cfg.B, q, u)
+		traj = append(traj, append([]float64(nil), q...))
+		inputs = append(inputs, u)
+	}
+	return traj, inputs, nil
+}

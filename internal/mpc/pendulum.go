@@ -1,0 +1,91 @@
+// Package mpc builds the paper's optimal-control workload (Section V-B):
+// model-predictive control of a discrete-time linear system
+//
+//	q(t+1) - q(t) = A q(t) + B u(t)
+//
+// with quadratic stage costs, formulated as the factor-graph of Figure 9
+// (one variable node per time step holding the state-input pair, one
+// quadratic-cost function node per step, one linearized-dynamics node per
+// transition, and an initial-condition clamp). The number of graph
+// elements grows linearly with the prediction horizon K, which the paper
+// sweeps from 200 to 1e5.
+package mpc
+
+import "repro/internal/linalg"
+
+// StateDim and InputDim match the paper's test system: A in R^{4x4},
+// B in R^{4x1} from linearizing and sampling an inverted pendulum.
+const (
+	StateDim = 4
+	InputDim = 1
+	// BlockDim is the per-edge block width: (q, u) packed together.
+	BlockDim = StateDim + InputDim
+)
+
+// Pendulum holds the physical parameters of a cart-pole (inverted
+// pendulum on a cart): the classic benchmark the paper linearizes.
+type Pendulum struct {
+	CartMass   float64 // M, kg
+	PoleMass   float64 // m, kg
+	Friction   float64 // b, N/m/s
+	PoleLength float64 // l, m (to center of mass)
+	Inertia    float64 // I, kg m^2
+	Gravity    float64 // g, m/s^2
+}
+
+// DefaultPendulum returns the standard benchmark parameters.
+func DefaultPendulum() Pendulum {
+	return Pendulum{
+		CartMass:   0.5,
+		PoleMass:   0.2,
+		Friction:   0.1,
+		PoleLength: 0.3,
+		Inertia:    0.006,
+		Gravity:    9.8,
+	}
+}
+
+// Linearize returns the continuous-time dynamics matrices (Ac, Bc) of
+// the pendulum linearized around the upright equilibrium, with state
+// (cart position, cart velocity, pole angle, pole angular velocity).
+func (p Pendulum) Linearize() (ac, bc *linalg.Mat) {
+	den := p.Inertia*(p.CartMass+p.PoleMass) + p.CartMass*p.PoleMass*p.PoleLength*p.PoleLength
+	iml2 := p.Inertia + p.PoleMass*p.PoleLength*p.PoleLength
+	ac = linalg.MatFromRows([][]float64{
+		{0, 1, 0, 0},
+		{0, -iml2 * p.Friction / den, p.PoleMass * p.PoleMass * p.Gravity * p.PoleLength * p.PoleLength / den, 0},
+		{0, 0, 0, 1},
+		{0, -p.PoleMass * p.PoleLength * p.Friction / den, p.PoleMass * p.Gravity * p.PoleLength * (p.CartMass + p.PoleMass) / den, 0},
+	})
+	bc = linalg.MatFromRows([][]float64{
+		{0},
+		{iml2 / den},
+		{0},
+		{p.PoleMass * p.PoleLength / den},
+	})
+	return ac, bc
+}
+
+// Discretize samples the continuous dynamics with period dt (the paper
+// uses 40 ms) in the paper's difference form: q(t+1) - q(t) = A q + B u,
+// i.e. A = dt*Ac, B = dt*Bc (first-order hold).
+func Discretize(ac, bc *linalg.Mat, dt float64) (a, b *linalg.Mat) {
+	return linalg.Scale(ac, dt), linalg.Scale(bc, dt)
+}
+
+// PaperSystem returns the A, B the paper's experiments use: the default
+// pendulum linearized and sampled at 40 ms.
+func PaperSystem() (a, b *linalg.Mat) {
+	ac, bc := DefaultPendulum().Linearize()
+	return Discretize(ac, bc, 0.040)
+}
+
+// StepDynamics advances the true (linearized) plant one step in place:
+// q <- q + A q + B u.
+func StepDynamics(a, b *linalg.Mat, q []float64, u float64) {
+	dq := make([]float64, StateDim)
+	a.MulVec(dq, q)
+	for i := 0; i < StateDim; i++ {
+		q[i] += dq[i] + b.At(i, 0)*u
+	}
+}

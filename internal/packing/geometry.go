@@ -1,0 +1,126 @@
+// Package packing builds the paper's combinatorial-optimization workload
+// (Section V-A): pack N non-overlapping disks inside a triangle so they
+// cover the largest area, formulated as the NP-hard optimization of
+// Figure 6 and solved heuristically with the message-passing ADMM.
+//
+// Factor-graph shape (paper, Section V-A): for N circles and a container
+// cut out by S halfplanes there are 2N variable nodes (one center node
+// and one radius node per circle), N(N-1)/2 pairwise no-collision
+// function nodes, N*S wall nodes and N radius-reward nodes, giving
+// 2N^2 - N + 2NS edges — quadratic growth in N, the regime the paper
+// calls ideal for fine-grained parallelism.
+package packing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 2-D point.
+type Point struct{ X, Y float64 }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Dot returns the inner product.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Norm returns the Euclidean norm.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Halfplane is {x : Q . (x - V) >= 0} with unit inward normal Q anchored
+// at V — the paper's wall specification (normal direction Q_s, point V_s).
+type Halfplane struct {
+	Q Point // unit inward normal
+	V Point // a point on the wall
+}
+
+// SignedDist returns Q . (p - V): positive inside.
+func (h Halfplane) SignedDist(p Point) float64 { return h.Q.Dot(p.Sub(h.V)) }
+
+// Container is a convex region cut out by halfplanes.
+type Container struct {
+	Walls    []Halfplane
+	Vertices []Point // polygon vertices, for area and sampling
+}
+
+// Triangle returns the container for the triangle with the given
+// vertices (counter-clockwise or clockwise; normals are oriented inward
+// automatically).
+func Triangle(a, b, c Point) (Container, error) {
+	verts := []Point{a, b, c}
+	if math.Abs(cross(b.Sub(a), c.Sub(a))) < 1e-12 {
+		return Container{}, fmt.Errorf("packing: degenerate triangle %v %v %v", a, b, c)
+	}
+	walls := make([]Halfplane, 3)
+	for i := 0; i < 3; i++ {
+		p, q := verts[i], verts[(i+1)%3]
+		opp := verts[(i+2)%3]
+		edge := q.Sub(p)
+		n := Point{-edge.Y, edge.X}
+		ln := n.Norm()
+		n = Point{n.X / ln, n.Y / ln}
+		if n.Dot(opp.Sub(p)) < 0 {
+			n = Point{-n.X, -n.Y}
+		}
+		walls[i] = Halfplane{Q: n, V: p}
+	}
+	return Container{Walls: walls, Vertices: verts}, nil
+}
+
+// UnitTriangle returns the equilateral triangle with unit sides used as
+// the default container in examples and benches.
+func UnitTriangle() Container {
+	c, err := Triangle(Point{0, 0}, Point{1, 0}, Point{0.5, math.Sqrt(3) / 2})
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func cross(a, b Point) float64 { return a.X*b.Y - a.Y*b.X }
+
+// Area returns the polygon area of the container.
+func (c Container) Area() float64 {
+	var s float64
+	n := len(c.Vertices)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		s += cross(c.Vertices[i], c.Vertices[j])
+	}
+	return math.Abs(s) / 2
+}
+
+// Contains reports whether p lies inside (or within tol of) every wall.
+func (c Container) Contains(p Point, tol float64) bool {
+	for _, w := range c.Walls {
+		if w.SignedDist(p) < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Centroid returns the vertex centroid.
+func (c Container) Centroid() Point {
+	var s Point
+	for _, v := range c.Vertices {
+		s.X += v.X
+		s.Y += v.Y
+	}
+	n := float64(len(c.Vertices))
+	return Point{s.X / n, s.Y / n}
+}
+
+// InRadius returns the radius of the largest disk centered at the
+// centroid that fits inside the container (a convenient scale reference).
+func (c Container) InRadius() float64 {
+	ctr := c.Centroid()
+	r := math.Inf(1)
+	for _, w := range c.Walls {
+		if d := w.SignedDist(ctr); d < r {
+			r = d
+		}
+	}
+	return r
+}

@@ -1,0 +1,418 @@
+package packing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/admm"
+	"repro/internal/graph"
+)
+
+func TestTriangleNormalsPointInward(t *testing.T) {
+	c := UnitTriangle()
+	ctr := c.Centroid()
+	for i, w := range c.Walls {
+		if w.SignedDist(ctr) <= 0 {
+			t.Errorf("wall %d: centroid on wrong side (%g)", i, w.SignedDist(ctr))
+		}
+		if math.Abs(w.Q.Norm()-1) > 1e-12 {
+			t.Errorf("wall %d: normal not unit (%g)", i, w.Q.Norm())
+		}
+	}
+}
+
+func TestTriangleDegenerate(t *testing.T) {
+	if _, err := Triangle(Point{0, 0}, Point{1, 1}, Point{2, 2}); err == nil {
+		t.Fatal("expected degeneracy error")
+	}
+}
+
+func TestContainerAreaAndContains(t *testing.T) {
+	c := UnitTriangle()
+	want := math.Sqrt(3) / 4
+	if math.Abs(c.Area()-want) > 1e-12 {
+		t.Fatalf("area = %g, want %g", c.Area(), want)
+	}
+	if !c.Contains(c.Centroid(), 0) {
+		t.Fatal("centroid not contained")
+	}
+	if c.Contains(Point{5, 5}, 0) {
+		t.Fatal("far point contained")
+	}
+	if c.InRadius() <= 0 {
+		t.Fatal("inradius not positive")
+	}
+}
+
+func TestExpectedShapeFormula(t *testing.T) {
+	// Paper: 2N^2 - N + 2NS edges, 2N variables, N(N-1)/2 + N + NS funcs.
+	for _, n := range []int{1, 2, 5, 50} {
+		f, v, e := ExpectedShape(n, 3)
+		if v != 2*n {
+			t.Fatalf("N=%d: vars %d", n, v)
+		}
+		if e != 2*n*n-n+6*n {
+			t.Fatalf("N=%d: edges %d", n, e)
+		}
+		if f != n*(n-1)/2+4*n {
+			t.Fatalf("N=%d: funcs %d", n, f)
+		}
+	}
+}
+
+func TestBuildMatchesPaperShape(t *testing.T) {
+	for _, n := range []int{1, 3, 10, 40} {
+		p, err := Build(Config{N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := p.Graph
+		wantF, wantV, wantE := ExpectedShape(n, 3)
+		if g.NumFunctions() != wantF || g.NumVariables() != wantV || g.NumEdges() != wantE {
+			t.Fatalf("N=%d: got F=%d V=%d E=%d, want %d/%d/%d",
+				n, g.NumFunctions(), g.NumVariables(), g.NumEdges(), wantF, wantV, wantE)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Config{N: 0}); err == nil {
+		t.Fatal("expected N error")
+	}
+	if _, err := Build(Config{N: 2, Rho: 0.3, Delta: 0.5}); err == nil {
+		t.Fatal("expected rho<=delta error")
+	}
+}
+
+func TestCollisionOpFeasibleIdentity(t *testing.T) {
+	op := CollisionOp{}
+	d := 2
+	// Circles far apart.
+	n := []float64{0, 0, 0.1, 7, 3, 0, 0.1, 9}
+	x := make([]float64, 8)
+	op.Eval(x, n, []float64{1, 1, 1, 1}, d)
+	for i := range n {
+		if x[i] != n[i] {
+			t.Fatalf("feasible input moved: %v -> %v", n, x)
+		}
+	}
+}
+
+func TestCollisionOpResolvesOverlapExactly(t *testing.T) {
+	op := CollisionOp{}
+	d := 2
+	// Overlapping circles on the x-axis.
+	n := []float64{0, 0, 1, 0, 1, 0, 1, 0} // c1=(0,0) r1=1, c2=(1,0) r2=1
+	x := make([]float64, 8)
+	rho := []float64{2, 1, 1, 3}
+	op.Eval(x, n, rho, d)
+	// Constraint must be active: dist == r1 + r2.
+	dx, dy := x[0]-x[4], x[1]-x[5]
+	dist := math.Hypot(dx, dy)
+	if math.Abs(dist-(x[2]+x[6])) > 1e-12 {
+		t.Fatalf("constraint not tight: dist %g, radii sum %g", dist, x[2]+x[6])
+	}
+	// Radii must shrink (the paper's printed formula would grow them).
+	if x[2] >= 1 || x[6] >= 1 {
+		t.Fatalf("radii did not shrink: %g, %g", x[2], x[6])
+	}
+	// Stationarity: each coordinate moved by alpha/rho in the right
+	// direction — center displacements inversely proportional to rho.
+	move1 := math.Hypot(x[0]-0, x[1]-0)
+	move2 := math.Hypot(x[4]-1, x[5]-0)
+	if math.Abs(move1*rho[0]-move2*rho[2]) > 1e-9 {
+		t.Fatalf("center moves not rho-weighted: %g*%g vs %g*%g", move1, rho[0], move2, rho[2])
+	}
+}
+
+func TestCollisionOpCoincidentCenters(t *testing.T) {
+	op := CollisionOp{}
+	n := []float64{0.5, 0.5, 1, 0, 0.5, 0.5, 1, 0}
+	x := make([]float64, 8)
+	op.Eval(x, n, []float64{1, 1, 1, 1}, 2)
+	for _, v := range x {
+		if math.IsNaN(v) {
+			t.Fatalf("NaN on coincident centers: %v", x)
+		}
+	}
+	dist := math.Hypot(x[0]-x[4], x[1]-x[5])
+	if math.Abs(dist-(x[2]+x[6])) > 1e-12 {
+		t.Fatalf("constraint not resolved for coincident centers")
+	}
+}
+
+func TestCollisionOpIsProjectionForEqualRho(t *testing.T) {
+	// With all rho equal the output is the Euclidean projection: verify
+	// optimality against random feasible perturbations.
+	rng := rand.New(rand.NewSource(4))
+	op := CollisionOp{}
+	for trial := 0; trial < 50; trial++ {
+		n := make([]float64, 8)
+		for i := range n {
+			n[i] = rng.NormFloat64()
+		}
+		n[2], n[6] = math.Abs(n[2]), math.Abs(n[6])
+		x := make([]float64, 8)
+		op.Eval(x, n, []float64{1, 1, 1, 1}, 2)
+		base := dist2sq(x, n)
+		for k := 0; k < 100; k++ {
+			pert := make([]float64, 8)
+			copy(pert, x)
+			for i := range pert {
+				pert[i] += rng.NormFloat64() * 0.03
+			}
+			// Check feasibility of perturbation.
+			dd := math.Hypot(pert[0]-pert[4], pert[1]-pert[5])
+			if dd < pert[2]+pert[6] {
+				continue
+			}
+			if dist2sq(pert, n) < base-1e-9 {
+				t.Fatalf("projection not optimal: %g < %g", dist2sq(pert, n), base)
+			}
+		}
+	}
+}
+
+func dist2sq(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func TestWallOpKeepsDiskInside(t *testing.T) {
+	w := WallOp{Wall: Halfplane{Q: Point{0, 1}, V: Point{0, 0}}} // y >= r
+	d := 2
+	// Disk poking through the floor: c=(0, 0.2), r=0.5.
+	n := []float64{0, 0.2, 0.5, 0}
+	x := make([]float64, 4)
+	w.Eval(x, n, []float64{1, 1}, d)
+	if got := x[1] - x[2]; math.Abs(got) > 1e-12 {
+		t.Fatalf("constraint not tight after projection: %g", got)
+	}
+	if x[2] >= 0.5 {
+		t.Fatalf("radius did not shrink: %g", x[2])
+	}
+	// Feasible disk untouched.
+	n2 := []float64{0, 3, 0.5, 0}
+	w.Eval(x, n2, []float64{1, 1}, d)
+	for i := range n2 {
+		if x[i] != n2[i] {
+			t.Fatalf("feasible disk moved")
+		}
+	}
+}
+
+func TestRadiusOpGrowsRadius(t *testing.T) {
+	op := RadiusOp{Delta: 0.5}
+	x := make([]float64, 2)
+	op.Eval(x, []float64{1, 0.3}, []float64{1}, 2)
+	if x[0] <= 1 {
+		t.Fatalf("reward did not grow radius: %g", x[0])
+	}
+	if x[1] != 0.3 {
+		t.Fatal("pad not passed through")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rho <= delta")
+		}
+	}()
+	op.Eval(x, []float64{1, 0}, []float64{0.4}, 2)
+}
+
+func TestRadiusOpClampsNegativeRadii(t *testing.T) {
+	// Regression: without the r >= 0 restriction, a negative radius is
+	// amplified by rho/(rho-delta) every iteration and diverges.
+	op := RadiusOp{Delta: 0.5}
+	x := make([]float64, 2)
+	op.Eval(x, []float64{-0.3, 0}, []float64{1}, 2)
+	if x[0] != 0 {
+		t.Fatalf("negative radius not clamped: %g", x[0])
+	}
+}
+
+func TestManySeedsStayBounded(t *testing.T) {
+	// Regression for the negative-radius runaway: several seeds and
+	// sizes must produce bounded, valid configurations.
+	for seed := int64(1); seed <= 3; seed++ {
+		p, err := Build(Config{N: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.InitRandom(rand.New(rand.NewSource(seed)))
+		if _, err := admm.Run(p.Graph, admm.Options{MaxIter: 4000}); err != nil {
+			t.Fatal(err)
+		}
+		v := p.CheckValidity()
+		if !v.Valid(1e-2) {
+			t.Fatalf("seed %d: invalid packing %+v", seed, v)
+		}
+		if math.Abs(v.MinRadius) > 1 {
+			t.Fatalf("seed %d: unbounded radius %g", seed, v.MinRadius)
+		}
+	}
+}
+
+func TestWeightsAbstainOnInactiveConstraints(t *testing.T) {
+	op := CollisionOp{}
+	d := 2
+	n := []float64{0, 0, 0.1, 7, 3, 0, 0.1, 9} // far apart
+	x := make([]float64, 8)
+	rho := []float64{1, 1, 1, 1}
+	op.Eval(x, n, rho, d)
+	out := make([]graph.WeightClass, 4)
+	op.Weights(x, n, rho, d, out)
+	for k, w := range out {
+		if w != graph.WeightZero {
+			t.Fatalf("inactive collision edge %d weight = %v, want zero", k, w)
+		}
+	}
+	// Active constraint keeps standard weights.
+	n2 := []float64{0, 0, 1, 0, 1, 0, 1, 0}
+	op.Eval(x, n2, rho, d)
+	for k := range out {
+		out[k] = graph.WeightStandard
+	}
+	op.Weights(x, n2, rho, d, out)
+	for k, w := range out {
+		if w != graph.WeightStandard {
+			t.Fatalf("active collision edge %d weight = %v, want standard", k, w)
+		}
+	}
+}
+
+func TestTWASolvesPacking(t *testing.T) {
+	p, err := Build(Config{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.InitRandom(rand.New(rand.NewSource(5)))
+	b := admm.NewTWA()
+	defer b.Close()
+	if _, err := admm.Run(p.Graph, admm.Options{MaxIter: 4000, Backend: b}); err != nil {
+		t.Fatal(err)
+	}
+	v := p.CheckValidity()
+	if !v.Valid(1e-2) {
+		t.Fatalf("TWA packing invalid: %+v", v)
+	}
+	if p.Coverage() < 0.3 {
+		t.Fatalf("TWA coverage %.2f too low", p.Coverage())
+	}
+}
+
+func TestOpValues(t *testing.T) {
+	if v := (CollisionOp{}).Value([]float64{0, 0, 1, 0, 5, 0, 1, 0}, 2); v != 0 {
+		t.Fatalf("feasible collision value = %g", v)
+	}
+	if v := (CollisionOp{}).Value([]float64{0, 0, 2, 0, 1, 0, 2, 0}, 2); !math.IsInf(v, 1) {
+		t.Fatalf("infeasible collision value = %g", v)
+	}
+	w := WallOp{Wall: Halfplane{Q: Point{0, 1}, V: Point{0, 0}}}
+	if v := w.Value([]float64{0, 5, 1, 0}, 2); v != 0 {
+		t.Fatalf("feasible wall value = %g", v)
+	}
+	if v := w.Value([]float64{0, 0.1, 1, 0}, 2); !math.IsInf(v, 1) {
+		t.Fatalf("infeasible wall value = %g", v)
+	}
+	r := RadiusOp{Delta: 2}
+	if v := r.Value([]float64{3, 0}, 2); v != -9 {
+		t.Fatalf("radius value = %g", v)
+	}
+}
+
+func TestSmallPackingSolvesToValidConfiguration(t *testing.T) {
+	p, err := Build(Config{N: 3, Rho: 1, Alpha: 1, Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.InitRandom(rand.New(rand.NewSource(7)))
+	if _, err := admm.Run(p.Graph, admm.Options{MaxIter: 3000}); err != nil {
+		t.Fatal(err)
+	}
+	v := p.CheckValidity()
+	if !v.Valid(1e-3) {
+		t.Fatalf("invalid packing after 3000 iters: %+v", v)
+	}
+	cov := p.Coverage()
+	if cov < 0.3 {
+		t.Fatalf("coverage %.3f too low for 3 disks in a triangle", cov)
+	}
+	if cov > 1 {
+		t.Fatalf("coverage %.3f exceeds container", cov)
+	}
+}
+
+func TestSingleDiskConvergesToInscribedCircle(t *testing.T) {
+	// One disk in the unit triangle should approach the incircle.
+	p, err := Build(Config{N: 1, Rho: 1, Alpha: 1, Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.InitRandom(rand.New(rand.NewSource(2)))
+	if _, err := admm.Run(p.Graph, admm.Options{MaxIter: 4000}); err != nil {
+		t.Fatal(err)
+	}
+	inr := p.Cfg.Container.InRadius() // incircle radius of equilateral = height/3
+	if got := p.Radius(0); math.Abs(got-inr) > 0.02*inr {
+		t.Fatalf("single disk radius %g, want ~%g", got, inr)
+	}
+	if !p.CheckValidity().Valid(1e-4) {
+		t.Fatalf("single-disk solution invalid: %+v", p.CheckValidity())
+	}
+}
+
+func TestInitRandomStateConsistency(t *testing.T) {
+	p, err := Build(Config{N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.InitRandom(nil)
+	g := p.Graph
+	// u must be zero and n consistent with z.
+	for e := 0; e < g.NumEdges(); e++ {
+		u := g.EdgeBlock(g.U, e)
+		if u[0] != 0 || u[1] != 0 {
+			t.Fatal("u not zeroed")
+		}
+		z := g.VarBlock(g.Z, g.EdgeVar(e))
+		n := g.EdgeBlock(g.N, e)
+		if n[0] != z[0] || n[1] != z[1] {
+			t.Fatal("n inconsistent with z")
+		}
+	}
+	// All centers inside the container, radii positive.
+	for i := 0; i < 5; i++ {
+		if !p.Cfg.Container.Contains(p.Center(i), 1e-12) {
+			t.Fatalf("initial center %d outside container", i)
+		}
+		if p.Radius(i) <= 0 {
+			t.Fatalf("initial radius %d not positive", i)
+		}
+	}
+}
+
+func TestVarDegreesAreUniformlyHigh(t *testing.T) {
+	// Every variable node in packing has degree ~N: center = N-1+S,
+	// radius = N-1+S+1.
+	p, err := Build(Config{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Graph
+	for i := 0; i < 10; i++ {
+		if got, want := g.VarDegree(2*i), 10-1+3; got != want {
+			t.Fatalf("center degree = %d, want %d", got, want)
+		}
+		if got, want := g.VarDegree(2*i+1), 10-1+3+1; got != want {
+			t.Fatalf("radius degree = %d, want %d", got, want)
+		}
+	}
+}

@@ -1,0 +1,557 @@
+// Package prox provides the generic proximal-operator library used to
+// assemble factor-graphs.
+//
+// Every operator implements graph.Op: given the incoming messages n (one
+// d-double block per incident edge) and the per-edge penalties rho, Eval
+// writes the minimizer of f(s) + sum_k rho_k/2 ||s_k - n_k||^2 into x.
+//
+// Padding convention. The factor-graph fixes d doubles per edge (the
+// paper's number_of_dims_per_edge); a node whose natural dimension is
+// smaller (a scalar radius or slack on a d=2 graph, say) must treat the
+// trailing components as absent. The exact proximal map of a function
+// that does not depend on a component is the identity on that component,
+// so operators copy n into x there. The helpers in this file implement
+// that convention once.
+package prox
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// copyPad copies the identity part of each edge block: components
+// nd..d-1 of every block are set to the incoming message. Operators call
+// this first and then overwrite the live components.
+func copyPad(x, n []float64, deg, d, nd int) {
+	if nd >= d {
+		return
+	}
+	for k := 0; k < deg; k++ {
+		off := k * d
+		copy(x[off+nd:off+d], n[off+nd:off+d])
+	}
+}
+
+// Identity is the proximal operator of f = 0: x = n. It is useful for
+// padding experiments and as the no-opinion operator in tests.
+type Identity struct{}
+
+// Eval implements graph.Op.
+func (Identity) Eval(x, n, rho []float64, d int) { copy(x, n) }
+
+// Work implements graph.Op.
+func (Identity) Work(deg, d int) graph.Work {
+	return graph.Work{Flops: 0, MemWords: float64(2 * deg * d)}
+}
+
+// Box is the projection onto the box [Lo, Hi]^nd, applied independently
+// to each of the node's edge blocks; f is the indicator of the box.
+// Dim is the natural dimension (components beyond it pass through).
+type Box struct {
+	Lo, Hi float64
+	Dim    int
+}
+
+// Eval implements graph.Op.
+func (b Box) Eval(x, n, rho []float64, d int) {
+	deg := len(rho)
+	nd := b.Dim
+	if nd > d {
+		nd = d
+	}
+	copyPad(x, n, deg, d, nd)
+	for k := 0; k < deg; k++ {
+		off := k * d
+		for i := 0; i < nd; i++ {
+			x[off+i] = linalg.Clamp(n[off+i], b.Lo, b.Hi)
+		}
+	}
+}
+
+// Work implements graph.Op.
+func (b Box) Work(deg, d int) graph.Work {
+	return graph.Work{Flops: float64(2 * deg * d), MemWords: float64(2 * deg * d), Branchy: 0.5, Serial: 0.1}
+}
+
+// NonNeg projects every live component onto [0, inf).
+type NonNeg struct{ Dim int }
+
+// Eval implements graph.Op.
+func (p NonNeg) Eval(x, n, rho []float64, d int) {
+	deg := len(rho)
+	nd := p.Dim
+	if nd > d {
+		nd = d
+	}
+	copyPad(x, n, deg, d, nd)
+	for k := 0; k < deg; k++ {
+		off := k * d
+		for i := 0; i < nd; i++ {
+			if v := n[off+i]; v > 0 {
+				x[off+i] = v
+			} else {
+				x[off+i] = 0
+			}
+		}
+	}
+}
+
+// Work implements graph.Op.
+func (p NonNeg) Work(deg, d int) graph.Work {
+	return graph.Work{Flops: float64(deg * d), MemWords: float64(2 * deg * d), Branchy: 0.5, Serial: 0.1}
+}
+
+// L1 is the proximal operator of Lambda * ||s||_1 (soft thresholding),
+// applied per component with threshold Lambda/rho.
+type L1 struct {
+	Lambda float64
+	Dim    int
+}
+
+// Eval implements graph.Op.
+func (p L1) Eval(x, n, rho []float64, d int) {
+	deg := len(rho)
+	nd := p.Dim
+	if nd > d {
+		nd = d
+	}
+	copyPad(x, n, deg, d, nd)
+	for k := 0; k < deg; k++ {
+		off := k * d
+		t := p.Lambda / rho[k]
+		for i := 0; i < nd; i++ {
+			x[off+i] = linalg.SoftThreshold(n[off+i], t)
+		}
+	}
+}
+
+// Work implements graph.Op.
+func (p L1) Work(deg, d int) graph.Work {
+	return graph.Work{Flops: float64(3 * deg * d), MemWords: float64(2 * deg * d), Branchy: 0.6, Serial: 0.1}
+}
+
+// SemiLasso is the prox of Lambda * sum_i s_i restricted to s >= 0 (the
+// paper's "minimal error" SVM operator, Appendix C.1): a one-sided soft
+// threshold, x_i = max(n_i - Lambda/rho, 0).
+type SemiLasso struct {
+	Lambda float64
+	Dim    int
+}
+
+// Eval implements graph.Op.
+func (p SemiLasso) Eval(x, n, rho []float64, d int) {
+	deg := len(rho)
+	nd := p.Dim
+	if nd > d {
+		nd = d
+	}
+	copyPad(x, n, deg, d, nd)
+	for k := 0; k < deg; k++ {
+		off := k * d
+		t := p.Lambda / rho[k]
+		for i := 0; i < nd; i++ {
+			if v := n[off+i] - t; v > 0 {
+				x[off+i] = v
+			} else {
+				x[off+i] = 0
+			}
+		}
+	}
+}
+
+// Work implements graph.Op.
+func (p SemiLasso) Work(deg, d int) graph.Work {
+	return graph.Work{Flops: float64(2 * deg * d), MemWords: float64(2 * deg * d), Branchy: 0.5, Serial: 0.1}
+}
+
+// SquaredNorm is the prox of (C/2)*||s||^2 on a single-edge node:
+// x = rho*n / (rho + C). C may be negative (a concave reward, as in the
+// packing radius operator) provided rho + C > 0 at run time; Eval panics
+// otherwise, since the subproblem is then unbounded.
+type SquaredNorm struct {
+	C   float64
+	Dim int
+}
+
+// Eval implements graph.Op.
+func (p SquaredNorm) Eval(x, n, rho []float64, d int) {
+	deg := len(rho)
+	nd := p.Dim
+	if nd > d {
+		nd = d
+	}
+	copyPad(x, n, deg, d, nd)
+	for k := 0; k < deg; k++ {
+		r := rho[k]
+		if r+p.C <= 0 {
+			panic(fmt.Sprintf("prox: SquaredNorm unbounded subproblem (rho=%g, C=%g)", r, p.C))
+		}
+		s := r / (r + p.C)
+		off := k * d
+		for i := 0; i < nd; i++ {
+			x[off+i] = s * n[off+i]
+		}
+	}
+}
+
+// Work implements graph.Op.
+func (p SquaredNorm) Work(deg, d int) graph.Work {
+	return graph.Work{Flops: float64(2*deg*d + 3*deg), MemWords: float64(2 * deg * d), Serial: 0.2}
+}
+
+// Consensus is the prox of the indicator of {s_1 = s_2 = ... = s_deg}
+// (the paper's "equality" operator, Appendix C.4, generalized to any
+// degree): every block becomes the rho-weighted average of the incoming
+// blocks.
+type Consensus struct{ Dim int }
+
+// Eval implements graph.Op.
+func (p Consensus) Eval(x, n, rho []float64, d int) {
+	deg := len(rho)
+	nd := p.Dim
+	if nd > d {
+		nd = d
+	}
+	copyPad(x, n, deg, d, nd)
+	var rhoSum float64
+	for _, r := range rho {
+		rhoSum += r
+	}
+	for i := 0; i < nd; i++ {
+		var s float64
+		for k := 0; k < deg; k++ {
+			s += rho[k] * n[k*d+i]
+		}
+		s /= rhoSum
+		for k := 0; k < deg; k++ {
+			x[k*d+i] = s
+		}
+	}
+}
+
+// Work implements graph.Op.
+func (p Consensus) Work(deg, d int) graph.Work {
+	return graph.Work{Flops: float64(3 * deg * d), MemWords: float64(2 * deg * d)}
+}
+
+// L2Ball projects each edge block onto {||s|| <= R}.
+type L2Ball struct {
+	R   float64
+	Dim int
+}
+
+// Eval implements graph.Op.
+func (p L2Ball) Eval(x, n, rho []float64, d int) {
+	deg := len(rho)
+	nd := p.Dim
+	if nd > d {
+		nd = d
+	}
+	copyPad(x, n, deg, d, nd)
+	for k := 0; k < deg; k++ {
+		off := k * d
+		blk := n[off : off+nd]
+		nrm := linalg.Norm2(blk)
+		if nrm <= p.R {
+			copy(x[off:off+nd], blk)
+			continue
+		}
+		s := p.R / nrm
+		for i := 0; i < nd; i++ {
+			x[off+i] = s * blk[i]
+		}
+	}
+}
+
+// Work implements graph.Op.
+func (p L2Ball) Work(deg, d int) graph.Work {
+	return graph.Work{Flops: float64(4 * deg * d), MemWords: float64(2 * deg * d), Branchy: 0.4, Serial: 0.5}
+}
+
+// AffineEquality is the indicator of {s : C s = rhs} over the node's
+// concatenated live components. The constraint matrix columns index the
+// concatenation edge-block-by-edge-block, nd live components per block.
+// The projection is rho-weighted (each edge's components share its rho),
+// matching the exact prox. The Gram factorization is recomputed per Eval
+// only when rho changed since the last call; the common constant-rho path
+// hits a cached factorization.
+//
+// This operator backs the MPC linearized-dynamics prox (Appendix B) and
+// the initial-condition clamp.
+type AffineEquality struct {
+	C   *linalg.Mat
+	RHS []float64
+	Dim int // live components per edge block
+
+	proj     *linalg.AffineProjector
+	cachedW  []float64
+	deg      int
+	vbuf     []float64 // scratch: concatenated live components
+	rhoExp   []float64 // scratch: per-component weights
+	lastRho  []float64
+	scratchM []float64
+}
+
+// NewAffineEquality builds the operator; c must have nd*deg columns where
+// deg is the degree of the node it will be attached to.
+func NewAffineEquality(c *linalg.Mat, rhs []float64, nd int) (*AffineEquality, error) {
+	if nd <= 0 {
+		return nil, fmt.Errorf("prox: AffineEquality needs positive dim, got %d", nd)
+	}
+	if c.Cols%nd != 0 {
+		return nil, fmt.Errorf("prox: constraint matrix has %d cols, not a multiple of dim %d", c.Cols, nd)
+	}
+	proj, err := linalg.NewAffineProjector(c, rhs)
+	if err != nil {
+		return nil, err
+	}
+	return &AffineEquality{
+		C: c, RHS: rhs, Dim: nd,
+		proj:     proj,
+		deg:      c.Cols / nd,
+		vbuf:     make([]float64, c.Cols),
+		rhoExp:   make([]float64, c.Cols),
+		lastRho:  make([]float64, c.Cols/nd),
+		scratchM: make([]float64, c.Rows),
+	}, nil
+}
+
+// Eval implements graph.Op. It is NOT safe for concurrent use on the same
+// operator instance (it owns scratch buffers); attach one instance per
+// function node, which is how every builder in this repository uses it.
+func (p *AffineEquality) Eval(x, n, rho []float64, d int) {
+	deg := len(rho)
+	if deg != p.deg {
+		panic(fmt.Sprintf("prox: AffineEquality built for degree %d, attached to degree %d", p.deg, deg))
+	}
+	nd := p.Dim
+	if nd > d {
+		panic(fmt.Sprintf("prox: AffineEquality dim %d exceeds graph dims %d", nd, d))
+	}
+	copyPad(x, n, deg, d, nd)
+	// Gather live components.
+	for k := 0; k < deg; k++ {
+		copy(p.vbuf[k*nd:(k+1)*nd], n[k*d:k*d+nd])
+	}
+	// Refresh the factorization only when rho changed.
+	changed := p.proj == nil
+	for k, r := range rho {
+		if p.lastRho[k] != r {
+			changed = true
+			break
+		}
+	}
+	if changed {
+		copy(p.lastRho, rho)
+		for k := 0; k < deg; k++ {
+			for i := 0; i < nd; i++ {
+				p.rhoExp[k*nd+i] = rho[k]
+			}
+		}
+		if err := p.proj.Precompute(p.rhoExp); err != nil {
+			panic(fmt.Sprintf("prox: AffineEquality projection: %v", err))
+		}
+	}
+	p.proj.Project(p.vbuf, p.scratchM)
+	for k := 0; k < deg; k++ {
+		copy(x[k*d:k*d+nd], p.vbuf[k*nd:(k+1)*nd])
+	}
+}
+
+// Work implements graph.Op.
+func (p *AffineEquality) Work(deg, d int) graph.Work {
+	m := float64(p.C.Rows)
+	n := float64(p.C.Cols)
+	// Charged as a solve per call (gram formation, factorization,
+	// substitutions, rank-m update) — the cost profile of the paper's C
+	// implementation, which refactors inside the PO; our cached fast
+	// path is an implementation optimization the cost model deliberately
+	// does not credit, so that simulated timings reflect the paper's.
+	return graph.Work{
+		Flops:    n*m*(2+m) + m*m*m,
+		MemWords: float64(2*deg*d) + m*n + m*m,
+		Branchy:  0.2,
+		Serial:   0.9,
+	}
+}
+
+// Halfspace is the indicator of {s : dot(A, s) >= B} over the node's
+// concatenated live components (A has nd*deg entries). The projection is
+// rho-weighted exactly.
+type Halfspace struct {
+	A   []float64
+	B   float64
+	Dim int
+}
+
+// Eval implements graph.Op.
+func (p Halfspace) Eval(x, n, rho []float64, d int) {
+	deg := len(rho)
+	nd := p.Dim
+	if nd > d {
+		nd = d
+	}
+	if len(p.A) != deg*nd {
+		panic(fmt.Sprintf("prox: Halfspace normal has %d entries, node supplies %d", len(p.A), deg*nd))
+	}
+	copyPad(x, n, deg, d, nd)
+	// g(n) = dot(A, n_live) - B; if >= 0 feasible, x = n.
+	var g float64
+	for k := 0; k < deg; k++ {
+		for i := 0; i < nd; i++ {
+			g += p.A[k*nd+i] * n[k*d+i]
+		}
+	}
+	g -= p.B
+	if g >= 0 {
+		for k := 0; k < deg; k++ {
+			copy(x[k*d:k*d+nd], n[k*d:k*d+nd])
+		}
+		return
+	}
+	// Weighted projection: x = n - g * W a / (a^T W a), W = diag(1/rho).
+	var den float64
+	for k := 0; k < deg; k++ {
+		for i := 0; i < nd; i++ {
+			a := p.A[k*nd+i]
+			den += a * a / rho[k]
+		}
+	}
+	if den == 0 {
+		for k := 0; k < deg; k++ {
+			copy(x[k*d:k*d+nd], n[k*d:k*d+nd])
+		}
+		return
+	}
+	lam := g / den
+	for k := 0; k < deg; k++ {
+		for i := 0; i < nd; i++ {
+			x[k*d+i] = n[k*d+i] - lam*p.A[k*nd+i]/rho[k]
+		}
+	}
+}
+
+// Work implements graph.Op.
+func (p Halfspace) Work(deg, d int) graph.Work {
+	return graph.Work{Flops: float64(6 * deg * d), MemWords: float64(3 * deg * d), Branchy: 0.5, Serial: 0.5}
+}
+
+// Quadratic is the prox of f(s) = 1/2 s^T Q s + q^T s on a single-edge
+// node over nd live components: x = (Q + rho I)^{-1} (rho n - q).
+// Q must be symmetric positive semidefinite. The factorization is cached
+// per rho value.
+type Quadratic struct {
+	Q   *linalg.Mat
+	Lin []float64 // q, length nd (nil means zero)
+	Dim int
+
+	cachedRho float64
+	chol      *linalg.Cholesky
+	buf       []float64
+}
+
+// NewQuadratic validates shapes and returns the operator.
+func NewQuadratic(q *linalg.Mat, lin []float64) (*Quadratic, error) {
+	if q.Rows != q.Cols {
+		return nil, fmt.Errorf("prox: Quadratic needs square Q, got %dx%d", q.Rows, q.Cols)
+	}
+	if lin != nil && len(lin) != q.Rows {
+		return nil, fmt.Errorf("prox: Quadratic linear term length %d != %d", len(lin), q.Rows)
+	}
+	return &Quadratic{Q: q, Lin: lin, Dim: q.Rows, buf: make([]float64, q.Rows)}, nil
+}
+
+// Eval implements graph.Op. Like AffineEquality, one instance must not be
+// shared across function nodes evaluated concurrently.
+func (p *Quadratic) Eval(x, n, rho []float64, d int) {
+	if len(rho) != 1 {
+		panic("prox: Quadratic attaches to single-edge nodes")
+	}
+	nd := p.Dim
+	if nd > d {
+		panic(fmt.Sprintf("prox: Quadratic dim %d exceeds graph dims %d", nd, d))
+	}
+	copyPad(x, n, 1, d, nd)
+	r := rho[0]
+	if p.chol == nil || p.cachedRho != r {
+		a := p.Q.Clone()
+		for i := 0; i < nd; i++ {
+			a.Data[i*nd+i] += r
+		}
+		ch, err := linalg.NewCholesky(a)
+		if err != nil {
+			panic(fmt.Sprintf("prox: Quadratic Q + rho I not PD: %v", err))
+		}
+		p.chol, p.cachedRho = ch, r
+	}
+	for i := 0; i < nd; i++ {
+		p.buf[i] = r * n[i]
+		if p.Lin != nil {
+			p.buf[i] -= p.Lin[i]
+		}
+	}
+	p.chol.Solve(p.buf)
+	copy(x[:nd], p.buf)
+}
+
+// Work implements graph.Op.
+func (p *Quadratic) Work(deg, d int) graph.Work {
+	nd := float64(p.Dim)
+	return graph.Work{Flops: 2*nd*nd + 4*nd, MemWords: float64(2*d) + nd*nd, Serial: 0.7}
+}
+
+// DiagQuadratic is the prox of f(s) = 1/2 sum_i w_i s_i^2 on a
+// single-edge node: x_i = rho n_i / (rho + w_i). It is the fast path the
+// MPC cost operator uses for diagonal Q and R (paper Appendix B).
+type DiagQuadratic struct {
+	W   []float64 // diagonal weights, length = live dim
+	Dim int
+}
+
+// Eval implements graph.Op.
+func (p DiagQuadratic) Eval(x, n, rho []float64, d int) {
+	if len(rho) != 1 {
+		panic("prox: DiagQuadratic attaches to single-edge nodes")
+	}
+	nd := p.Dim
+	if nd > d {
+		nd = d
+	}
+	copyPad(x, n, 1, d, nd)
+	r := rho[0]
+	for i := 0; i < nd; i++ {
+		x[i] = r * n[i] / (r + p.W[i])
+	}
+}
+
+// Work implements graph.Op.
+func (p DiagQuadratic) Work(deg, d int) graph.Work {
+	return graph.Work{Flops: float64(3 * p.Dim), MemWords: float64(2*d + p.Dim), Serial: 0.3}
+}
+
+// Clamp is the indicator of {s = Value} on a single-edge node's live
+// components: x = Value regardless of n (an infinitely confident prior,
+// used for the MPC initial condition q(0) = q0).
+type Clamp struct {
+	Value []float64
+}
+
+// Eval implements graph.Op.
+func (p Clamp) Eval(x, n, rho []float64, d int) {
+	if len(rho) != 1 {
+		panic("prox: Clamp attaches to single-edge nodes")
+	}
+	nd := len(p.Value)
+	if nd > d {
+		nd = d
+	}
+	copyPad(x, n, 1, d, nd)
+	copy(x[:nd], p.Value[:nd])
+}
+
+// Work implements graph.Op.
+func (p Clamp) Work(deg, d int) graph.Work {
+	return graph.Work{Flops: 0, MemWords: float64(2 * d)}
+}

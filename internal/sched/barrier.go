@@ -1,0 +1,46 @@
+package sched
+
+import "sync"
+
+// Barrier is a reusable cyclic barrier for a fixed party count, the
+// synchronization primitive behind the paper's second OpenMP strategy
+// (persistent threads with "#pragma omp barrier" between update kinds).
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   uint64
+}
+
+// NewBarrier returns a barrier for the given number of parties.
+func NewBarrier(parties int) *Barrier {
+	if parties <= 0 {
+		panic("sched: barrier parties must be positive")
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until all parties have called Await, then releases them
+// together and resets for the next phase.
+func (b *Barrier) Await() {
+	b.mu.Lock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Parties returns the party count.
+func (b *Barrier) Parties() int { return b.parties }

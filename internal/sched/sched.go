@@ -1,0 +1,213 @@
+// Package sched provides the partitioning and fork-join primitives that
+// the shared-memory ADMM executors are built from.
+//
+// It contains Go equivalents of the two OpenMP strategies in the paper's
+// Figure 4 — static contiguous chunking (the paper's AssignThreads) and a
+// fork-join parallel-for — plus a dynamic self-scheduling variant and the
+// degree-balanced grouping the paper's Conclusion proposes for the
+// z-update ("groups such that the total number of edges per group is as
+// uniform as possible").
+package sched
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Range is a half-open index interval [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Chunks splits [0, n) into parts contiguous ranges whose sizes differ by
+// at most one. It is the paper's AssignThreads: chunk p is
+// [p*n/parts, (p+1)*n/parts). Empty ranges are included so the result
+// always has exactly parts entries.
+func Chunks(n, parts int) []Range {
+	if parts <= 0 {
+		panic("sched: parts must be positive")
+	}
+	if n < 0 {
+		panic("sched: negative n")
+	}
+	out := make([]Range, parts)
+	for p := 0; p < parts; p++ {
+		lo := p * n / parts
+		hi := (p + 1) * n / parts
+		out[p] = Range{lo, hi}
+	}
+	return out
+}
+
+// ParallelFor runs fn over [0, n) using the given number of workers with
+// static contiguous chunking, blocking until all complete. With
+// workers <= 1 it runs inline. fn receives a subrange and must be safe to
+// run concurrently with itself on disjoint ranges.
+//
+// This is the Go analogue of "#pragma omp parallel for" with static
+// scheduling — the paper's first (and faster) OpenMP approach runs one of
+// these per update kind per iteration.
+func ParallelFor(workers, n int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	chunks := Chunks(n, workers)
+	for p := 1; p < workers; p++ {
+		go func(r Range) {
+			defer wg.Done()
+			if r.Len() > 0 {
+				fn(r.Lo, r.Hi)
+			}
+		}(chunks[p])
+	}
+	if chunks[0].Len() > 0 {
+		fn(chunks[0].Lo, chunks[0].Hi)
+	}
+	wg.Wait()
+}
+
+// DynamicFor runs fn over [0, n) with self-scheduling: workers grab
+// chunks of size grain from a shared atomic counter until the range is
+// exhausted. This tolerates non-uniform task costs (heavy proximal
+// operators mixed with trivial ones) at the price of one atomic op per
+// chunk. grain <= 0 selects a heuristic of n/(8*workers), at least 1.
+func DynamicFor(workers, n, grain int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if grain <= 0 {
+		grain = n / (8 * workers)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	var next int64
+	var wg sync.WaitGroup
+	body := func() {
+		for {
+			lo := int(atomic.AddInt64(&next, int64(grain))) - grain
+			if lo >= n {
+				return
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	wg.Add(workers - 1)
+	for p := 1; p < workers; p++ {
+		go func() {
+			defer wg.Done()
+			body()
+		}()
+	}
+	body()
+	wg.Wait()
+}
+
+// groupHeap is a min-heap over group loads for LPT assignment.
+type groupHeap struct {
+	load []float64
+	id   []int
+}
+
+func (h *groupHeap) Len() int           { return len(h.id) }
+func (h *groupHeap) Less(i, j int) bool { return h.load[i] < h.load[j] }
+func (h *groupHeap) Swap(i, j int) {
+	h.load[i], h.load[j] = h.load[j], h.load[i]
+	h.id[i], h.id[j] = h.id[j], h.id[i]
+}
+func (h *groupHeap) Push(x interface{}) { panic("sched: fixed-size heap") }
+func (h *groupHeap) Pop() interface{}   { panic("sched: fixed-size heap") }
+
+// BalancedGroups partitions item indices 0..len(weights)-1 into at most
+// groups groups, balancing total weight per group using the
+// longest-processing-time-first greedy (sort descending, always assign to
+// the lightest group). It returns the groups (each a list of item
+// indices) and the maximum group weight.
+//
+// This implements the paper's proposed z-update fix: items are variable
+// nodes, weights their degrees, and each group is updated by one
+// thread/core so no single high-degree node stalls the phase.
+func BalancedGroups(weights []float64, groups int) ([][]int, float64) {
+	if groups <= 0 {
+		panic("sched: groups must be positive")
+	}
+	n := len(weights)
+	if groups > n {
+		groups = n
+	}
+	if groups == 0 {
+		return nil, 0
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+
+	h := &groupHeap{load: make([]float64, groups), id: make([]int, groups)}
+	for i := range h.id {
+		h.id[i] = i
+	}
+	heap.Init(h)
+	out := make([][]int, groups)
+	for _, item := range order {
+		g := h.id[0]
+		out[g] = append(out[g], item)
+		h.load[0] += weights[item]
+		heap.Fix(h, 0)
+	}
+	var max float64
+	loads := make([]float64, groups)
+	for i := range h.id {
+		loads[h.id[i]] = h.load[i]
+	}
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return out, max
+}
+
+// Imbalance returns max(weights)/mean(weights) for a partition produced
+// by grouping: 1.0 is perfect balance. Empty input returns 1.
+func Imbalance(groupLoads []float64) float64 {
+	if len(groupLoads) == 0 {
+		return 1
+	}
+	var sum, max float64
+	for _, l := range groupLoads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := sum / float64(len(groupLoads))
+	return max / mean
+}

