@@ -1,0 +1,77 @@
+// Command paradmm-serve runs the batched solve service: an HTTP JSON
+// API accepting factor-graph problem specs for the four workloads and
+// dispatching them onto a bounded worker pool over the internal/admm
+// executors, with a shape-keyed graph cache.
+//
+// Usage:
+//
+//	paradmm-serve -addr :8080 -workers 8 -queue 128
+//
+// Submit a job and wait for the result:
+//
+//	curl -s localhost:8080/v1/solve -d '{
+//	  "workload": "lasso",
+//	  "spec": {"m": 64, "blocks": 4, "lambda": 0.3},
+//	  "executor": {"kind": "parallel-for", "workers": 4},
+//	  "max_iter": 2000
+//	}'
+//
+// Fire-and-poll instead:
+//
+//	curl -s localhost:8080/v1/solve -d '{"workload":"mpc","spec":{"k":20},"wait":false}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//
+// Observe:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth")
+	cachePerKey := flag.Int("cache-per-key", 2, "pooled graphs per shape key")
+	maxIter := flag.Int("max-iter-limit", 200000, "reject requests asking for more iterations")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CachePerKey:  *cachePerKey,
+		MaxIterLimit: *maxIter,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("paradmm-serve listening on %s (workloads: %v)\n", *addr, serve.Workloads())
+	err := httpSrv.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	srv.Close()
+	fmt.Println("paradmm-serve: drained, bye")
+}

@@ -56,21 +56,18 @@ func main() {
 }
 
 func makeBackend(name string, workers int) (admm.Backend, error) {
+	// Shared-memory strategies go through the declarative executor spec —
+	// the same selection path the serving layer uses per request.
+	if spec, err := admm.ParseExecutor(name, workers); err == nil {
+		return spec.NewBackend(nil)
+	}
 	switch name {
-	case "serial":
-		return admm.NewSerial(), nil
-	case "parallel":
-		return admm.NewParallelFor(workers), nil
-	case "barrier":
-		return admm.NewBarrier(workers), nil
 	case "gpu":
 		return gpusim.NewBackend(nil), nil
 	case "cpusim":
 		return gpusim.NewCPUBackend(nil), nil
 	case "multicpu":
 		return gpusim.NewMultiCoreBackend(nil, workers), nil
-	case "async":
-		return admm.NewAsync(1), nil
 	case "twa":
 		return admm.NewTWA(), nil
 	}

@@ -1,0 +1,54 @@
+package admm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/prox"
+)
+
+// benchGraph builds a random consensus graph: funcs single-edge
+// quadratic nodes spread over 64 shared scalar variables, so the
+// z-update averages contested variables and all five phases do real
+// work.
+func benchGraph(b *testing.B, funcs int) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	const vars = 64
+	g := graph.New(1)
+	for i := 0; i < funcs; i++ {
+		q, err := prox.NewQuadratic(linalg.Eye(1), []float64{rng.NormFloat64()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// First pass touches every variable once so Finalize never sees
+		// an isolated variable node.
+		v := i % vars
+		if i >= vars {
+			v = rng.Intn(vars)
+		}
+		g.AddNode(q, v)
+	}
+	if err := g.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	g.SetUniformParams(1, 1)
+	g.InitZero()
+	return g
+}
+
+func benchmarkIterate(b *testing.B, backend Backend) {
+	defer backend.Close()
+	g := benchGraph(b, 512)
+	var phase [NumPhases]int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	backend.Iterate(g, b.N, &phase)
+}
+
+func BenchmarkIterateSerial(b *testing.B)      { benchmarkIterate(b, NewSerial()) }
+func BenchmarkIterateParallelFor(b *testing.B) { benchmarkIterate(b, NewParallelFor(4)) }
+func BenchmarkIterateBarrier(b *testing.B)     { benchmarkIterate(b, NewBarrier(4)) }
+func BenchmarkIterateAsync(b *testing.B)       { benchmarkIterate(b, NewAsync(1)) }

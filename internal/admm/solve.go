@@ -1,0 +1,161 @@
+package admm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// ExecutorKind names one of the shared-memory execution strategies. The
+// zero value selects the serial baseline.
+type ExecutorKind string
+
+// The four shared-memory executors. Simulated-device backends (GPU,
+// multi-CPU cost models) live in internal/gpusim and are plugged in via
+// Options.Backend instead.
+const (
+	ExecSerial      ExecutorKind = "serial"
+	ExecParallelFor ExecutorKind = "parallel-for"
+	ExecBarrier     ExecutorKind = "barrier"
+	ExecAsync       ExecutorKind = "async"
+)
+
+// ExecutorSpec is a declarative backend selection: a kind plus its
+// knobs. It is the unit of per-request executor choice for the serving
+// layer and the CLI — both parse user input into a spec and hand it to
+// Solve instead of wiring backend constructors by hand.
+type ExecutorSpec struct {
+	Kind ExecutorKind `json:"kind"`
+	// Workers is the core count for parallel-for and barrier executors
+	// (default 4; ignored by serial and async).
+	Workers int `json:"workers,omitempty"`
+	// Dynamic enables self-scheduled loops for the non-uniform x- and
+	// z-updates (parallel-for only).
+	Dynamic bool `json:"dynamic,omitempty"`
+	// BalancedZ enables the degree-balanced z-update partition
+	// (parallel-for only) — the paper's proposed fix for skewed
+	// variable-degree distributions.
+	BalancedZ bool `json:"balanced_z,omitempty"`
+	// Seed seeds the async executor's activation schedule (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// ParseExecutor resolves a user-facing executor name ("serial",
+// "parallel-for" or "parallel", "barrier", "async") and worker count
+// into a spec.
+func ParseExecutor(name string, workers int) (ExecutorSpec, error) {
+	s := ExecutorSpec{Workers: workers}
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", string(ExecSerial):
+		s.Kind = ExecSerial
+	case string(ExecParallelFor), "parallel":
+		s.Kind = ExecParallelFor
+	case string(ExecBarrier), "barrier-workers":
+		s.Kind = ExecBarrier
+	case string(ExecAsync):
+		s.Kind = ExecAsync
+	default:
+		return s, fmt.Errorf("admm: unknown executor %q (want serial | parallel-for | barrier | async)", name)
+	}
+	return s, nil
+}
+
+// MaxWorkers bounds ExecutorSpec.Workers. The barrier executor starts
+// one goroutine per worker up front, so an unbounded count would let a
+// single serving-layer request exhaust memory.
+const MaxWorkers = 1024
+
+// Validate reports whether the spec is well-formed without building a
+// backend.
+func (s ExecutorSpec) Validate() error {
+	switch s.Kind {
+	case "", ExecSerial, ExecParallelFor, ExecBarrier, ExecAsync:
+	default:
+		return fmt.Errorf("admm: unknown executor kind %q", s.Kind)
+	}
+	if s.Workers < 0 || s.Workers > MaxWorkers {
+		return fmt.Errorf("admm: workers = %d, need 0..%d", s.Workers, MaxWorkers)
+	}
+	if (s.Dynamic || s.BalancedZ) && s.Kind != ExecParallelFor {
+		return fmt.Errorf("admm: dynamic/balanced_z apply only to %q, not %q", ExecParallelFor, s.Kind)
+	}
+	return nil
+}
+
+// NewBackend builds the backend the spec describes. g may be nil unless
+// BalancedZ is set (the partition is precomputed from the graph's
+// variable degrees). The caller owns the backend and must Close it.
+func (s ExecutorSpec) NewBackend(g *graph.Graph) (Backend, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	workers := s.Workers
+	if workers == 0 {
+		workers = 4
+	}
+	switch s.Kind {
+	case "", ExecSerial:
+		return NewSerial(), nil
+	case ExecParallelFor:
+		b := NewParallelFor(workers)
+		b.Dynamic = s.Dynamic
+		if s.BalancedZ {
+			if g == nil {
+				return nil, fmt.Errorf("admm: balanced_z needs a finalized graph")
+			}
+			b.PrepareBalancedZ(g)
+		}
+		return b, nil
+	case ExecBarrier:
+		return NewBarrier(workers), nil
+	case ExecAsync:
+		seed := s.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		return NewAsync(seed), nil
+	}
+	return nil, fmt.Errorf("admm: unknown executor kind %q", s.Kind)
+}
+
+// SolveOptions configures Solve: the iteration controls of Options plus
+// a declarative executor choice.
+type SolveOptions struct {
+	// Executor selects and configures the backend. The zero value is the
+	// serial baseline.
+	Executor ExecutorSpec
+	// MaxIter is the iteration budget (required, > 0).
+	MaxIter int
+	// AbsTol/RelTol enable the standard ADMM stopping criterion; zero
+	// disables convergence checks (fixed iteration count).
+	AbsTol, RelTol float64
+	// CheckEvery is the residual-check period in iterations (default 10).
+	CheckEvery int
+	// Adapt, if non-nil, enables residual-balancing rho adaptation.
+	Adapt *AdaptConfig
+	// OnIteration, if non-nil, observes residual checks; return false to
+	// stop early.
+	OnIteration func(iter int, primal, dual float64) bool
+}
+
+// Solve is the reusable one-call entrypoint over Run: it builds the
+// backend the spec describes, runs ADMM on g, and releases the backend.
+// Callers that manage backend lifetimes themselves (reuse across solves,
+// simulated devices) keep using Run with an explicit Options.Backend.
+func Solve(g *graph.Graph, opts SolveOptions) (Result, error) {
+	backend, err := opts.Executor.NewBackend(g)
+	if err != nil {
+		return Result{}, err
+	}
+	defer backend.Close()
+	return Run(g, Options{
+		MaxIter:     opts.MaxIter,
+		Backend:     backend,
+		AbsTol:      opts.AbsTol,
+		RelTol:      opts.RelTol,
+		CheckEvery:  opts.CheckEvery,
+		Adapt:       opts.Adapt,
+		OnIteration: opts.OnIteration,
+	})
+}

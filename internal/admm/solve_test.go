@@ -1,0 +1,115 @@
+package admm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseExecutor(t *testing.T) {
+	tests := []struct {
+		name    string
+		want    ExecutorKind
+		wantErr bool
+	}{
+		{"serial", ExecSerial, false},
+		{"", ExecSerial, false},
+		{"parallel-for", ExecParallelFor, false},
+		{"parallel", ExecParallelFor, false},
+		{"barrier", ExecBarrier, false},
+		{"barrier-workers", ExecBarrier, false},
+		{"async", ExecAsync, false},
+		{"  Serial ", ExecSerial, false},
+		{"gpu", "", true},
+		{"openmp", "", true},
+	}
+	for _, tc := range tests {
+		spec, err := ParseExecutor(tc.name, 2)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParseExecutor(%q) error = %v, wantErr %t", tc.name, err, tc.wantErr)
+			continue
+		}
+		if err == nil && spec.Kind != tc.want {
+			t.Errorf("ParseExecutor(%q) = %q, want %q", tc.name, spec.Kind, tc.want)
+		}
+	}
+}
+
+func TestExecutorSpecValidate(t *testing.T) {
+	bad := []ExecutorSpec{
+		{Kind: "gpu"},
+		{Kind: ExecSerial, Workers: -1},
+		{Kind: ExecBarrier, Workers: MaxWorkers + 1},
+		{Kind: ExecSerial, Dynamic: true},
+		{Kind: ExecBarrier, BalancedZ: true},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", s)
+		}
+	}
+	good := []ExecutorSpec{
+		{},
+		{Kind: ExecParallelFor, Workers: 8, Dynamic: true, BalancedZ: true},
+		{Kind: ExecAsync, Seed: 3},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", s, err)
+		}
+	}
+}
+
+// TestSolveExecutors runs the same consensus problem through every
+// executor kind via the declarative entrypoint; all must reach the mean.
+func TestSolveExecutors(t *testing.T) {
+	specs := []ExecutorSpec{
+		{Kind: ExecSerial},
+		{Kind: ExecParallelFor, Workers: 2},
+		{Kind: ExecParallelFor, Workers: 2, Dynamic: true},
+		{Kind: ExecBarrier, Workers: 2},
+		{Kind: ExecAsync, Seed: 5},
+	}
+	for _, spec := range specs {
+		g := buildAveraging(t, []float64{1, 2, 6})
+		res, err := Solve(g, SolveOptions{Executor: spec, MaxIter: 2000, AbsTol: 1e-9, RelTol: 1e-9})
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		if !res.Converged {
+			t.Errorf("%+v: did not converge: %+v", spec, res)
+		}
+		if got := g.Z[0]; math.Abs(got-3) > 1e-6 {
+			t.Errorf("%+v: z = %g, want 3", spec, got)
+		}
+	}
+}
+
+// TestSolveBalancedZ exercises the degree-balanced z-partition path,
+// which needs the graph at backend-construction time.
+func TestSolveBalancedZ(t *testing.T) {
+	g := buildAveraging(t, []float64{1, 2, 6, 7})
+	spec := ExecutorSpec{Kind: ExecParallelFor, Workers: 2, BalancedZ: true}
+	res, err := Solve(g, SolveOptions{Executor: spec, MaxIter: 2000, AbsTol: 1e-9, RelTol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("did not converge: %+v", res)
+	}
+	if got := g.Z[0]; math.Abs(got-4) > 1e-6 {
+		t.Errorf("z = %g, want 4", got)
+	}
+	if _, err := spec.NewBackend(nil); err == nil {
+		t.Errorf("NewBackend(nil) with balanced_z should fail")
+	}
+}
+
+func TestSolveRejectsBadSpec(t *testing.T) {
+	g := buildAveraging(t, []float64{1, 2})
+	if _, err := Solve(g, SolveOptions{Executor: ExecutorSpec{Kind: "gpu"}, MaxIter: 10}); err == nil {
+		t.Fatal("Solve with unknown executor kind should fail")
+	}
+	if _, err := Solve(g, SolveOptions{}); err == nil {
+		t.Fatal("Solve with MaxIter 0 should fail")
+	}
+}

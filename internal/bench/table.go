@@ -1,12 +1,3 @@
-// Package bench is the experiment harness that regenerates every table
-// and figure of the paper's evaluation section (and this repository's
-// extension ablations) as textual tables — the same rows/series the
-// paper plots, with the same qualitative shapes.
-//
-// Each experiment is registered with an id matching DESIGN.md's
-// per-experiment index (fig7, fig8, fig10, fig11, fig13, fig14,
-// tab-ntb-packing, ...). cmd/paradmm-bench runs them by id; the root
-// bench_test.go wires them into `go test -bench`.
 package bench
 
 import (

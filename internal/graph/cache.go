@@ -1,0 +1,87 @@
+package graph
+
+import "sync"
+
+// Pooled is the cache hook implemented by anything that owns a finalized
+// Graph — typically a workload Problem wrapping the graph with its
+// bookkeeping. Caching the whole owner (rather than the bare graph)
+// keeps problem metadata and any per-operator caches (e.g. Cholesky
+// factorizations keyed by rho) alive across reuses.
+type Pooled interface {
+	FactorGraph() *Graph
+}
+
+// CacheStats is a snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits, Misses uint64 // Get outcomes
+	Evictions    uint64 // Puts dropped because a key's pool was full
+	Size         int    // graphs currently pooled across all keys
+}
+
+// Cache is a keyed pool of built factor-graphs, letting a serving layer
+// skip graph construction when a request's problem shape matches a
+// previous one. Keys are caller-defined shape strings (canonical
+// serializations of the problem spec); values are checked out
+// exclusively, so two concurrent solves never share ADMM state.
+//
+// Get pops an entry (a cache hit transfers ownership to the caller);
+// Put returns it after the solve. The caller must reset the graph's
+// ADMM state (InitZero / InitRandom) after a hit — topology is
+// immutable after Finalize, but X/M/U/N/Z carry the previous solve's
+// values.
+type Cache struct {
+	mu      sync.Mutex
+	perKey  int
+	entries map[string][]Pooled
+	stats   CacheStats
+}
+
+// NewCache returns a cache keeping at most perKey built graphs per shape
+// key (perKey <= 0 means 2: enough to absorb a pair of concurrent
+// identical requests without unbounded memory).
+func NewCache(perKey int) *Cache {
+	if perKey <= 0 {
+		perKey = 2
+	}
+	return &Cache{perKey: perKey, entries: map[string][]Pooled{}}
+}
+
+// Get checks out a pooled problem for the shape key, or returns nil and
+// false on a miss.
+func (c *Cache) Get(key string) (Pooled, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pool := c.entries[key]
+	if len(pool) == 0 {
+		c.stats.Misses++
+		return nil, false
+	}
+	p := pool[len(pool)-1]
+	c.entries[key] = pool[:len(pool)-1]
+	c.stats.Hits++
+	c.stats.Size--
+	return p, true
+}
+
+// Put returns a built problem to the pool under its shape key. Entries
+// beyond the per-key bound are dropped.
+func (c *Cache) Put(key string, p Pooled) {
+	if p == nil || p.FactorGraph() == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries[key]) >= c.perKey {
+		c.stats.Evictions++
+		return
+	}
+	c.entries[key] = append(c.entries[key], p)
+	c.stats.Size++
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,14 +1,3 @@
-// Package mpc builds the paper's optimal-control workload (Section V-B):
-// model-predictive control of a discrete-time linear system
-//
-//	q(t+1) - q(t) = A q(t) + B u(t)
-//
-// with quadratic stage costs, formulated as the factor-graph of Figure 9
-// (one variable node per time step holding the state-input pair, one
-// quadratic-cost function node per step, one linearized-dynamics node per
-// transition, and an initial-condition clamp). The number of graph
-// elements grows linearly with the prediction horizon K, which the paper
-// sweeps from 200 to 1e5.
 package mpc
 
 import "repro/internal/linalg"

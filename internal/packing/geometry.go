@@ -1,14 +1,3 @@
-// Package packing builds the paper's combinatorial-optimization workload
-// (Section V-A): pack N non-overlapping disks inside a triangle so they
-// cover the largest area, formulated as the NP-hard optimization of
-// Figure 6 and solved heuristically with the message-passing ADMM.
-//
-// Factor-graph shape (paper, Section V-A): for N circles and a container
-// cut out by S halfplanes there are 2N variable nodes (one center node
-// and one radius node per circle), N(N-1)/2 pairwise no-collision
-// function nodes, N*S wall nodes and N radius-reward nodes, giving
-// 2N^2 - N + 2NS edges — quadratic growth in N, the regime the paper
-// calls ideal for fine-grained parallelism.
 package packing
 
 import (

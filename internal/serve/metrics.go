@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/admm"
+)
+
+// metrics aggregates service counters for the /metrics endpoint. The
+// exposition format is the Prometheus text format, rendered by hand so
+// the service stays dependency-free.
+type metrics struct {
+	mu sync.Mutex
+	// requests counts finished solve admissions by workload and outcome
+	// ("ok", "bad_request", "queue_full", "failed", "accepted").
+	requests map[string]uint64
+	// iterations and per-phase/solve wall time accumulate across jobs.
+	iterations uint64
+	phaseNanos [admm.NumPhases]int64
+	solveNanos int64
+	buildNanos int64
+
+	inflight atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{requests: map[string]uint64{}}
+}
+
+func (m *metrics) countRequest(workload, outcome string) {
+	m.mu.Lock()
+	m.requests[workload+"\x00"+outcome]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordSolve(res admm.Result, buildNanos int64) {
+	m.mu.Lock()
+	m.iterations += uint64(res.Iterations)
+	for p, v := range res.PhaseNanos {
+		m.phaseNanos[p] += v
+	}
+	m.solveNanos += res.Elapsed.Nanoseconds()
+	m.buildNanos += buildNanos
+	m.mu.Unlock()
+}
+
+// render writes the exposition text. Cache and queue gauges come from
+// the server, which owns those components.
+func (m *metrics) render(b *strings.Builder, queueDepth int, cacheHits, cacheMisses, cacheSize uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(b, "# HELP paradmm_requests_total Solve admissions by workload and outcome.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_requests_total counter\n")
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts := strings.SplitN(k, "\x00", 2)
+		fmt.Fprintf(b, "paradmm_requests_total{workload=%q,outcome=%q} %d\n", parts[0], parts[1], m.requests[k])
+	}
+
+	fmt.Fprintf(b, "# HELP paradmm_iterations_total ADMM iterations executed.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_iterations_total counter\n")
+	fmt.Fprintf(b, "paradmm_iterations_total %d\n", m.iterations)
+
+	fmt.Fprintf(b, "# HELP paradmm_phase_nanos_total Per-phase execution time.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_phase_nanos_total counter\n")
+	for p := admm.Phase(0); p < admm.NumPhases; p++ {
+		fmt.Fprintf(b, "paradmm_phase_nanos_total{phase=%q} %d\n", p.String(), m.phaseNanos[p])
+	}
+
+	fmt.Fprintf(b, "# HELP paradmm_solve_nanos_total Wall time inside backends.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_solve_nanos_total counter\n")
+	fmt.Fprintf(b, "paradmm_solve_nanos_total %d\n", m.solveNanos)
+
+	fmt.Fprintf(b, "# HELP paradmm_build_nanos_total Wall time constructing factor graphs (cache misses).\n")
+	fmt.Fprintf(b, "# TYPE paradmm_build_nanos_total counter\n")
+	fmt.Fprintf(b, "paradmm_build_nanos_total %d\n", m.buildNanos)
+
+	fmt.Fprintf(b, "# HELP paradmm_graph_cache_hits_total Graph cache hits.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_graph_cache_hits_total counter\n")
+	fmt.Fprintf(b, "paradmm_graph_cache_hits_total %d\n", cacheHits)
+	fmt.Fprintf(b, "# HELP paradmm_graph_cache_misses_total Graph cache misses.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_graph_cache_misses_total counter\n")
+	fmt.Fprintf(b, "paradmm_graph_cache_misses_total %d\n", cacheMisses)
+	fmt.Fprintf(b, "# HELP paradmm_graph_cache_size Graphs currently pooled.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_graph_cache_size gauge\n")
+	fmt.Fprintf(b, "paradmm_graph_cache_size %d\n", cacheSize)
+
+	fmt.Fprintf(b, "# HELP paradmm_jobs_inflight Jobs currently executing.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_jobs_inflight gauge\n")
+	fmt.Fprintf(b, "paradmm_jobs_inflight %d\n", m.inflight.Load())
+
+	fmt.Fprintf(b, "# HELP paradmm_queue_depth Accepted jobs waiting for a worker.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_queue_depth gauge\n")
+	fmt.Fprintf(b, "paradmm_queue_depth %d\n", queueDepth)
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity; HTTP maps it to 429.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: pool closed")
+
+// pool is the bounded worker pool jobs are dispatched onto. Two knobs
+// bound admission: the number of workers caps solve concurrency, and
+// the queue depth caps how many accepted-but-not-started jobs wait.
+type pool struct {
+	jobs chan *Job
+	run  func(*Job)
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// newPool starts workers goroutines draining a queue of the given
+// depth; run executes one job.
+func newPool(workers, depth int, run func(*Job)) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	p := &pool{jobs: make(chan *Job, depth), run: run}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		p.run(j)
+	}
+}
+
+// Submit enqueues a job without blocking. It returns ErrQueueFull when
+// the queue is at depth and ErrClosed after Close.
+func (p *pool) Submit(j *Job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.jobs <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Depth reports how many accepted jobs are waiting for a worker.
+func (p *pool) Depth() int { return len(p.jobs) }
+
+// Close stops admission and waits for in-flight jobs to finish.
+func (p *pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

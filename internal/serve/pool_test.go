@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolMaxConcurrency proves the worker bound: with W workers and a
+// run function that blocks, at most W jobs ever execute at once even
+// when the queue holds many more.
+func TestPoolMaxConcurrency(t *testing.T) {
+	const workers, jobs = 3, 12
+	var cur, peak atomic.Int64
+	release := make(chan struct{})
+	p := newPool(workers, jobs, func(*Job) {
+		c := cur.Add(1)
+		for {
+			m := peak.Load()
+			if c <= m || peak.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		<-release
+		cur.Add(-1)
+	})
+	for i := 0; i < jobs; i++ {
+		if err := p.Submit(&Job{}); err != nil {
+			t.Fatalf("Submit(%d): %v", i, err)
+		}
+	}
+	// Wait until the pool is saturated, then release everything.
+	deadline := time.Now().Add(5 * time.Second)
+	for cur.Load() != workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never saturated: %d of %d workers busy", cur.Load(), workers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	p.Close()
+	if got := peak.Load(); got != workers {
+		t.Errorf("peak concurrency = %d, want exactly %d", got, workers)
+	}
+}
+
+// TestPoolQueueBound proves the admission bound: one busy worker plus a
+// depth-1 queue admits exactly two jobs; the third gets ErrQueueFull.
+func TestPoolQueueBound(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	p := newPool(1, 1, func(*Job) {
+		started <- struct{}{}
+		<-release
+	})
+	if err := p.Submit(&Job{}); err != nil {
+		t.Fatalf("first Submit: %v", err)
+	}
+	<-started // worker is now busy; the queue is empty
+	if err := p.Submit(&Job{}); err != nil {
+		t.Fatalf("second Submit (should occupy the queue slot): %v", err)
+	}
+	if err := p.Submit(&Job{}); err != ErrQueueFull {
+		t.Fatalf("third Submit = %v, want ErrQueueFull", err)
+	}
+	if d := p.Depth(); d != 1 {
+		t.Errorf("Depth() = %d, want 1", d)
+	}
+	close(release)
+	<-started // second job runs
+	p.Close()
+	if err := p.Submit(&Job{}); err != ErrClosed {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+}

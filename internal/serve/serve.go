@@ -1,0 +1,450 @@
+// Package serve implements the batched solve service: an HTTP JSON API
+// that accepts factor-graph problem specs for the repository's workloads
+// (lasso, svm, mpc, packing) and dispatches them onto a bounded worker
+// pool running the internal/admm executors.
+//
+// Endpoints:
+//
+//	POST /v1/solve     submit a spec; waits for the result by default,
+//	                   or returns 202 + a job id with {"wait": false}
+//	GET  /v1/jobs/{id} poll an async job
+//	GET  /healthz      liveness + accepted workloads
+//	GET  /metrics      Prometheus text: requests, iterations, per-phase
+//	                   time, cache and queue gauges
+//
+// Two knobs bound admission (Config.Workers, Config.QueueDepth); a
+// shape-keyed graph cache (internal/graph.Cache) lets repeated requests
+// skip factor-graph construction, which for the heavier workloads
+// (lasso's per-block Cholesky pre-factorizations, packing's O(N^2)
+// collision nodes) dominates short solves. Executor selection is
+// per-request: any of the shared-memory strategies of internal/admm
+// (serial, parallel-for, barrier, async) with their knobs.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/admm"
+	"repro/internal/graph"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers caps concurrent solves (default GOMAXPROCS).
+	Workers int
+	// QueueDepth caps accepted-but-not-started jobs (default 64);
+	// admissions beyond it get 429.
+	QueueDepth int
+	// CachePerKey bounds pooled graphs per shape key (default 2).
+	CachePerKey int
+	// MaxIterLimit rejects specs asking for more iterations (default
+	// 200000), protecting the pool from unbounded requests.
+	MaxIterLimit int
+	// JobHistory bounds the finished-job registry (default 1024).
+	JobHistory int
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxIterLimit <= 0 {
+		c.MaxIterLimit = 200000
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 1024
+	}
+}
+
+// SolveRequest is the POST /v1/solve body.
+type SolveRequest struct {
+	// Workload names the problem domain: one of Workloads().
+	Workload string `json:"workload"`
+	// Spec is the workload-specific problem description (lasso.Spec,
+	// svm.Spec, mpc.Spec, packing.Spec).
+	Spec json.RawMessage `json:"spec"`
+	// Executor selects the backend; zero value is serial.
+	Executor admm.ExecutorSpec `json:"executor"`
+	// MaxIter is the iteration budget (default 1000).
+	MaxIter int `json:"max_iter,omitempty"`
+	// AbsTol/RelTol enable early stopping on the ADMM residuals.
+	AbsTol float64 `json:"abs_tol,omitempty"`
+	RelTol float64 `json:"rel_tol,omitempty"`
+	// Wait, when false, returns 202 immediately with a job id to poll.
+	// Omitted or true blocks until the solve finishes.
+	Wait *bool `json:"wait,omitempty"`
+}
+
+// SolveResult is the solved-job payload.
+type SolveResult struct {
+	Iterations int  `json:"iterations"`
+	Converged  bool `json:"converged"`
+	// Primal/Dual are the final residuals, present only when residual
+	// checking ran (tolerances were set).
+	Primal     *float64           `json:"primal,omitempty"`
+	Dual       *float64           `json:"dual,omitempty"`
+	ElapsedNS  int64              `json:"elapsed_ns"`
+	BuildNS    int64              `json:"build_ns"`
+	PhaseNanos map[string]int64   `json:"phase_nanos"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// JobView is the JSON shape of a job in responses.
+type JobView struct {
+	ID       string            `json:"id"`
+	Workload string            `json:"workload"`
+	Status   string            `json:"status"`
+	Executor admm.ExecutorSpec `json:"executor"`
+	CacheHit bool              `json:"cache_hit"`
+	Error    string            `json:"error,omitempty"`
+	Result   *SolveResult      `json:"result,omitempty"`
+}
+
+// Job states.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Job is one admitted solve.
+type Job struct {
+	id       string
+	workload string
+	key      string
+	build    func() (problem, error)
+	executor admm.ExecutorSpec
+	maxIter  int
+	absTol   float64
+	relTol   float64
+
+	mu       sync.Mutex
+	status   string
+	cacheHit bool
+	err      string
+	result   *SolveResult
+	done     chan struct{}
+}
+
+func (j *Job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobView{
+		ID:       j.id,
+		Workload: j.workload,
+		Status:   j.status,
+		Executor: j.executor,
+		CacheHit: j.cacheHit,
+		Error:    j.err,
+		Result:   j.result,
+	}
+}
+
+// Server is the batched solve service. Create with New, mount Handler,
+// Close on shutdown.
+type Server struct {
+	cfg   Config
+	pool  *pool
+	cache *graph.Cache
+	met   *metrics
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID uint64
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: graph.NewCache(cfg.CachePerKey),
+		met:   newMetrics(),
+		jobs:  map[string]*Job{},
+	}
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.runJob)
+	return s
+}
+
+// Close drains the pool.
+func (s *Server) Close() { s.pool.Close() }
+
+// CacheStats exposes graph-cache counters (used by tests and /metrics).
+func (s *Server) CacheStats() graph.CacheStats { return s.cache.Stats() }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.met.countRequest("unknown", "bad_request")
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	workload := strings.ToLower(strings.TrimSpace(req.Workload))
+	parser, ok := parsers[workload]
+	if !ok {
+		s.met.countRequest("unknown", "bad_request")
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("unknown workload %q (want one of %s)", req.Workload, strings.Join(Workloads(), " | ")),
+		})
+		return
+	}
+	adm, err := parser(req.Spec)
+	if err != nil {
+		s.met.countRequest(workload, "bad_request")
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad spec: " + err.Error()})
+		return
+	}
+	if err := req.Executor.Validate(); err != nil {
+		s.met.countRequest(workload, "bad_request")
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad executor: " + err.Error()})
+		return
+	}
+	if req.MaxIter == 0 {
+		req.MaxIter = 1000
+	}
+	if req.MaxIter < 0 || req.MaxIter > s.cfg.MaxIterLimit {
+		s.met.countRequest(workload, "bad_request")
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("max_iter = %d out of range (1..%d)", req.MaxIter, s.cfg.MaxIterLimit),
+		})
+		return
+	}
+
+	job := &Job{
+		workload: workload,
+		key:      adm.key,
+		build:    adm.build,
+		executor: req.Executor,
+		maxIter:  req.MaxIter,
+		absTol:   req.AbsTol,
+		relTol:   req.RelTol,
+		status:   StatusQueued,
+		done:     make(chan struct{}),
+	}
+	s.register(job)
+	if err := s.pool.Submit(job); err != nil {
+		s.unregister(job.id)
+		s.met.countRequest(workload, "queue_full")
+		code := http.StatusTooManyRequests
+		if err == ErrClosed {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, errorBody{Error: err.Error()})
+		return
+	}
+
+	if req.Wait != nil && !*req.Wait {
+		s.met.countRequest(workload, "accepted")
+		writeJSON(w, http.StatusAccepted, job.view())
+		return
+	}
+	select {
+	case <-job.done:
+	case <-r.Context().Done():
+		// Client went away; the job keeps running and stays pollable.
+		s.met.countRequest(workload, "abandoned")
+		writeJSON(w, http.StatusAccepted, job.view())
+		return
+	}
+	v := job.view()
+	if v.Status == StatusFailed {
+		s.met.countRequest(workload, "failed")
+		writeJSON(w, http.StatusBadRequest, v)
+		return
+	}
+	s.met.countRequest(workload, "ok")
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown job %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"workloads": Workloads(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	cs := s.cache.Stats()
+	s.met.render(&b, s.pool.Depth(), cs.Hits, cs.Misses, uint64(cs.Size))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write([]byte(b.String()))
+}
+
+func (s *Server) register(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	j.id = fmt.Sprintf("job-%d", s.nextID)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	// Prune oldest finished jobs beyond the history bound.
+	for len(s.order) > s.cfg.JobHistory {
+		oldest := s.jobs[s.order[0]]
+		oldest.mu.Lock()
+		finished := oldest.status == StatusDone || oldest.status == StatusFailed
+		oldest.mu.Unlock()
+		if !finished {
+			break
+		}
+		delete(s.jobs, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+func (s *Server) unregister(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; ok {
+		delete(s.jobs, id)
+		for i, o := range s.order {
+			if o == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// runJob executes one admitted solve on a pool worker: check the graph
+// cache, build on miss, reset state, solve with the requested executor,
+// record metrics, and return the graph to the cache.
+func (s *Server) runJob(j *Job) {
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.mu.Unlock()
+
+	fail := func(err error) {
+		j.mu.Lock()
+		j.status = StatusFailed
+		j.err = err.Error()
+		j.mu.Unlock()
+		close(j.done)
+	}
+
+	var buildNanos int64
+	p, hit := s.cacheGet(j.key)
+	if !hit {
+		t := time.Now()
+		built, err := j.build()
+		if err != nil {
+			fail(err)
+			return
+		}
+		buildNanos = time.Since(t).Nanoseconds()
+		p = built
+	}
+	j.mu.Lock()
+	j.cacheHit = hit
+	j.mu.Unlock()
+
+	p.Reset()
+	res, err := admm.Solve(p.FactorGraph(), admm.SolveOptions{
+		Executor: j.executor,
+		MaxIter:  j.maxIter,
+		AbsTol:   j.absTol,
+		RelTol:   j.relTol,
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	s.cache.Put(j.key, p)
+	s.met.recordSolve(res, buildNanos)
+
+	r := &SolveResult{
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+		ElapsedNS:  res.Elapsed.Nanoseconds(),
+		BuildNS:    buildNanos,
+		PhaseNanos: map[string]int64{},
+		Metrics:    map[string]float64{},
+	}
+	// Drop non-finite quality metrics (a diverged nonconvex solve can
+	// produce them) — NaN/Inf are not representable in JSON and would
+	// abort encoding mid-response.
+	for k, v := range p.Metrics() {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			r.Metrics[k] = v
+		}
+	}
+	if !math.IsNaN(res.Primal) {
+		pr := res.Primal
+		r.Primal = &pr
+	}
+	if !math.IsNaN(res.Dual) {
+		du := res.Dual
+		r.Dual = &du
+	}
+	for ph := admm.Phase(0); ph < admm.NumPhases; ph++ {
+		r.PhaseNanos[ph.String()] = res.PhaseNanos[ph]
+	}
+	j.mu.Lock()
+	j.status = StatusDone
+	j.result = r
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// cacheGet narrows the cache's Pooled to the serve-side problem type.
+func (s *Server) cacheGet(key string) (problem, bool) {
+	v, ok := s.cache.Get(key)
+	if !ok {
+		return nil, false
+	}
+	p, ok := v.(problem)
+	if !ok {
+		return nil, false
+	}
+	return p, true
+}

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postSolve(t *testing.T, ts *httptest.Server, body string) (int, JobView) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/solve: %v", err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, v
+}
+
+// TestSolveHandler is the table-driven admission test: malformed
+// requests are rejected with 400 at admission, and every workload
+// solves under every executor family.
+func TestSolveHandler(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	tests := []struct {
+		name     string
+		body     string
+		wantCode int
+	}{
+		{"malformed body", `{`, http.StatusBadRequest},
+		{"unknown workload", `{"workload":"tsp","spec":{"n":4}}`, http.StatusBadRequest},
+		{"missing spec", `{"workload":"lasso"}`, http.StatusBadRequest},
+		{"unknown spec field", `{"workload":"lasso","spec":{"m":16,"bogus":1}}`, http.StatusBadRequest},
+		{"bad spec value", `{"workload":"lasso","spec":{"m":1}}`, http.StatusBadRequest},
+		{"svm too few points", `{"workload":"svm","spec":{"n":1}}`, http.StatusBadRequest},
+		{"mpc zero horizon", `{"workload":"mpc","spec":{"k":0}}`, http.StatusBadRequest},
+		{"mpc bad q0", `{"workload":"mpc","spec":{"k":4,"q0":[1,2]}}`, http.StatusBadRequest},
+		{"packing zero circles", `{"workload":"packing","spec":{"n":0}}`, http.StatusBadRequest},
+		{"unknown executor kind", `{"workload":"lasso","spec":{"m":16},"executor":{"kind":"gpu"}}`, http.StatusBadRequest},
+		{"balanced_z on serial", `{"workload":"lasso","spec":{"m":16},"executor":{"kind":"serial","balanced_z":true}}`, http.StatusBadRequest},
+		{"max_iter over limit", `{"workload":"lasso","spec":{"m":16},"max_iter":100000000}`, http.StatusBadRequest},
+		{"lasso m over cap", `{"workload":"lasso","spec":{"m":100000000}}`, http.StatusBadRequest},
+		{"lasso p over cap", `{"workload":"lasso","spec":{"m":16,"p":100000}}`, http.StatusBadRequest},
+		{"svm n over cap", `{"workload":"svm","spec":{"n":100000000}}`, http.StatusBadRequest},
+		{"mpc k over cap", `{"workload":"mpc","spec":{"k":100000000}}`, http.StatusBadRequest},
+		{"packing n over cap", `{"workload":"packing","spec":{"n":100000}}`, http.StatusBadRequest},
+		{"executor workers over cap", `{"workload":"lasso","spec":{"m":16},"executor":{"kind":"barrier","workers":1000000000}}`, http.StatusBadRequest},
+
+		{"lasso serial", `{"workload":"lasso","spec":{"m":16},"max_iter":100}`, http.StatusOK},
+		{"svm parallel-for", `{"workload":"svm","spec":{"n":8},"executor":{"kind":"parallel-for","workers":2},"max_iter":100}`, http.StatusOK},
+		{"mpc barrier", `{"workload":"mpc","spec":{"k":4},"executor":{"kind":"barrier","workers":2},"max_iter":100}`, http.StatusOK},
+		{"packing async", `{"workload":"packing","spec":{"n":3},"executor":{"kind":"async"},"max_iter":100}`, http.StatusOK},
+		{"lasso balanced-z parallel-for", `{"workload":"lasso","spec":{"m":16},"executor":{"kind":"parallel-for","workers":2,"balanced_z":true,"dynamic":true},"max_iter":100}`, http.StatusOK},
+		{"mpc with tolerance", `{"workload":"mpc","spec":{"k":4},"rel_tol":1e-9,"abs_tol":1e-9,"max_iter":5000}`, http.StatusOK},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			code, v := postSolve(t, ts, tc.body)
+			if code != tc.wantCode {
+				t.Fatalf("status = %d (job %+v), want %d", code, v, tc.wantCode)
+			}
+			if tc.wantCode != http.StatusOK {
+				return
+			}
+			if v.Status != StatusDone || v.Result == nil {
+				t.Fatalf("job = %+v, want done with result", v)
+			}
+			if v.Result.Iterations <= 0 {
+				t.Errorf("iterations = %d, want > 0", v.Result.Iterations)
+			}
+			if len(v.Result.Metrics) == 0 {
+				t.Errorf("no quality metrics reported")
+			}
+		})
+	}
+}
+
+// TestResidualsReported checks that tolerance-bearing requests surface
+// the final residuals (and plain fixed-iteration requests don't).
+func TestResidualsReported(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	code, v := postSolve(t, ts, `{"workload":"mpc","spec":{"k":4},"rel_tol":1e-9,"abs_tol":1e-9,"max_iter":5000}`)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if v.Result.Primal == nil || v.Result.Dual == nil {
+		t.Errorf("residuals missing with tolerances set: %+v", v.Result)
+	}
+	code, v = postSolve(t, ts, `{"workload":"mpc","spec":{"k":4},"max_iter":50}`)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if v.Result.Primal != nil || v.Result.Dual != nil {
+		t.Errorf("residuals reported without residual checking: %+v", v.Result)
+	}
+}
+
+// TestGraphCacheHit is the acceptance scenario: the second
+// identical-shape request must reuse the cached factor graph (and still
+// produce the same solution metrics, since Reset clears all ADMM state).
+func TestGraphCacheHit(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	body := `{"workload":"lasso","spec":{"m":24,"blocks":4,"lambda":0.3},"max_iter":300}`
+
+	code, first := postSolve(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("first request: status %d", code)
+	}
+	if first.CacheHit {
+		t.Fatalf("first request claims a cache hit")
+	}
+	code, second := postSolve(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("second request: status %d", code)
+	}
+	if !second.CacheHit {
+		t.Fatalf("second identical-shape request missed the graph cache")
+	}
+	cs := s.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss", cs)
+	}
+	// Determinism across reuse: same spec, same init, same iterations —
+	// byte-identical quality metrics.
+	for k, v1 := range first.Result.Metrics {
+		if v2 := second.Result.Metrics[k]; v2 != v1 {
+			t.Errorf("metric %s diverged across cache reuse: %g vs %g", k, v1, v2)
+		}
+	}
+	// A different shape must not hit.
+	code, third := postSolve(t, ts, `{"workload":"lasso","spec":{"m":32,"blocks":4,"lambda":0.3},"max_iter":300}`)
+	if code != http.StatusOK {
+		t.Fatalf("third request: status %d", code)
+	}
+	if third.CacheHit {
+		t.Errorf("different-shape request claims a cache hit")
+	}
+}
+
+// TestAsyncJob exercises the fire-and-poll path: 202 on submit, then
+// GET /v1/jobs/{id} until done.
+func TestAsyncJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	code, v := postSolve(t, ts, `{"workload":"svm","spec":{"n":8},"max_iter":200,"wait":false}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202", code)
+	}
+	if v.ID == "" {
+		t.Fatalf("no job id in 202 response: %+v", v)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jv JobView
+		if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if jv.Status == StatusDone {
+			if jv.Result == nil || jv.Result.Iterations != 200 {
+				t.Fatalf("finished job = %+v, want 200 iterations", jv)
+			}
+			break
+		}
+		if jv.Status == StatusFailed {
+			t.Fatalf("job failed: %s", jv.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", jv.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobNotFound covers the 404 path.
+func TestJobNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestClosedServer maps pool shutdown to 503.
+func TestClosedServer(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Close()
+	code, _ := postSolve(t, ts, `{"workload":"mpc","spec":{"k":2},"max_iter":10}`)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", code)
+	}
+}
+
+// TestHealthAndMetrics checks the observability endpoints end to end:
+// healthz lists the workloads, and a completed solve shows up in every
+// metric family.
+func TestHealthAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status    string   `json:"status"`
+		Workloads []string `json:"workloads"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || len(health.Workloads) != 4 {
+		t.Fatalf("healthz = %+v, want ok with 4 workloads", health)
+	}
+
+	code, _ := postSolve(t, ts, `{"workload":"mpc","spec":{"k":4},"max_iter":120}`)
+	if code != http.StatusOK {
+		t.Fatalf("solve status = %d", code)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawBytes, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(rawBytes)
+	for _, want := range []string{
+		`paradmm_requests_total{workload="mpc",outcome="ok"} 1`,
+		"paradmm_iterations_total 120",
+		`paradmm_phase_nanos_total{phase="x-update"}`,
+		"paradmm_graph_cache_misses_total 1",
+		"paradmm_jobs_inflight 0",
+		"paradmm_queue_depth 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n---\n%s", want, text)
+		}
+	}
+}
