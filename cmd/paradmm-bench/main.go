@@ -7,12 +7,17 @@
 //	paradmm-bench all                  # run everything
 //	paradmm-bench -full fig7           # paper-scale workloads (slow, RAM-hungry)
 //	paradmm-bench -csv fig7            # CSV instead of aligned tables
+//	paradmm-bench -shard-json BENCH_shard.json   # machine-readable executor baseline
 //
 // Each experiment id matches the per-experiment index in DESIGN.md;
 // EXPERIMENTS.md records the paper-vs-reproduced comparison for each.
+// -shard-json writes the executor x workload throughput sweep
+// (iterations/sec, per-phase wall time, shard boundary footprint) used
+// as the committed perf-trajectory baseline and uploaded by CI.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,12 +29,32 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale workload sizes (slower; packing needs several GB)")
 	seed := flag.Int64("seed", 1, "seed for randomized workloads")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	shardJSON := flag.String("shard-json", "", "write the executor x workload throughput sweep to this file and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: paradmm-bench [-full] [-seed N] [-csv] <experiment-id>... | all | list\n\n")
+		fmt.Fprintf(os.Stderr, "usage: paradmm-bench [-full] [-seed N] [-csv] [-shard-json FILE] <experiment-id>... | all | list\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	args := flag.Args()
+	if *shardJSON != "" {
+		if len(args) > 0 {
+			fatal(fmt.Errorf("-shard-json runs its own sweep and takes no experiment ids (got %q)", args))
+		}
+		rep, err := bench.RunShardBench(bench.Scale{Full: *full, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		raw = append(raw, '\n')
+		if err := os.WriteFile(*shardJSON, raw, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d entries)\n", *shardJSON, len(rep.Entries))
+		return
+	}
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)

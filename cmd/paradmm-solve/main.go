@@ -7,6 +7,7 @@
 //	paradmm-solve -problem packing -size 20 -iters 4000 -backend gpu
 //	paradmm-solve -problem mpc -size 50 -iters 20000 -backend serial
 //	paradmm-solve -problem svm -size 200 -iters 5000 -backend parallel -workers 4
+//	paradmm-solve -problem mpc -size 2000 -iters 1000 -backend sharded -shards 4 -partition balanced
 //	paradmm-solve -problem lasso -size 100 -iters 5000
 package main
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/lasso"
 	"repro/internal/mpc"
 	"repro/internal/packing"
+	"repro/internal/shard"
 	"repro/internal/svm"
 )
 
@@ -30,36 +32,48 @@ func main() {
 	problem := flag.String("problem", "packing", "packing | mpc | svm | lasso")
 	size := flag.Int("size", 10, "circles / horizon / data points / observations")
 	iters := flag.Int("iters", 2000, "ADMM iterations")
-	backendName := flag.String("backend", "serial", "serial | parallel | barrier | gpu | cpusim | multicpu | async | twa")
+	backendName := flag.String("backend", "serial", "serial | parallel | barrier | async | sharded | gpu | cpusim | multicpu | twa")
 	workers := flag.Int("workers", 4, "workers for parallel/barrier/multicpu")
+	shards := flag.Int("shards", 4, "shard count for -backend sharded")
+	partition := flag.String("partition", "balanced", "sharded partition strategy: block | balanced | greedy-mincut")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 
-	backend, err := makeBackend(*backendName, *workers)
+	// The sharded executor partitions the factor graph up front, so the
+	// backend is built after the problem: solve* functions receive this
+	// factory and call it with the finalized graph.
+	newBackend := func(g *graph.Graph) (admm.Backend, error) {
+		return makeBackend(*backendName, *workers, *shards, *partition, g)
+	}
+
+	var err error
+	switch *problem {
+	case "packing":
+		err = solvePacking(*size, *iters, newBackend, *seed)
+	case "mpc":
+		err = solveMPC(*size, *iters, newBackend)
+	case "svm":
+		err = solveSVM(*size, *iters, newBackend, *seed)
+	case "lasso":
+		err = solveLasso(*size, *iters, newBackend, *seed)
+	default:
+		err = fmt.Errorf("unknown problem %q", *problem)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	defer backend.Close()
-
-	switch *problem {
-	case "packing":
-		solvePacking(*size, *iters, backend, *seed)
-	case "mpc":
-		solveMPC(*size, *iters, backend)
-	case "svm":
-		solveSVM(*size, *iters, backend, *seed)
-	case "lasso":
-		solveLasso(*size, *iters, backend, *seed)
-	default:
-		fatal(fmt.Errorf("unknown problem %q", *problem))
-	}
 }
 
-func makeBackend(name string, workers int) (admm.Backend, error) {
+func makeBackend(name string, workers, shards int, partition string, g *graph.Graph) (admm.Backend, error) {
 	// Shared-memory strategies go through the declarative executor spec —
 	// the same selection path the serving layer uses per request.
 	if spec, err := admm.ParseExecutor(name, workers); err == nil {
-		return spec.NewBackend(nil)
+		if spec.Kind == admm.ExecSharded {
+			spec.Workers = 0
+			spec.Shards = shards
+			spec.Partition = partition
+		}
+		return spec.NewBackend(g)
 	}
 	switch name {
 	case "gpu":
@@ -74,6 +88,20 @@ func makeBackend(name string, workers int) (admm.Backend, error) {
 	return nil, fmt.Errorf("unknown backend %q", name)
 }
 
+func run(g *graph.Graph, iters int, newBackend func(*graph.Graph) (admm.Backend, error)) (admm.Result, error) {
+	backend, err := newBackend(g)
+	if err != nil {
+		return admm.Result{}, err
+	}
+	defer backend.Close()
+	res, err := admm.Run(g, admm.Options{MaxIter: iters, Backend: backend})
+	if err != nil {
+		return res, err
+	}
+	report(res, g, backend)
+	return res, nil
+}
+
 func report(res admm.Result, g *graph.Graph, backend admm.Backend) {
 	s := g.Stats()
 	fmt.Printf("graph: %d functions, %d variables, %d edges (d=%d)\n",
@@ -82,70 +110,74 @@ func report(res admm.Result, g *graph.Graph, backend admm.Backend) {
 	fr := res.PhaseFractions()
 	fmt.Printf("phase time: x %.0f%%, m %.0f%%, z %.0f%%, u %.0f%%, n %.0f%%\n",
 		100*fr[0], 100*fr[1], 100*fr[2], 100*fr[3], 100*fr[4])
+	if sb, ok := backend.(*shard.Backend); ok {
+		st := sb.Stats()
+		fmt.Printf("shards: %d (%s partition), %d boundary vars / %d boundary edges, sync wait %v, boundary z %v\n",
+			st.Shards, st.Strategy, st.BoundaryVars, st.BoundaryEdges,
+			nanos(st.SyncWaitNanos), nanos(st.BoundaryZNanos))
+	}
 }
 
-func solvePacking(n, iters int, backend admm.Backend, seed int64) {
+func nanos(n int64) string { return fmt.Sprintf("%.2fms", float64(n)/1e6) }
+
+func solvePacking(n, iters int, newBackend func(*graph.Graph) (admm.Backend, error), seed int64) error {
 	p, err := packing.Build(packing.Config{N: n})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	p.InitRandom(rand.New(rand.NewSource(seed)))
-	res, err := admm.Run(p.Graph, admm.Options{MaxIter: iters, Backend: backend})
-	if err != nil {
-		fatal(err)
+	if _, err := run(p.Graph, iters, newBackend); err != nil {
+		return err
 	}
-	report(res, p.Graph, backend)
 	v := p.CheckValidity()
 	fmt.Printf("packing: coverage %.1f%%, max overlap %.2e, max wall violation %.2e, min radius %.4f\n",
 		100*p.Coverage(), v.MaxOverlap, v.MaxWall, v.MinRadius)
+	return nil
 }
 
-func solveMPC(k, iters int, backend admm.Backend) {
+func solveMPC(k, iters int, newBackend func(*graph.Graph) (admm.Backend, error)) error {
 	p, err := mpc.Build(mpc.Config{K: k})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	p.Graph.InitZero()
-	res, err := admm.Run(p.Graph, admm.Options{MaxIter: iters, Backend: backend})
-	if err != nil {
-		fatal(err)
+	if _, err := run(p.Graph, iters, newBackend); err != nil {
+		return err
 	}
-	report(res, p.Graph, backend)
 	fmt.Printf("mpc: cost %.6f, dynamics residual %.2e, u(0) = %.4f\n",
 		p.Cost(), p.DynamicsResidual(), p.Input(0))
+	return nil
 }
 
-func solveSVM(n, iters int, backend admm.Backend, seed int64) {
+func solveSVM(n, iters int, newBackend func(*graph.Graph) (admm.Backend, error), seed int64) error {
 	ds := svm.TwoGaussians(n, 2, 4, rand.New(rand.NewSource(seed)))
 	p, err := svm.Build(svm.Config{Data: ds, Lambda: 0.5})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	p.Graph.InitZero()
-	res, err := admm.Run(p.Graph, admm.Options{MaxIter: iters, Backend: backend})
-	if err != nil {
-		fatal(err)
+	if _, err := run(p.Graph, iters, newBackend); err != nil {
+		return err
 	}
-	report(res, p.Graph, backend)
 	w, b := p.Plane()
 	fmt.Printf("svm: training accuracy %.1f%%, |w| = %.4f, b = %.4f, objective %.4f\n",
 		100*p.Accuracy(ds), norm(w), b, p.HingeObjective())
+	return nil
 }
 
-func solveLasso(m, iters int, backend admm.Backend, seed int64) {
+func solveLasso(m, iters int, newBackend func(*graph.Graph) (admm.Backend, error), seed int64) error {
 	inst := lasso.Synthetic(m, m/4+2, m/16+1, 0.05, rand.New(rand.NewSource(seed)))
 	p, err := lasso.Build(lasso.Config{Inst: inst, Blocks: 4, Lambda: 0.3})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	p.Graph.InitZero()
-	res, err := admm.Run(p.Graph, admm.Options{MaxIter: iters, Backend: backend})
-	if err != nil {
-		fatal(err)
+	if _, err := run(p.Graph, iters, newBackend); err != nil {
+		return err
 	}
-	report(res, p.Graph, backend)
 	x := p.Coefficients()
 	fmt.Printf("lasso: objective %.6f, optimality gap %.2e\n", p.Objective(x), p.OptimalityGap(x))
+	return nil
 }
 
 func norm(v []float64) float64 {

@@ -11,14 +11,17 @@ import (
 // zero value selects the serial baseline.
 type ExecutorKind string
 
-// The four shared-memory executors. Simulated-device backends (GPU,
+// The five shared-memory executors. Simulated-device backends (GPU,
 // multi-CPU cost models) live in internal/gpusim and are plugged in via
-// Options.Backend instead.
+// Options.Backend instead. The sharded executor's implementation lives
+// in internal/shard and registers itself via RegisterExecutor; importing
+// that package links it in.
 const (
 	ExecSerial      ExecutorKind = "serial"
 	ExecParallelFor ExecutorKind = "parallel-for"
 	ExecBarrier     ExecutorKind = "barrier"
 	ExecAsync       ExecutorKind = "async"
+	ExecSharded     ExecutorKind = "sharded"
 )
 
 // ExecutorSpec is a declarative backend selection: a kind plus its
@@ -39,6 +42,13 @@ type ExecutorSpec struct {
 	BalancedZ bool `json:"balanced_z,omitempty"`
 	// Seed seeds the async executor's activation schedule (default 1).
 	Seed int64 `json:"seed,omitempty"`
+	// Shards is the shard count for the sharded executor (default 4;
+	// sharded only).
+	Shards int `json:"shards,omitempty"`
+	// Partition selects the sharded executor's graph-partitioning
+	// strategy: "block" | "balanced" | "greedy-mincut" (default
+	// "balanced"; sharded only).
+	Partition string `json:"partition,omitempty"`
 }
 
 // ParseExecutor resolves a user-facing executor name ("serial",
@@ -55,8 +65,10 @@ func ParseExecutor(name string, workers int) (ExecutorSpec, error) {
 		s.Kind = ExecBarrier
 	case string(ExecAsync):
 		s.Kind = ExecAsync
+	case string(ExecSharded):
+		s.Kind = ExecSharded
 	default:
-		return s, fmt.Errorf("admm: unknown executor %q (want serial | parallel-for | barrier | async)", name)
+		return s, fmt.Errorf("admm: unknown executor %q (want serial | parallel-for | barrier | async | sharded)", name)
 	}
 	return s, nil
 }
@@ -66,11 +78,35 @@ func ParseExecutor(name string, workers int) (ExecutorSpec, error) {
 // single serving-layer request exhaust memory.
 const MaxWorkers = 1024
 
+// MaxShards bounds ExecutorSpec.Shards more tightly than MaxWorkers:
+// beyond shared-memory core counts, extra shards only amplify the
+// partitioner's O(vars x shards) working memory and the per-shard
+// goroutine count for a single serving-layer request (cross-machine
+// sharding is a different transport, not more shards here).
+const MaxShards = 64
+
+// ExecutorFactory builds a backend for a registered executor kind.
+// Factories receive the finalized graph the solve will run on (the
+// sharded executor partitions it up front).
+type ExecutorFactory func(s ExecutorSpec, g *graph.Graph) (Backend, error)
+
+var executorFactories = map[ExecutorKind]ExecutorFactory{}
+
+// RegisterExecutor installs the factory for an out-of-package executor
+// kind. It is called from package init functions (internal/shard);
+// double registration panics to surface wiring mistakes early.
+func RegisterExecutor(kind ExecutorKind, f ExecutorFactory) {
+	if _, dup := executorFactories[kind]; dup {
+		panic(fmt.Sprintf("admm: executor %q registered twice", kind))
+	}
+	executorFactories[kind] = f
+}
+
 // Validate reports whether the spec is well-formed without building a
 // backend.
 func (s ExecutorSpec) Validate() error {
 	switch s.Kind {
-	case "", ExecSerial, ExecParallelFor, ExecBarrier, ExecAsync:
+	case "", ExecSerial, ExecParallelFor, ExecBarrier, ExecAsync, ExecSharded:
 	default:
 		return fmt.Errorf("admm: unknown executor kind %q", s.Kind)
 	}
@@ -79,6 +115,15 @@ func (s ExecutorSpec) Validate() error {
 	}
 	if (s.Dynamic || s.BalancedZ) && s.Kind != ExecParallelFor {
 		return fmt.Errorf("admm: dynamic/balanced_z apply only to %q, not %q", ExecParallelFor, s.Kind)
+	}
+	if s.Shards < 0 || s.Shards > MaxShards {
+		return fmt.Errorf("admm: shards = %d, need 0..%d", s.Shards, MaxShards)
+	}
+	if (s.Shards != 0 || s.Partition != "") && s.Kind != ExecSharded {
+		return fmt.Errorf("admm: shards/partition apply only to %q, not %q", ExecSharded, s.Kind)
+	}
+	if _, err := graph.ParseStrategy(s.Partition); err != nil {
+		return err
 	}
 	return nil
 }
@@ -115,6 +160,15 @@ func (s ExecutorSpec) NewBackend(g *graph.Graph) (Backend, error) {
 			seed = 1
 		}
 		return NewAsync(seed), nil
+	case ExecSharded:
+		f, ok := executorFactories[ExecSharded]
+		if !ok {
+			return nil, fmt.Errorf("admm: sharded executor not linked (import repro/internal/shard)")
+		}
+		if g == nil {
+			return nil, fmt.Errorf("admm: sharded executor needs a finalized graph")
+		}
+		return f(s, g)
 	}
 	return nil, fmt.Errorf("admm: unknown executor kind %q", s.Kind)
 }

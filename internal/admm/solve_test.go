@@ -2,6 +2,7 @@ package admm
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -18,6 +19,7 @@ func TestParseExecutor(t *testing.T) {
 		{"barrier", ExecBarrier, false},
 		{"barrier-workers", ExecBarrier, false},
 		{"async", ExecAsync, false},
+		{"sharded", ExecSharded, false},
 		{"  Serial ", ExecSerial, false},
 		{"gpu", "", true},
 		{"openmp", "", true},
@@ -41,6 +43,11 @@ func TestExecutorSpecValidate(t *testing.T) {
 		{Kind: ExecBarrier, Workers: MaxWorkers + 1},
 		{Kind: ExecSerial, Dynamic: true},
 		{Kind: ExecBarrier, BalancedZ: true},
+		{Kind: ExecSharded, Shards: -1},
+		{Kind: ExecSharded, Shards: MaxShards + 1},
+		{Kind: ExecSharded, Partition: "metis"},
+		{Kind: ExecSerial, Shards: 2},
+		{Kind: ExecAsync, Partition: "balanced"},
 	}
 	for _, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -51,11 +58,25 @@ func TestExecutorSpecValidate(t *testing.T) {
 		{},
 		{Kind: ExecParallelFor, Workers: 8, Dynamic: true, BalancedZ: true},
 		{Kind: ExecAsync, Seed: 3},
+		{Kind: ExecSharded, Shards: 4, Partition: "greedy-mincut"},
+		{Kind: ExecSharded},
 	}
 	for _, s := range good {
 		if err := s.Validate(); err != nil {
 			t.Errorf("Validate(%+v) = %v, want nil", s, err)
 		}
+	}
+}
+
+// TestShardedNeedsLinking: this package does not import internal/shard,
+// so the sharded factory is unregistered here and NewBackend must say
+// how to link it rather than crash. (The real path is covered in
+// internal/shard's tests and the root conformance suite.)
+func TestShardedNeedsLinking(t *testing.T) {
+	g := buildAveraging(t, []float64{1, 2})
+	_, err := ExecutorSpec{Kind: ExecSharded}.NewBackend(g)
+	if err == nil || !strings.Contains(err.Error(), "internal/shard") {
+		t.Fatalf("NewBackend error = %v, want not-linked hint", err)
 	}
 }
 

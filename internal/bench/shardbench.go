@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/admm"
+	"repro/internal/graph"
+	"repro/internal/lasso"
+	"repro/internal/mpc"
+	"repro/internal/packing"
+	"repro/internal/shard"
+	"repro/internal/svm"
+)
+
+// ShardBenchSchema versions the BENCH_shard.json layout so downstream
+// trajectory tooling can detect format changes.
+const ShardBenchSchema = "paradmm-shard-bench/v1"
+
+// ShardBenchEntry is one executor x workload measurement.
+type ShardBenchEntry struct {
+	Workload    string           `json:"workload"`
+	Executor    string           `json:"executor"`
+	Iters       int              `json:"iters"`
+	ElapsedNS   int64            `json:"elapsed_ns"`
+	ItersPerSec float64          `json:"iters_per_sec"`
+	PhaseNanos  map[string]int64 `json:"phase_nanos"`
+	// Sharded-only partition footprint.
+	Shards        int   `json:"shards,omitempty"`
+	BoundaryVars  int   `json:"boundary_vars,omitempty"`
+	BoundaryEdges int   `json:"boundary_edges,omitempty"`
+	SyncWaitNS    int64 `json:"sync_wait_ns,omitempty"`
+}
+
+// ShardBenchReport is the machine-readable perf baseline paradmm-bench
+// emits with -shard-json: iterations/sec and per-phase wall time for
+// every executor family on every workload, seeding the perf trajectory.
+type ShardBenchReport struct {
+	Schema     string            `json:"schema"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	GoVersion  string            `json:"go_version"`
+	Scale      string            `json:"scale"`
+	Seed       int64             `json:"seed"`
+	Entries    []ShardBenchEntry `json:"entries"`
+}
+
+// shardBenchCell names one executor configuration for the sweep.
+type shardBenchCell struct {
+	name string
+	make func(g *graph.Graph) (admm.Backend, error)
+}
+
+func shardBenchExecutors() []shardBenchCell {
+	specCell := func(name string, spec admm.ExecutorSpec) shardBenchCell {
+		return shardBenchCell{name, func(g *graph.Graph) (admm.Backend, error) {
+			return spec.NewBackend(g)
+		}}
+	}
+	return []shardBenchCell{
+		specCell("serial", admm.ExecutorSpec{Kind: admm.ExecSerial}),
+		specCell("parallel-for-4", admm.ExecutorSpec{Kind: admm.ExecParallelFor, Workers: 4}),
+		specCell("barrier-4", admm.ExecutorSpec{Kind: admm.ExecBarrier, Workers: 4}),
+		specCell("async", admm.ExecutorSpec{Kind: admm.ExecAsync}),
+		specCell("sharded-1", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 1}),
+		specCell("sharded-2", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 2}),
+		specCell("sharded-4", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4}),
+	}
+}
+
+// shardBenchWorkload builds one deterministic instance per call.
+type shardBenchWorkload struct {
+	name  string
+	iters int
+	build func(seed int64) (*graph.Graph, error)
+}
+
+func shardBenchWorkloads(s Scale) []shardBenchWorkload {
+	// Quick sizes keep the whole sweep in CI-smoke territory; -full
+	// scales the shapes toward the paper's sweeps. The mpc cell uses a
+	// realtime-scale horizon (K=300), where per-iteration sync cost is
+	// what separates the executors; mpc-xl is the compute-bound chain
+	// where all executors amortize toward serial throughput.
+	lassoM, svmN, mpcK, mpcXLK, packN := 96, 300, 300, 2000, 16
+	iters := [5]int{800, 300, 2000, 400, 400}
+	if s.Full {
+		lassoM, svmN, mpcK, mpcXLK, packN = 512, 2000, 1000, 20000, 64
+	}
+	mpcCell := func(k int) func(seed int64) (*graph.Graph, error) {
+		return func(seed int64) (*graph.Graph, error) {
+			p, err := mpc.FromSpec(mpc.Spec{K: k})
+			if err != nil {
+				return nil, err
+			}
+			p.Graph.InitZero()
+			return p.Graph, nil
+		}
+	}
+	return []shardBenchWorkload{
+		{"lasso", iters[0], func(seed int64) (*graph.Graph, error) {
+			p, err := lasso.FromSpec(lasso.Spec{M: lassoM, Lambda: 0.3, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			p.Graph.InitZero()
+			return p.Graph, nil
+		}},
+		{"svm", iters[1], func(seed int64) (*graph.Graph, error) {
+			p, err := svm.FromSpec(svm.Spec{N: svmN, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			p.Graph.InitZero()
+			return p.Graph, nil
+		}},
+		{"mpc", iters[2], mpcCell(mpcK)},
+		{"mpc-xl", iters[3], mpcCell(mpcXLK)},
+		{"packing", iters[4], func(seed int64) (*graph.Graph, error) {
+			p, err := packing.FromSpec(packing.Spec{N: packN})
+			if err != nil {
+				return nil, err
+			}
+			p.InitRandom(rand.New(rand.NewSource(seed)))
+			return p.Graph, nil
+		}},
+	}
+}
+
+// RunShardBench sweeps every executor family over every workload and
+// returns the machine-readable report. Each cell runs a short warmup
+// (JIT-free Go still wants warm caches and, for lasso, warm Cholesky
+// factorizations) before the timed runs.
+func RunShardBench(s Scale) (*ShardBenchReport, error) {
+	return runShardBench(s, shardBenchWorkloads(s), 5)
+}
+
+// runShardBench is the sweep core; tests call it with shrunken
+// workloads and fewer reps.
+func runShardBench(s Scale, workloads []shardBenchWorkload, reps int) (*ShardBenchReport, error) {
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	scale := "quick"
+	if s.Full {
+		scale = "full"
+	}
+	rep := &ShardBenchReport{
+		Schema:     ShardBenchSchema,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Scale:      scale,
+		Seed:       seed,
+	}
+	for _, w := range workloads {
+		// Build every cell up front, then interleave the timed reps
+		// round-robin across executors: best-of-N per cell with the reps
+		// spread out in time, so a transient host-contention window
+		// degrades all executors equally instead of whichever cell it
+		// happened to land on.
+		type cellState struct {
+			name       string
+			g          *graph.Graph
+			backend    admm.Backend
+			elapsed    time.Duration
+			phaseNanos [admm.NumPhases]int64
+			syncWaitNS int64
+		}
+		cells := []*cellState{}
+		closeCells := func() {
+			for _, c := range cells {
+				c.backend.Close()
+			}
+		}
+		for _, cell := range shardBenchExecutors() {
+			g, err := w.build(seed)
+			if err != nil {
+				closeCells()
+				return nil, fmt.Errorf("bench: build %s: %w", w.name, err)
+			}
+			backend, err := cell.make(g)
+			if err != nil {
+				closeCells()
+				return nil, fmt.Errorf("bench: executor %s: %w", cell.name, err)
+			}
+			warm := w.iters / 10
+			if warm < 1 {
+				warm = 1
+			}
+			var warmNanos [admm.NumPhases]int64
+			backend.Iterate(g, warm, &warmNanos)
+			cells = append(cells, &cellState{name: cell.name, g: g, backend: backend})
+		}
+		for attempt := 0; attempt < reps; attempt++ {
+			for _, c := range cells {
+				// Snapshot the sharded backend's cumulative sync-wait
+				// counter around the rep so the recorded value matches
+				// the recorded elapsed time (one rep, not warmup+all).
+				var syncBefore int64
+				if sb, ok := c.backend.(*shard.Backend); ok {
+					syncBefore = sb.Stats().SyncWaitNanos
+				}
+				var repNanos [admm.NumPhases]int64
+				start := time.Now()
+				c.backend.Iterate(c.g, w.iters, &repNanos)
+				repElapsed := time.Since(start)
+				if attempt == 0 || repElapsed < c.elapsed {
+					c.elapsed = repElapsed
+					c.phaseNanos = repNanos
+					if sb, ok := c.backend.(*shard.Backend); ok {
+						c.syncWaitNS = sb.Stats().SyncWaitNanos - syncBefore
+					}
+				}
+			}
+		}
+		for _, c := range cells {
+			entry := ShardBenchEntry{
+				Workload:    w.name,
+				Executor:    c.name,
+				Iters:       w.iters,
+				ElapsedNS:   c.elapsed.Nanoseconds(),
+				ItersPerSec: float64(w.iters) / c.elapsed.Seconds(),
+				PhaseNanos:  map[string]int64{},
+			}
+			for ph := admm.Phase(0); ph < admm.NumPhases; ph++ {
+				entry.PhaseNanos[ph.String()] = c.phaseNanos[ph]
+			}
+			if sb, ok := c.backend.(*shard.Backend); ok {
+				st := sb.Stats()
+				entry.Shards = st.Shards
+				entry.BoundaryVars = st.BoundaryVars
+				entry.BoundaryEdges = st.BoundaryEdges
+				entry.SyncWaitNS = c.syncWaitNS
+			}
+			c.backend.Close()
+			rep.Entries = append(rep.Entries, entry)
+		}
+	}
+	return rep, nil
+}
+
+// Tables renders the report as one bench table per workload, for the
+// human-facing experiment path.
+func (r *ShardBenchReport) Tables() []*Table {
+	byWorkload := map[string]*Table{}
+	order := []*Table{}
+	for _, e := range r.Entries {
+		t, ok := byWorkload[e.Workload]
+		if !ok {
+			t = NewTable(fmt.Sprintf("executor throughput — %s", e.Workload),
+				"executor", "iters/s", "boundary vars", "boundary edges")
+			byWorkload[e.Workload] = t
+			order = append(order, t)
+		}
+		bv, be := "-", "-"
+		if e.Shards > 0 {
+			bv, be = fmt.Sprintf("%d", e.BoundaryVars), fmt.Sprintf("%d", e.BoundaryEdges)
+		}
+		t.AddRow(e.Executor, fmt.Sprintf("%.1f", e.ItersPerSec), bv, be)
+	}
+	return order
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ext-shard",
+		Paper: "extension: future-work item 3 (multi-GPU / multi-computer), executed",
+		Desc:  "Real sharded executor vs the shared-memory families on all four workloads; boundary footprint per partition.",
+		Run: func(s Scale) ([]*Table, error) {
+			// Two reps keep the interactive experiment (and the CI
+			// experiment-sweep test) fast; the curated BENCH_shard.json
+			// baseline uses RunShardBench's best-of-five.
+			rep, err := runShardBench(s, shardBenchWorkloads(s), 2)
+			if err != nil {
+				return nil, err
+			}
+			return rep.Tables(), nil
+		},
+	})
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestShardBenchReportShape runs a shrunken sweep (tiny iteration
+// counts, single rep) and checks the report is complete and
+// JSON-serializable: every executor family appears for every workload,
+// throughput numbers are positive and finite, and sharded entries carry
+// their partition footprint. Perf ordering is deliberately not asserted
+// — CI machines are too noisy; the committed BENCH_shard.json is the
+// curated baseline.
+func TestShardBenchReportShape(t *testing.T) {
+	workloads := shardBenchWorkloads(Scale{})
+	for i := range workloads {
+		workloads[i].iters = 3
+	}
+	rep, err := runShardBench(Scale{Seed: 1}, workloads, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ShardBenchSchema {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	executors := len(shardBenchExecutors())
+	if len(rep.Entries) != len(workloads)*executors {
+		t.Fatalf("%d entries, want %d x %d", len(rep.Entries), len(workloads), executors)
+	}
+	shardedSeen := 0
+	for _, e := range rep.Entries {
+		if e.ItersPerSec <= 0 || e.ElapsedNS <= 0 {
+			t.Fatalf("degenerate entry %+v", e)
+		}
+		if len(e.PhaseNanos) != 5 {
+			t.Fatalf("entry %s/%s has %d phases", e.Workload, e.Executor, len(e.PhaseNanos))
+		}
+		if e.Shards > 0 {
+			shardedSeen++
+			// Packing's all-pairs collisions make boundary unavoidable at
+			// 2+ shards. (Lasso/svm legitimately collapse to one shard
+			// under the balanced strategy — every function's first
+			// variable is the same consensus feature — so no boundary.)
+			if e.Shards > 1 && e.Workload == "packing" && e.BoundaryVars == 0 {
+				t.Errorf("%s/%s: expected boundary vars on the dense graph", e.Workload, e.Executor)
+			}
+		}
+	}
+	if shardedSeen != 3*len(workloads) {
+		t.Fatalf("sharded entries = %d, want %d", shardedSeen, 3*len(workloads))
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report not serializable: %v", err)
+	}
+}
+
+// TestShardBenchTables checks the human-facing rendering groups one
+// table per workload with one row per executor.
+func TestShardBenchTables(t *testing.T) {
+	workloads := shardBenchWorkloads(Scale{})[:2]
+	for i := range workloads {
+		workloads[i].iters = 2
+	}
+	rep, err := runShardBench(Scale{Seed: 1}, workloads, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := rep.Tables()
+	if len(tables) != 2 {
+		t.Fatalf("%d tables, want 2", len(tables))
+	}
+}

@@ -48,7 +48,11 @@ func NewMultiDevice(dev *Device, count int) (*MultiDevice, error) {
 	}, nil
 }
 
-// Partition describes a function-node split across devices.
+// Partition describes a function-node split across devices. The
+// partitioning heuristics and boundary analysis live in internal/graph
+// (graph.NewPartition) so the real sharded executor (internal/shard) and
+// this cost simulator always describe the same split; this type is the
+// simulator-facing view.
 type Partition struct {
 	// FuncDevice maps function node -> device.
 	FuncDevice []int
@@ -58,88 +62,37 @@ type Partition struct {
 	BoundaryEdges int
 }
 
-// PartitionContiguous splits function nodes into contiguous ranges with
-// balanced edge counts — the naive "shard by construction order" split.
-// Builders group functions by kind (all costs, then all dynamics, ...),
-// so this split strands related functions on different devices and
-// serves as the baseline the locality-aware PartitionByVariable is
+// fromGraphPartition adapts the shared analysis to the simulator view.
+func fromGraphPartition(p graph.Partition) Partition {
+	return Partition{
+		FuncDevice:    p.FuncPart,
+		BoundaryVars:  p.BoundaryVars,
+		BoundaryEdges: p.BoundaryEdges,
+	}
+}
+
+// PartitionContiguous is the naive "shard by construction order" split
+// (graph.StrategyBlock): contiguous function ranges with balanced edge
+// counts, the baseline the locality-aware PartitionByVariable is
 // compared against.
 func PartitionContiguous(g *graph.Graph, devices int) Partition {
-	nF := g.NumFunctions()
-	weights := make([]float64, nF)
-	for a := 0; a < nF; a++ {
-		weights[a] = float64(g.FuncDegree(a))
+	p, err := graph.NewPartition(g, devices, graph.StrategyBlock)
+	if err != nil {
+		panic(err)
 	}
-	// Walk functions accumulating edges; cut at equal edge shares.
-	p := Partition{FuncDevice: make([]int, nF)}
-	total := float64(g.NumEdges())
-	var acc float64
-	for a := 0; a < nF; a++ {
-		dev := int(acc / total * float64(devices))
-		if dev >= devices {
-			dev = devices - 1
-		}
-		p.FuncDevice[a] = dev
-		acc += weights[a]
-	}
-	finishPartition(g, &p)
-	return p
+	return fromGraphPartition(p)
 }
 
-// PartitionByVariable splits variable nodes into contiguous ranges of
-// balanced degree mass and assigns each function to the device of its
-// first variable. Builders number variables along the problem's natural
-// geometry (time steps in MPC, point index in SVM), so this split keeps
-// neighborhoods together: a K-step MPC chain crosses devices at only
-// count-1 time steps.
+// PartitionByVariable is the locality-aware split
+// (graph.StrategyBalanced): contiguous variable ranges of balanced
+// degree mass, each function placed with its first variable. A K-step
+// MPC chain crosses devices at only count-1 time steps.
 func PartitionByVariable(g *graph.Graph, devices int) Partition {
-	nV := g.NumVariables()
-	varDev := make([]int, nV)
-	total := float64(g.NumEdges())
-	var acc float64
-	for v := 0; v < nV; v++ {
-		dev := int(acc / total * float64(devices))
-		if dev >= devices {
-			dev = devices - 1
-		}
-		varDev[v] = dev
-		acc += float64(g.VarDegree(v))
+	p, err := graph.NewPartition(g, devices, graph.StrategyBalanced)
+	if err != nil {
+		panic(err)
 	}
-	nF := g.NumFunctions()
-	p := Partition{FuncDevice: make([]int, nF)}
-	for a := 0; a < nF; a++ {
-		lo, _ := g.FuncEdges(a)
-		p.FuncDevice[a] = varDev[g.EdgeVar(lo)]
-	}
-	finishPartition(g, &p)
-	return p
-}
-
-// finishPartition computes boundary statistics for a function placement.
-func finishPartition(g *graph.Graph, p *Partition) {
-	nF := g.NumFunctions()
-	edgeDev := make([]int32, g.NumEdges())
-	for a := 0; a < nF; a++ {
-		lo, hi := g.FuncEdges(a)
-		for e := lo; e < hi; e++ {
-			edgeDev[e] = int32(p.FuncDevice[a])
-		}
-	}
-	for v := 0; v < g.NumVariables(); v++ {
-		edges := g.VarEdges(v)
-		first := edgeDev[edges[0]]
-		boundary := false
-		for _, e := range edges[1:] {
-			if edgeDev[e] != first {
-				boundary = true
-				break
-			}
-		}
-		if boundary {
-			p.BoundaryVars = append(p.BoundaryVars, v)
-			p.BoundaryEdges += len(edges)
-		}
-	}
+	return fromGraphPartition(p)
 }
 
 // IterationTime returns the simulated seconds for one full iteration on

@@ -1,0 +1,338 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PartitionStrategy names a function-node partitioning heuristic. The
+// same strategies drive both the multi-device cost simulator
+// (internal/gpusim.MultiDevice) and the real sharded executor
+// (internal/shard): they were extracted here so the simulator's
+// predictions and the executor's measurements always describe the same
+// split.
+type PartitionStrategy string
+
+const (
+	// StrategyBlock splits function nodes into contiguous ranges with
+	// balanced edge counts — the naive "shard by construction order"
+	// split. Builders group functions by kind (all costs, then all
+	// dynamics, ...), so this strands related functions on different
+	// shards; it is the baseline the locality-aware strategies are
+	// compared against.
+	StrategyBlock PartitionStrategy = "block"
+	// StrategyBalanced splits variable nodes into contiguous ranges of
+	// balanced degree mass and assigns each function to the shard of its
+	// first variable. Builders number variables along the problem's
+	// natural geometry (time steps in MPC, point index in SVM), so this
+	// keeps neighborhoods together: a K-step MPC chain crosses shards at
+	// only parts-1 time steps.
+	StrategyBalanced PartitionStrategy = "balanced"
+	// StrategyGreedyMincut streams function nodes through a linear
+	// deterministic greedy placement: each function goes to the shard
+	// already holding the most edges incident to its variables, scaled
+	// by remaining shard capacity so no shard hoards everything. It
+	// beats the contiguous splits on graphs whose construction order
+	// does not follow the geometry.
+	StrategyGreedyMincut PartitionStrategy = "greedy-mincut"
+)
+
+// ParseStrategy resolves a user-facing strategy name; the empty string
+// selects StrategyBalanced (the locality-aware default).
+func ParseStrategy(name string) (PartitionStrategy, error) {
+	switch PartitionStrategy(strings.ToLower(strings.TrimSpace(name))) {
+	case "":
+		return StrategyBalanced, nil
+	case StrategyBlock:
+		return StrategyBlock, nil
+	case StrategyBalanced:
+		return StrategyBalanced, nil
+	case StrategyGreedyMincut:
+		return StrategyGreedyMincut, nil
+	}
+	return "", fmt.Errorf("graph: unknown partition strategy %q (want %s | %s | %s)",
+		name, StrategyBlock, StrategyBalanced, StrategyGreedyMincut)
+}
+
+// Partition is a placement of every function node (and its edges) onto
+// one of Parts shards, plus the boundary analysis the executors need:
+// variables whose edges land on two or more shards are boundary
+// variables, and their consensus z is the only state that must cross
+// shard boundaries each iteration.
+type Partition struct {
+	Parts int
+	// FuncPart maps function node -> shard.
+	FuncPart []int
+	// VarPart maps variable node -> owning shard: the shard holding the
+	// most of its edges (ties to the lowest shard index). Interior
+	// variables are owned by the only shard that sees them.
+	VarPart []int
+	// BoundaryVars lists variable nodes with edges on 2+ shards, in
+	// ascending order.
+	BoundaryVars []int
+	// BoundaryEdges counts edges incident to boundary variables — the
+	// per-iteration cross-shard traffic in m-blocks.
+	BoundaryEdges int
+
+	boundary []bool
+}
+
+// NewPartition computes the partition of g's function nodes into parts
+// shards under the given strategy. parts is clamped to the function
+// count (every shard gets at least a chance at work); parts < 1 is an
+// error. The graph must be finalized.
+func NewPartition(g *Graph, parts int, strategy PartitionStrategy) (Partition, error) {
+	if !g.Finalized() {
+		return Partition{}, fmt.Errorf("graph: partition requires a finalized graph")
+	}
+	if parts < 1 {
+		return Partition{}, fmt.Errorf("graph: partition parts = %d, need >= 1", parts)
+	}
+	if parts > g.NumFunctions() {
+		parts = g.NumFunctions()
+	}
+	var funcPart []int
+	switch strategy {
+	case "", StrategyBalanced:
+		funcPart = partitionBalanced(g, parts)
+	case StrategyBlock:
+		funcPart = partitionBlock(g, parts)
+	case StrategyGreedyMincut:
+		funcPart = partitionGreedyMincut(g, parts)
+	default:
+		return Partition{}, fmt.Errorf("graph: unknown partition strategy %q", strategy)
+	}
+	p := Partition{Parts: parts, FuncPart: funcPart}
+	p.analyze(g)
+	return p, nil
+}
+
+// partitionBlock walks functions accumulating edge weight and cuts at
+// equal shares.
+func partitionBlock(g *Graph, parts int) []int {
+	nF := g.NumFunctions()
+	out := make([]int, nF)
+	total := float64(g.NumEdges())
+	var acc float64
+	for a := 0; a < nF; a++ {
+		s := int(acc / total * float64(parts))
+		if s >= parts {
+			s = parts - 1
+		}
+		out[a] = s
+		acc += float64(g.FuncDegree(a))
+	}
+	return out
+}
+
+// partitionBalanced cuts the variable axis at equal degree mass and
+// places each function with its first variable.
+func partitionBalanced(g *Graph, parts int) []int {
+	nV := g.NumVariables()
+	varPart := make([]int, nV)
+	total := float64(g.NumEdges())
+	var acc float64
+	for v := 0; v < nV; v++ {
+		s := int(acc / total * float64(parts))
+		if s >= parts {
+			s = parts - 1
+		}
+		varPart[v] = s
+		acc += float64(g.VarDegree(v))
+	}
+	nF := g.NumFunctions()
+	out := make([]int, nF)
+	for a := 0; a < nF; a++ {
+		lo, _ := g.FuncEdges(a)
+		out[a] = varPart[g.EdgeVar(lo)]
+	}
+	return out
+}
+
+// partitionGreedyMincut is a linear deterministic greedy (LDG-style)
+// streaming placement: functions are visited in creation order; each
+// goes to the shard maximizing affinity * (1 - load/capacity), where
+// affinity counts edges already placed on the shard that share a
+// variable with the candidate. Ties break to the lighter, then lower,
+// shard, so the result is deterministic.
+func partitionGreedyMincut(g *Graph, parts int) []int {
+	nF := g.NumFunctions()
+	out := make([]int, nF)
+	if parts == 1 {
+		return out
+	}
+	// capacity: balanced edge share with 10% slack so affinity can win
+	// near the boundary.
+	capacity := float64(g.NumEdges())/float64(parts)*1.1 + 1
+	load := make([]float64, parts)
+	// varEdgesOn[v*parts+s] counts placed edges of variable v on shard s.
+	varEdgesOn := make([]int32, g.NumVariables()*parts)
+	affinity := make([]float64, parts)
+	for a := 0; a < nF; a++ {
+		lo, hi := g.FuncEdges(a)
+		for s := range affinity {
+			affinity[s] = 0
+		}
+		for e := lo; e < hi; e++ {
+			row := g.EdgeVar(e) * parts
+			for s := 0; s < parts; s++ {
+				affinity[s] += float64(varEdgesOn[row+s])
+			}
+		}
+		best, bestScore := 0, -1.0
+		for s := 0; s < parts; s++ {
+			penalty := 1 - load[s]/capacity
+			if penalty < 0 {
+				penalty = 0
+			}
+			// +1 keeps empty-affinity placements driven by load balance.
+			score := (affinity[s] + 1) * penalty
+			if score > bestScore || (score == bestScore && load[s] < load[best]) {
+				best, bestScore = s, score
+			}
+		}
+		out[a] = best
+		load[best] += float64(hi - lo)
+		for e := lo; e < hi; e++ {
+			varEdgesOn[g.EdgeVar(e)*parts+best]++
+		}
+	}
+	return out
+}
+
+// analyze fills VarPart, BoundaryVars, BoundaryEdges and the boundary
+// flags from FuncPart.
+func (p *Partition) analyze(g *Graph) {
+	edgePart := make([]int32, g.NumEdges())
+	for a, s := range p.FuncPart {
+		lo, hi := g.FuncEdges(a)
+		for e := lo; e < hi; e++ {
+			edgePart[e] = int32(s)
+		}
+	}
+	nV := g.NumVariables()
+	p.VarPart = make([]int, nV)
+	p.boundary = make([]bool, nV)
+	counts := make([]int, p.Parts)
+	for v := 0; v < nV; v++ {
+		edges := g.VarEdges(v)
+		first := edgePart[edges[0]]
+		boundary := false
+		for _, e := range edges[1:] {
+			if edgePart[e] != first {
+				boundary = true
+				break
+			}
+		}
+		if !boundary {
+			p.VarPart[v] = int(first)
+			continue
+		}
+		p.boundary[v] = true
+		p.BoundaryVars = append(p.BoundaryVars, v)
+		p.BoundaryEdges += len(edges)
+		// Majority owner, ties to the lowest shard index.
+		for s := range counts {
+			counts[s] = 0
+		}
+		best, bestC := 0, -1
+		for _, e := range edges {
+			s := int(edgePart[e])
+			counts[s]++
+			if counts[s] > bestC || (counts[s] == bestC && s < best) {
+				best, bestC = s, counts[s]
+			}
+		}
+		p.VarPart[v] = best
+	}
+}
+
+// IsBoundary reports whether variable v has edges on 2+ shards.
+func (p *Partition) IsBoundary(v int) bool { return p.boundary[v] }
+
+// InteriorVars counts variables fully owned by one shard.
+func (p *Partition) InteriorVars(g *Graph) int {
+	return g.NumVariables() - len(p.BoundaryVars)
+}
+
+// PartLoads returns the number of edges each shard owns.
+func (p *Partition) PartLoads(g *Graph) []int {
+	loads := make([]int, p.Parts)
+	for a, s := range p.FuncPart {
+		loads[s] += g.FuncDegree(a)
+	}
+	return loads
+}
+
+// Validate checks the partition's invariants against g: every function
+// placed on exactly one in-range shard, boundary analysis consistent
+// with a brute-force recomputation. Intended for tests and fuzzing.
+func (p *Partition) Validate(g *Graph) error {
+	if p.Parts < 1 {
+		return fmt.Errorf("graph: partition has %d parts", p.Parts)
+	}
+	if len(p.FuncPart) != g.NumFunctions() {
+		return fmt.Errorf("graph: partition covers %d of %d functions", len(p.FuncPart), g.NumFunctions())
+	}
+	for a, s := range p.FuncPart {
+		if s < 0 || s >= p.Parts {
+			return fmt.Errorf("graph: function %d on shard %d of %d", a, s, p.Parts)
+		}
+	}
+	if len(p.VarPart) != g.NumVariables() || len(p.boundary) != g.NumVariables() {
+		return fmt.Errorf("graph: variable analysis covers %d/%d of %d variables",
+			len(p.VarPart), len(p.boundary), g.NumVariables())
+	}
+	wantBoundaryEdges := 0
+	wantBoundary := []int{}
+	onShard := map[int]bool{}
+	for v := 0; v < g.NumVariables(); v++ {
+		for k := range onShard {
+			delete(onShard, k)
+		}
+		for _, e := range g.VarEdges(v) {
+			onShard[p.FuncPart[g.edgeFunc(e)]] = true
+		}
+		if len(onShard) > 1 {
+			wantBoundary = append(wantBoundary, v)
+			wantBoundaryEdges += g.VarDegree(v)
+			if !p.boundary[v] {
+				return fmt.Errorf("graph: variable %d spans %d shards but not marked boundary", v, len(onShard))
+			}
+		} else if p.boundary[v] {
+			return fmt.Errorf("graph: variable %d marked boundary but lives on one shard", v)
+		}
+		if !onShard[p.VarPart[v]] {
+			return fmt.Errorf("graph: variable %d owned by shard %d which has none of its edges", v, p.VarPart[v])
+		}
+	}
+	if len(wantBoundary) != len(p.BoundaryVars) || wantBoundaryEdges != p.BoundaryEdges {
+		return fmt.Errorf("graph: boundary analysis (%d vars, %d edges) != brute force (%d vars, %d edges)",
+			len(p.BoundaryVars), p.BoundaryEdges, len(wantBoundary), wantBoundaryEdges)
+	}
+	for i, v := range p.BoundaryVars {
+		if v != wantBoundary[i] {
+			return fmt.Errorf("graph: boundary var list mismatch at %d: %d != %d", i, v, wantBoundary[i])
+		}
+	}
+	return nil
+}
+
+// edgeFunc returns the function node owning edge e by binary search over
+// the function CSR. O(log |F|); partition analysis uses it instead of
+// materializing an edge->function array.
+func (g *Graph) edgeFunc(e int) int {
+	lo, hi := 0, len(g.fEdgeStart)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if g.fEdgeStart[mid] <= e {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// EdgeFunc returns the function node that edge e belongs to.
+func (g *Graph) EdgeFunc(e int) int { return g.edgeFunc(e) }

@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzPartitionInvariants drives NewPartition over randomized graph
+// shapes, shard counts, and all three strategies, checking the
+// partitioner's invariants via Partition.Validate (every function on
+// exactly one in-range shard, boundary set identical to a brute-force
+// recomputation, owners hold at least one edge) — and that no shape
+// panics, including degenerate single-function and parts>|F| cases.
+//
+// Run as a regression suite by plain `go test` over the seed corpus;
+// run `go test -fuzz=FuzzPartitionInvariants ./internal/graph` to
+// explore.
+func FuzzPartitionInvariants(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(5), uint8(2), uint8(0))
+	f.Add(int64(2), uint8(1), uint8(1), uint8(4), uint8(1))
+	f.Add(int64(3), uint8(50), uint8(9), uint8(3), uint8(2))
+	f.Add(int64(4), uint8(200), uint8(40), uint8(8), uint8(1))
+	f.Add(int64(5), uint8(7), uint8(3), uint8(255), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, nFuncs, nVars, parts, strat uint8) {
+		if nFuncs == 0 || nVars == 0 || parts == 0 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g := New(1 + int(nFuncs)%3)
+		for a := 0; a < int(nFuncs); a++ {
+			deg := 1 + rng.Intn(3)
+			if deg > int(nVars) {
+				deg = int(nVars)
+			}
+			seen := map[int]bool{}
+			vars := []int{}
+			for len(vars) < deg {
+				v := rng.Intn(int(nVars))
+				if !seen[v] {
+					seen[v] = true
+					vars = append(vars, v)
+				}
+			}
+			g.AddNode(partIdentityOp{}, vars...)
+		}
+		if err := g.Finalize(); err != nil {
+			// Random shapes can reference variable i without i-1 ever
+			// getting an edge; that is a legitimate builder error, not a
+			// partitioner bug.
+			t.Skip()
+		}
+		strategies := []PartitionStrategy{StrategyBlock, StrategyBalanced, StrategyGreedyMincut}
+		s := strategies[int(strat)%len(strategies)]
+		p, err := NewPartition(g, int(parts), s)
+		if err != nil {
+			t.Fatalf("NewPartition(%d funcs, %d parts, %s): %v", g.NumFunctions(), parts, s, err)
+		}
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("invalid partition (%d funcs, %d parts, %s): %v", g.NumFunctions(), parts, s, err)
+		}
+		// Parts must never exceed the function count (empty-shard guard
+		// for the executor), and with one part nothing is boundary.
+		if p.Parts > g.NumFunctions() {
+			t.Fatalf("parts %d > functions %d", p.Parts, g.NumFunctions())
+		}
+		if p.Parts == 1 && (len(p.BoundaryVars) != 0 || p.BoundaryEdges != 0) {
+			t.Fatalf("single part has boundary: %+v", p)
+		}
+	})
+}

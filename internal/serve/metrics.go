@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/admm"
+	"repro/internal/shard"
 )
 
 // metrics aggregates service counters for the /metrics endpoint. The
@@ -23,6 +24,14 @@ type metrics struct {
 	phaseNanos [admm.NumPhases]int64
 	solveNanos int64
 	buildNanos int64
+
+	// Sharded-executor aggregates: solve count, cumulative boundary
+	// synchronization time, and the last run's partition shape (a
+	// gauge — the footprint of the most recent sharded request).
+	shardSolves        uint64
+	shardSyncNanos     int64
+	shardBoundaryNanos int64
+	shardLast          shard.Stats
 
 	inflight atomic.Int64
 }
@@ -45,6 +54,17 @@ func (m *metrics) recordSolve(res admm.Result, buildNanos int64) {
 	}
 	m.solveNanos += res.Elapsed.Nanoseconds()
 	m.buildNanos += buildNanos
+	m.mu.Unlock()
+}
+
+// recordShard accumulates one sharded solve's partition and
+// synchronization statistics.
+func (m *metrics) recordShard(s shard.Stats) {
+	m.mu.Lock()
+	m.shardSolves++
+	m.shardSyncNanos += s.SyncWaitNanos
+	m.shardBoundaryNanos += s.BoundaryZNanos
+	m.shardLast = s
 	m.mu.Unlock()
 }
 
@@ -93,6 +113,25 @@ func (m *metrics) render(b *strings.Builder, queueDepth int, cacheHits, cacheMis
 	fmt.Fprintf(b, "# HELP paradmm_graph_cache_size Graphs currently pooled.\n")
 	fmt.Fprintf(b, "# TYPE paradmm_graph_cache_size gauge\n")
 	fmt.Fprintf(b, "paradmm_graph_cache_size %d\n", cacheSize)
+
+	fmt.Fprintf(b, "# HELP paradmm_shard_solves_total Solves run on the sharded executor.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_shard_solves_total counter\n")
+	fmt.Fprintf(b, "paradmm_shard_solves_total %d\n", m.shardSolves)
+	fmt.Fprintf(b, "# HELP paradmm_shard_sync_wait_nanos_total Lead-shard time blocked at iteration barriers.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_shard_sync_wait_nanos_total counter\n")
+	fmt.Fprintf(b, "paradmm_shard_sync_wait_nanos_total %d\n", m.shardSyncNanos)
+	fmt.Fprintf(b, "# HELP paradmm_shard_boundary_z_nanos_total Lead-shard time combining boundary-variable z.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_shard_boundary_z_nanos_total counter\n")
+	fmt.Fprintf(b, "paradmm_shard_boundary_z_nanos_total %d\n", m.shardBoundaryNanos)
+	fmt.Fprintf(b, "# HELP paradmm_shard_boundary_vars Boundary variables in the last sharded solve's partition.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_shard_boundary_vars gauge\n")
+	fmt.Fprintf(b, "paradmm_shard_boundary_vars %d\n", m.shardLast.BoundaryVars)
+	fmt.Fprintf(b, "# HELP paradmm_shard_boundary_edges Edges incident to boundary variables in the last sharded solve.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_shard_boundary_edges gauge\n")
+	fmt.Fprintf(b, "paradmm_shard_boundary_edges %d\n", m.shardLast.BoundaryEdges)
+	fmt.Fprintf(b, "# HELP paradmm_shard_shards Shard count of the last sharded solve.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_shard_shards gauge\n")
+	fmt.Fprintf(b, "paradmm_shard_shards %d\n", m.shardLast.Shards)
 
 	fmt.Fprintf(b, "# HELP paradmm_jobs_inflight Jobs currently executing.\n")
 	fmt.Fprintf(b, "# TYPE paradmm_jobs_inflight gauge\n")

@@ -18,7 +18,9 @@
 // (lasso's per-block Cholesky pre-factorizations, packing's O(N^2)
 // collision nodes) dominates short solves. Executor selection is
 // per-request: any of the shared-memory strategies of internal/admm
-// (serial, parallel-for, barrier, async) with their knobs.
+// (serial, parallel-for, barrier, async, sharded) with their knobs;
+// sharded solves additionally report partition/boundary statistics
+// through /metrics (paradmm_shard_*).
 package serve
 
 import (
@@ -33,6 +35,7 @@ import (
 
 	"repro/internal/admm"
 	"repro/internal/graph"
+	"repro/internal/shard"
 )
 
 // Config tunes the service.
@@ -389,12 +392,25 @@ func (s *Server) runJob(j *Job) {
 	j.mu.Unlock()
 
 	p.Reset()
-	res, err := admm.Solve(p.FactorGraph(), admm.SolveOptions{
-		Executor: j.executor,
-		MaxIter:  j.maxIter,
-		AbsTol:   j.absTol,
-		RelTol:   j.relTol,
+	// Build the backend explicitly (rather than through admm.Solve) so
+	// sharded executors can be asked for their partition/boundary stats
+	// after the run.
+	g := p.FactorGraph()
+	backend, err := j.executor.NewBackend(g)
+	if err != nil {
+		fail(err)
+		return
+	}
+	res, err := admm.Run(g, admm.Options{
+		MaxIter: j.maxIter,
+		Backend: backend,
+		AbsTol:  j.absTol,
+		RelTol:  j.relTol,
 	})
+	if sb, ok := backend.(*shard.Backend); ok && err == nil {
+		s.met.recordShard(sb.Stats())
+	}
+	backend.Close()
 	if err != nil {
 		fail(err)
 		return

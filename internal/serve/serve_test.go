@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -63,8 +64,13 @@ func TestSolveHandler(t *testing.T) {
 		{"mpc k over cap", `{"workload":"mpc","spec":{"k":100000000}}`, http.StatusBadRequest},
 		{"packing n over cap", `{"workload":"packing","spec":{"n":100000}}`, http.StatusBadRequest},
 		{"executor workers over cap", `{"workload":"lasso","spec":{"m":16},"executor":{"kind":"barrier","workers":1000000000}}`, http.StatusBadRequest},
+		{"shards on serial", `{"workload":"lasso","spec":{"m":16},"executor":{"kind":"serial","shards":2}}`, http.StatusBadRequest},
+		{"unknown partition strategy", `{"workload":"lasso","spec":{"m":16},"executor":{"kind":"sharded","partition":"metis"}}`, http.StatusBadRequest},
+		{"shards over cap", `{"workload":"lasso","spec":{"m":16},"executor":{"kind":"sharded","shards":1000000}}`, http.StatusBadRequest},
 
 		{"lasso serial", `{"workload":"lasso","spec":{"m":16},"max_iter":100}`, http.StatusOK},
+		{"mpc sharded", `{"workload":"mpc","spec":{"k":8},"executor":{"kind":"sharded","shards":2,"partition":"balanced"},"max_iter":100}`, http.StatusOK},
+		{"packing sharded greedy", `{"workload":"packing","spec":{"n":4},"executor":{"kind":"sharded","shards":3,"partition":"greedy-mincut"},"max_iter":100}`, http.StatusOK},
 		{"svm parallel-for", `{"workload":"svm","spec":{"n":8},"executor":{"kind":"parallel-for","workers":2},"max_iter":100}`, http.StatusOK},
 		{"mpc barrier", `{"workload":"mpc","spec":{"k":4},"executor":{"kind":"barrier","workers":2},"max_iter":100}`, http.StatusOK},
 		{"packing async", `{"workload":"packing","spec":{"n":3},"executor":{"kind":"async"},"max_iter":100}`, http.StatusOK},
@@ -261,9 +267,56 @@ func TestHealthAndMetrics(t *testing.T) {
 		"paradmm_graph_cache_misses_total 1",
 		"paradmm_jobs_inflight 0",
 		"paradmm_queue_depth 0",
+		"paradmm_shard_solves_total 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q\n---\n%s", want, text)
+		}
+	}
+}
+
+// TestShardMetricsReported: a sharded solve must surface its partition
+// footprint (boundary vars/edges, shard count) through /metrics.
+func TestShardMetricsReported(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	code, v := postSolve(t, ts,
+		`{"workload":"mpc","spec":{"k":16},"executor":{"kind":"sharded","shards":4},"max_iter":200}`)
+	if code != http.StatusOK || v.Status != StatusDone {
+		t.Fatalf("sharded solve: status %d, job %+v", code, v)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawBytes, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(rawBytes)
+	for _, want := range []string{
+		"paradmm_shard_solves_total 1",
+		"paradmm_shard_shards 4",
+		"paradmm_shard_boundary_vars ",
+		"paradmm_shard_boundary_edges ",
+		"paradmm_shard_sync_wait_nanos_total ",
+		"paradmm_shard_boundary_z_nanos_total ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n---\n%s", want, text)
+		}
+	}
+	// The MPC chain must not be boundary-dominated under the default
+	// balanced strategy.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "paradmm_shard_boundary_vars ") {
+			var n int
+			if _, err := fmt.Sscanf(line, "paradmm_shard_boundary_vars %d", &n); err != nil {
+				t.Fatal(err)
+			}
+			if n <= 0 || n > 8 {
+				t.Errorf("boundary vars = %d, want 1..8 on an MPC chain", n)
+			}
 		}
 	}
 }

@@ -1,0 +1,340 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/admm"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// spinBarrier is a sense-reversing barrier whose waiters yield-spin
+// (runtime.Gosched) for a bounded number of rounds before parking on a
+// condition variable. The executor crosses it twice per iteration with
+// sub-millisecond phases in between; futex-based sleep/wake churn at
+// that granularity costs more than the phases themselves, especially
+// when phase B is nearly empty (a chain graph has a handful of
+// boundary variables) — but pure spinning would let badly-oversized
+// shard counts (empty shards, stragglers) peg cores for a whole solve,
+// so waiters that exhaust the spin budget sleep like sched.Barrier's.
+// Atomic loads/stores give the happens-before edges the phases rely on.
+type spinBarrier struct {
+	parties int32
+	count   atomic.Int32
+	gen     atomic.Uint32
+
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+// spinYields bounds the yield-spin phase of one Await. Crossing the
+// boundary-z barrier typically takes a handful of yields; a waiter
+// still spinning after this many is stuck behind a straggling shard
+// and should get off the CPU.
+const spinYields = 256
+
+func newSpinBarrier(parties int) *spinBarrier {
+	b := &spinBarrier{parties: int32(parties)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *spinBarrier) Await() {
+	gen := b.gen.Load()
+	if b.count.Add(1) == b.parties {
+		b.count.Store(0)
+		b.mu.Lock()
+		b.gen.Add(1)
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for i := 0; i < spinYields; i++ {
+		if b.gen.Load() != gen {
+			return
+		}
+		runtime.Gosched()
+	}
+	b.mu.Lock()
+	for b.gen.Load() == gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Backend is the sharded executor: K persistent shard workers, each
+// executing all five ADMM phases over its own partition of the factor
+// graph, synchronizing only boundary-variable z-state between
+// iterations. See doc.go for the protocol and when this beats the
+// global-barrier executor.
+type Backend struct {
+	shards   int
+	strategy graph.PartitionStrategy
+
+	cmd     chan struct{}
+	done    chan struct{}
+	barrier *spinBarrier
+	closed  bool
+
+	// Iterate inputs, published to workers via cmd sends.
+	g          *graph.Graph
+	iters      int
+	phaseNanos *[admm.NumPhases]int64
+
+	plan  *plan
+	stats Stats
+}
+
+// Stats reports the partition shape and synchronization cost of the
+// backend's most recent graph. It must not be called concurrently with
+// Iterate; counters accumulate across Iterate calls.
+type Stats struct {
+	Shards   int
+	Strategy graph.PartitionStrategy
+	// BoundaryVars / BoundaryEdges are the cross-shard footprint: only
+	// these variables' z-state synchronizes shards each iteration, and
+	// their incident edges' m-blocks are what the combine step gathers.
+	BoundaryVars  int
+	BoundaryEdges int
+	InteriorVars  int
+	// PartEdges is each shard's owned-edge count (load balance).
+	PartEdges []int
+	// Iterations executed by this backend so far.
+	Iterations int64
+	// SyncWaitNanos is shard 0's cumulative time blocked at the two
+	// per-iteration barriers; BoundaryZNanos its time combining boundary
+	// z. Together they bound what boundary synchronization costs.
+	SyncWaitNanos  int64
+	BoundaryZNanos int64
+}
+
+// New returns a sharded backend with the given shard count and
+// partitioning strategy ("" selects balanced). The graph is partitioned
+// lazily on the first Iterate and re-partitioned whenever Iterate sees
+// a different graph.
+func New(shards int, strategy graph.PartitionStrategy) (*Backend, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("shard: shards = %d, need > 0", shards)
+	}
+	strat, err := graph.ParseStrategy(string(strategy))
+	if err != nil {
+		return nil, err
+	}
+	b := &Backend{
+		shards:   shards,
+		strategy: strat,
+		cmd:      make(chan struct{}),
+		done:     make(chan struct{}),
+		barrier:  newSpinBarrier(shards),
+	}
+	for s := 0; s < shards; s++ {
+		go b.worker(s)
+	}
+	return b, nil
+}
+
+func init() {
+	admm.RegisterExecutor(admm.ExecSharded, func(s admm.ExecutorSpec, g *graph.Graph) (admm.Backend, error) {
+		shards := s.Shards
+		if shards == 0 {
+			shards = 4
+		}
+		return New(shards, graph.PartitionStrategy(s.Partition))
+	})
+}
+
+// Name implements admm.Backend.
+func (b *Backend) Name() string {
+	return fmt.Sprintf("sharded(%d,%s)", b.shards, b.strategy)
+}
+
+// Stats returns partition and synchronization statistics. Valid after
+// the first Iterate.
+func (b *Backend) Stats() Stats { return b.stats }
+
+// Iterate implements admm.Backend.
+func (b *Backend) Iterate(g *graph.Graph, iters int, phaseNanos *[admm.NumPhases]int64) {
+	if b.closed {
+		panic("shard: Iterate on closed Backend")
+	}
+	if b.plan == nil || b.plan.g != g {
+		p, err := newPlan(g, b.shards, b.strategy)
+		if err != nil {
+			// The graph was already finalized by admm.Run; the only
+			// residual failure is a programming error.
+			panic(fmt.Sprintf("shard: %v", err))
+		}
+		b.plan = p
+		b.stats = Stats{
+			Shards:         b.shards,
+			Strategy:       b.strategy,
+			BoundaryVars:   len(p.part.BoundaryVars),
+			BoundaryEdges:  p.part.BoundaryEdges,
+			InteriorVars:   p.part.InteriorVars(g),
+			PartEdges:      p.part.PartLoads(g),
+			Iterations:     b.stats.Iterations,
+			SyncWaitNanos:  b.stats.SyncWaitNanos,
+			BoundaryZNanos: b.stats.BoundaryZNanos,
+		}
+	}
+	b.g, b.iters, b.phaseNanos = g, iters, phaseNanos
+	for s := 0; s < b.shards; s++ {
+		b.cmd <- struct{}{}
+	}
+	for s := 0; s < b.shards; s++ {
+		<-b.done
+	}
+	b.stats.Iterations += int64(iters)
+}
+
+// Close implements admm.Backend: terminates the shard workers.
+func (b *Backend) Close() {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	close(b.cmd)
+}
+
+// worker is one persistent shard. Per iteration it runs:
+//
+//	A (local):    x over owned functions, m over owned edges,
+//	              z over interior variables
+//	-- barrier 1 --  (all m-blocks of this iteration are published)
+//	B (boundary): z for owned boundary variables, gathering remote
+//	              m-blocks in CSR order (bit-identical to serial)
+//	-- barrier 2 --  (all z-blocks of this iteration are published)
+//	C (local):    u and n over owned edges
+//
+// Phase C and the next iteration's phase A read only shard-local state
+// plus z published before barrier 2, so no further barrier is needed:
+// a shard racing ahead parks at barrier 1 before it can touch anything
+// another shard still reads.
+func (b *Backend) worker(id int) {
+	for range b.cmd {
+		g, iters, plan := b.g, b.iters, b.plan
+		lp := &plan.local[id]
+		lead := id == 0
+		var t time.Time
+		for it := 0; it < iters; it++ {
+			if lead {
+				t = time.Now()
+			}
+			for _, r := range lp.funcRuns {
+				admm.UpdateXRange(g, r.Lo, r.Hi)
+			}
+			if lead {
+				b.phaseNanos[admm.PhaseX] += time.Since(t).Nanoseconds()
+				t = time.Now()
+			}
+			for _, r := range lp.edgeRuns {
+				admm.UpdateMRange(g, r.Lo, r.Hi)
+			}
+			if lead {
+				b.phaseNanos[admm.PhaseM] += time.Since(t).Nanoseconds()
+				t = time.Now()
+			}
+			for _, r := range lp.interiorRuns {
+				admm.UpdateZRange(g, r.Lo, r.Hi)
+			}
+			if lead {
+				b.phaseNanos[admm.PhaseZ] += time.Since(t).Nanoseconds()
+				t = time.Now()
+			}
+			b.barrier.Await()
+			if lead {
+				b.stats.SyncWaitNanos += time.Since(t).Nanoseconds()
+				t = time.Now()
+			}
+			admm.UpdateZVars(g, lp.boundary)
+			if lead {
+				dt := time.Since(t).Nanoseconds()
+				b.phaseNanos[admm.PhaseZ] += dt
+				b.stats.BoundaryZNanos += dt
+				t = time.Now()
+			}
+			b.barrier.Await()
+			if lead {
+				b.stats.SyncWaitNanos += time.Since(t).Nanoseconds()
+				t = time.Now()
+			}
+			for _, r := range lp.edgeRuns {
+				admm.UpdateURange(g, r.Lo, r.Hi)
+			}
+			if lead {
+				b.phaseNanos[admm.PhaseU] += time.Since(t).Nanoseconds()
+				t = time.Now()
+			}
+			for _, r := range lp.edgeRuns {
+				admm.UpdateNRange(g, r.Lo, r.Hi)
+			}
+			if lead {
+				b.phaseNanos[admm.PhaseN] += time.Since(t).Nanoseconds()
+			}
+		}
+		b.done <- struct{}{}
+	}
+}
+
+var _ admm.Backend = (*Backend)(nil)
+
+// plan is the precomputed execution structure for one graph: the
+// partition plus each worker's local index sets.
+type plan struct {
+	g     *graph.Graph
+	part  graph.Partition
+	local []localPlan
+}
+
+// localPlan is one shard's work: contiguous runs of owned functions,
+// edges, and interior variables (interior ownership is contiguous up to
+// boundary gaps, so runs beat an index list), plus the boundary
+// variables it combines in phase B.
+type localPlan struct {
+	funcRuns     []sched.Range
+	edgeRuns     []sched.Range
+	interiorRuns []sched.Range
+	boundary     []int
+}
+
+// newPlan partitions g and derives per-shard index sets. Workers beyond
+// the partition's effective part count (tiny graphs) get empty plans and
+// only participate in barriers.
+func newPlan(g *graph.Graph, shards int, strategy graph.PartitionStrategy) (*plan, error) {
+	part, err := graph.NewPartition(g, shards, strategy)
+	if err != nil {
+		return nil, err
+	}
+	p := &plan{g: g, part: part, local: make([]localPlan, shards)}
+	for a := 0; a < g.NumFunctions(); a++ {
+		s := part.FuncPart[a]
+		lo, hi := g.FuncEdges(a)
+		lp := &p.local[s]
+		if n := len(lp.funcRuns); n > 0 && lp.funcRuns[n-1].Hi == a {
+			lp.funcRuns[n-1].Hi = a + 1
+			lp.edgeRuns[len(lp.edgeRuns)-1].Hi = hi
+		} else {
+			lp.funcRuns = append(lp.funcRuns, sched.Range{Lo: a, Hi: a + 1})
+			lp.edgeRuns = append(lp.edgeRuns, sched.Range{Lo: lo, Hi: hi})
+		}
+	}
+	for v := 0; v < g.NumVariables(); v++ {
+		if !part.IsBoundary(v) {
+			lp := &p.local[part.VarPart[v]]
+			if n := len(lp.interiorRuns); n > 0 && lp.interiorRuns[n-1].Hi == v {
+				lp.interiorRuns[n-1].Hi = v + 1
+			} else {
+				lp.interiorRuns = append(lp.interiorRuns, sched.Range{Lo: v, Hi: v + 1})
+			}
+		}
+	}
+	for _, v := range part.BoundaryVars {
+		lp := &p.local[part.VarPart[v]]
+		lp.boundary = append(lp.boundary, v)
+	}
+	return p, nil
+}
