@@ -1,0 +1,85 @@
+// Command benchtrend is the CI perf-trend gate: it diffs a freshly swept
+// executor x workload throughput report against a committed BENCH_*.json
+// baseline and exits non-zero when any cell regressed by more than the
+// threshold (or when the current report lost baseline coverage).
+//
+// Usage:
+//
+//	paradmm-bench -shard-json BENCH_shard.ci.json
+//	benchtrend -baseline BENCH_shard.json -current BENCH_shard.ci.json
+//	benchtrend -baseline BENCH_fused.json -current BENCH_fused.ci.json -threshold 0.25
+//
+// By default the comparison is normalized: the geometric mean of the
+// per-cell current/baseline speed ratios is divided out first, so a CI
+// runner that is uniformly slower (or faster) than the machine that
+// produced the committed baseline passes cleanly, while a single
+// executor x workload cell that lost ground relative to the rest is
+// flagged. -raw disables normalization for same-machine comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed baseline BENCH_*.json (required)")
+	currentPath := flag.String("current", "", "freshly swept BENCH_*.json (required)")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional iters/sec loss per cell")
+	raw := flag.Bool("raw", false, "compare raw iters/sec (skip machine-speed normalization)")
+	verbose := flag.Bool("v", false, "print every compared cell, not just regressions")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchtrend -baseline FILE -current FILE [-threshold 0.25] [-raw] [-v]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	baseline, err := bench.LoadReport(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	current, err := bench.LoadReport(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := bench.CompareReports(baseline, current, *threshold, !*raw)
+	if err != nil {
+		fatal(err)
+	}
+
+	if res.Scale != 1 {
+		fmt.Printf("machine-speed normalization: current x %.3f\n", res.Scale)
+	}
+	if *verbose {
+		for _, c := range res.Cells {
+			fmt.Printf("  %-28s baseline %12.1f it/s  current %12.1f it/s  ratio %.3f\n",
+				c.Key(), c.BaselineIPS, c.CurrentIPS, c.Ratio)
+		}
+	}
+	failed := false
+	for _, key := range res.MissingInCurrent {
+		fmt.Printf("MISSING: %s present in baseline but absent from current sweep\n", key)
+		failed = true
+	}
+	for _, c := range res.Regressions {
+		fmt.Printf("REGRESSION: %s at %.1f%% of baseline (%.1f -> %.1f it/s normalized, threshold %.0f%%)\n",
+			c.Key(), 100*c.Ratio, c.BaselineIPS, c.CurrentIPS*res.Scale, 100*(1-*threshold))
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchtrend: %d cells within %.0f%% of baseline\n", len(res.Cells), 100**threshold)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtrend:", err)
+	os.Exit(1)
+}

@@ -8,12 +8,15 @@
 //	paradmm-bench -full fig7           # paper-scale workloads (slow, RAM-hungry)
 //	paradmm-bench -csv fig7            # CSV instead of aligned tables
 //	paradmm-bench -shard-json BENCH_shard.json   # machine-readable executor baseline
+//	paradmm-bench -fused-json BENCH_fused.json   # fused-vs-unfused schedule sweep
 //
 // Each experiment id matches the per-experiment index in DESIGN.md;
 // EXPERIMENTS.md records the paper-vs-reproduced comparison for each.
 // -shard-json writes the executor x workload throughput sweep
 // (iterations/sec, per-phase wall time, shard boundary footprint) used
-// as the committed perf-trajectory baseline and uploaded by CI.
+// as the committed perf-trajectory baseline and uploaded by CI;
+// -fused-json writes the fused-vs-unfused pairing of every CPU executor
+// family in the same schema. Both baselines are gated by cmd/benchtrend.
 package main
 
 import (
@@ -30,29 +33,32 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for randomized workloads")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	shardJSON := flag.String("shard-json", "", "write the executor x workload throughput sweep to this file and exit")
+	fusedJSON := flag.String("fused-json", "", "write the fused-vs-unfused schedule sweep to this file and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: paradmm-bench [-full] [-seed N] [-csv] [-shard-json FILE] <experiment-id>... | all | list\n\n")
+		fmt.Fprintf(os.Stderr, "usage: paradmm-bench [-full] [-seed N] [-csv] [-shard-json FILE] [-fused-json FILE] <experiment-id>... | all | list\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	args := flag.Args()
-	if *shardJSON != "" {
+	if *shardJSON != "" || *fusedJSON != "" {
 		if len(args) > 0 {
-			fatal(fmt.Errorf("-shard-json runs its own sweep and takes no experiment ids (got %q)", args))
+			fatal(fmt.Errorf("-shard-json/-fused-json run their own sweeps and take no experiment ids (got %q)", args))
 		}
-		rep, err := bench.RunShardBench(bench.Scale{Full: *full, Seed: *seed})
-		if err != nil {
-			fatal(err)
+		scale := bench.Scale{Full: *full, Seed: *seed}
+		if *shardJSON != "" {
+			rep, err := bench.RunShardBench(scale)
+			if err != nil {
+				fatal(err)
+			}
+			writeReport(*shardJSON, rep)
 		}
-		raw, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fatal(err)
+		if *fusedJSON != "" {
+			rep, err := bench.RunFusedBench(scale)
+			if err != nil {
+				fatal(err)
+			}
+			writeReport(*fusedJSON, rep)
 		}
-		raw = append(raw, '\n')
-		if err := os.WriteFile(*shardJSON, raw, 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s (%d entries)\n", *shardJSON, len(rep.Entries))
 		return
 	}
 	if len(args) == 0 {
@@ -96,6 +102,18 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+func writeReport(path string, rep *bench.ShardBenchReport) {
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d entries)\n", path, len(rep.Entries))
 }
 
 func fatal(err error) {

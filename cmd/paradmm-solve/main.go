@@ -32,10 +32,11 @@ func main() {
 	problem := flag.String("problem", "packing", "packing | mpc | svm | lasso")
 	size := flag.Int("size", 10, "circles / horizon / data points / observations")
 	iters := flag.Int("iters", 2000, "ADMM iterations")
-	backendName := flag.String("backend", "serial", "serial | parallel | barrier | async | sharded | gpu | cpusim | multicpu | twa")
+	backendName := flag.String("backend", "serial", "serial | parallel | barrier | async | sharded | auto | gpu | cpusim | multicpu | twa")
 	workers := flag.Int("workers", 4, "workers for parallel/barrier/multicpu")
 	shards := flag.Int("shards", 4, "shard count for -backend sharded")
 	partition := flag.String("partition", "balanced", "sharded partition strategy: block | balanced | greedy-mincut")
+	fused := flag.Bool("fused", true, "fused two-pass schedule for the CPU executors (false = five-phase reference)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 
@@ -43,7 +44,7 @@ func main() {
 	// backend is built after the problem: solve* functions receive this
 	// factory and call it with the finalized graph.
 	newBackend := func(g *graph.Graph) (admm.Backend, error) {
-		return makeBackend(*backendName, *workers, *shards, *partition, g)
+		return makeBackend(*backendName, *workers, *shards, *partition, *fused, g)
 	}
 
 	var err error
@@ -64,7 +65,7 @@ func main() {
 	}
 }
 
-func makeBackend(name string, workers, shards int, partition string, g *graph.Graph) (admm.Backend, error) {
+func makeBackend(name string, workers, shards int, partition string, fused bool, g *graph.Graph) (admm.Backend, error) {
 	// Shared-memory strategies go through the declarative executor spec —
 	// the same selection path the serving layer uses per request.
 	if spec, err := admm.ParseExecutor(name, workers); err == nil {
@@ -73,6 +74,10 @@ func makeBackend(name string, workers, shards int, partition string, g *graph.Gr
 			spec.Shards = shards
 			spec.Partition = partition
 		}
+		if spec.Kind == admm.ExecAuto {
+			spec.Workers = 0
+		}
+		spec.Fused = &fused
 		return spec.NewBackend(g)
 	}
 	switch name {

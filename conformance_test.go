@@ -1,12 +1,16 @@
 // Cross-executor conformance suite: every executor family runs every
-// workload, and the result is checked against the Serial reference —
-// bit-identically for the deterministic executors (they share kernels
-// and, by the sharded executor's boundary protocol, the exact
-// floating-point summation order), within an objective tolerance for
-// the asynchronous one (its randomized activation schedule visits a
-// different but equally valid trajectory). Adding an executor family to
-// the table buys it correctness coverage on all four workloads for
-// free.
+// workload — on both the five-phase reference schedule and the fused
+// two-pass schedule — and the result is checked against the Serial
+// reference: bit-identically for the deterministic executors (they share
+// kernels and, by the sharded executor's boundary protocol, the exact
+// floating-point summation order; the fused kernels preserve per-edge
+// arithmetic order), within an objective tolerance for the asynchronous
+// one (its randomized activation schedule visits a different but equally
+// valid trajectory). Adding an executor family to the table buys it
+// correctness coverage on all four workloads, fused and unfused, for
+// free. The suite also pins the zero-allocation steady state: Iterate
+// and the residual/objective evaluation path must not touch the heap
+// after warm-up.
 package repro_test
 
 import (
@@ -15,6 +19,7 @@ import (
 	"testing"
 
 	"repro/internal/admm"
+	"repro/internal/gpusim"
 	"repro/internal/graph"
 	"repro/internal/lasso"
 	"repro/internal/mpc"
@@ -71,43 +76,77 @@ var confWorkloads = map[string]func(t *testing.T) confInstance{
 
 const confIters = 600
 
-// confDeterministic lists every executor expected to reproduce the
-// serial iterates exactly, including the full sharded matrix the issue
-// calls for (1, 2, 4 shards) across all three partition strategies.
-var confDeterministic = []struct {
+// confExec names one deterministic executor configuration.
+type confExec struct {
 	name string
 	make func(g *graph.Graph) (admm.Backend, error)
+}
+
+// confSpecs lists every spec-addressable deterministic executor; the
+// fused on/off matrix below is generated from it so each family gets
+// both schedules on all four workloads automatically.
+var confSpecs = []struct {
+	name string
+	spec admm.ExecutorSpec
 }{
-	{"parallel-for", func(g *graph.Graph) (admm.Backend, error) {
-		return admm.ExecutorSpec{Kind: admm.ExecParallelFor, Workers: 3}.NewBackend(g)
-	}},
-	{"parallel-for-dynamic", func(g *graph.Graph) (admm.Backend, error) {
-		return admm.ExecutorSpec{Kind: admm.ExecParallelFor, Workers: 3, Dynamic: true}.NewBackend(g)
-	}},
-	{"parallel-for-balanced-z", func(g *graph.Graph) (admm.Backend, error) {
-		return admm.ExecutorSpec{Kind: admm.ExecParallelFor, Workers: 3, BalancedZ: true}.NewBackend(g)
-	}},
-	{"barrier", func(g *graph.Graph) (admm.Backend, error) {
-		return admm.ExecutorSpec{Kind: admm.ExecBarrier, Workers: 3}.NewBackend(g)
-	}},
-	{"sharded-1", func(g *graph.Graph) (admm.Backend, error) {
-		return admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 1}.NewBackend(g)
-	}},
-	{"sharded-2", func(g *graph.Graph) (admm.Backend, error) {
-		return admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 2}.NewBackend(g)
-	}},
-	{"sharded-4", func(g *graph.Graph) (admm.Backend, error) {
-		return admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4}.NewBackend(g)
-	}},
-	{"sharded-2-block", func(g *graph.Graph) (admm.Backend, error) {
-		return admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 2, Partition: "block"}.NewBackend(g)
-	}},
-	{"sharded-4-greedy-mincut", func(g *graph.Graph) (admm.Backend, error) {
-		return admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4, Partition: "greedy-mincut"}.NewBackend(g)
-	}},
-	{"sharded-via-shard-pkg", func(g *graph.Graph) (admm.Backend, error) {
-		return shard.New(3, graph.StrategyBalanced)
-	}},
+	{"serial", admm.ExecutorSpec{Kind: admm.ExecSerial}},
+	{"parallel-for", admm.ExecutorSpec{Kind: admm.ExecParallelFor, Workers: 3}},
+	{"parallel-for-dynamic", admm.ExecutorSpec{Kind: admm.ExecParallelFor, Workers: 3, Dynamic: true}},
+	{"parallel-for-balanced-z", admm.ExecutorSpec{Kind: admm.ExecParallelFor, Workers: 3, BalancedZ: true}},
+	{"barrier", admm.ExecutorSpec{Kind: admm.ExecBarrier, Workers: 3}},
+	{"sharded-1", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 1}},
+	{"sharded-2", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 2}},
+	{"sharded-4", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4}},
+	{"sharded-2-block", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 2, Partition: "block"}},
+	{"sharded-4-greedy-mincut", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4, Partition: "greedy-mincut"}},
+	{"auto", admm.ExecutorSpec{Kind: admm.ExecAuto}},
+}
+
+// confDeterministic is every executor expected to reproduce the serial
+// iterates exactly: each spec with the fused schedule pinned off and
+// pinned on, plus non-spec constructions (the shard package's own
+// constructor and the simulated-CPU backends, fused and unfused).
+func confDeterministic() []confExec {
+	fused := true
+	unfused := false
+	out := []confExec{}
+	for _, s := range confSpecs {
+		for _, mode := range []struct {
+			suffix string
+			fused  *bool
+		}{{"", &unfused}, {"-fused", &fused}} {
+			spec := s.spec
+			spec.Fused = mode.fused
+			out = append(out, confExec{s.name + mode.suffix, func(g *graph.Graph) (admm.Backend, error) {
+				return spec.NewBackend(g)
+			}})
+		}
+	}
+	out = append(out,
+		confExec{"sharded-via-shard-pkg", func(g *graph.Graph) (admm.Backend, error) {
+			return shard.New(3, graph.StrategyBalanced)
+		}},
+		confExec{"sharded-via-shard-pkg-fused", func(g *graph.Graph) (admm.Backend, error) {
+			b, err := shard.New(3, graph.StrategyBalanced)
+			if err != nil {
+				return nil, err
+			}
+			b.Fused = true
+			return b, nil
+		}},
+		confExec{"cpusim", func(g *graph.Graph) (admm.Backend, error) {
+			b := gpusim.NewCPUBackend(nil)
+			b.Fused = false
+			return b, nil
+		}},
+		confExec{"cpusim-fused", func(g *graph.Graph) (admm.Backend, error) {
+			return gpusim.NewCPUBackend(nil), nil
+		}},
+		confExec{"multicpu-sim-fused", func(g *graph.Graph) (admm.Backend, error) {
+			return gpusim.NewMultiCoreBackend(nil, 8), nil
+		}},
+	)
+	return out
 }
 
 func confRun(t *testing.T, inst confInstance, backend admm.Backend, iters int) []float64 {
@@ -127,7 +166,7 @@ func TestExecutorConformance(t *testing.T) {
 	for wname, build := range confWorkloads {
 		t.Run(wname, func(t *testing.T) {
 			ref := confRun(t, build(t), admm.NewSerial(), confIters)
-			for _, exec := range confDeterministic {
+			for _, exec := range confDeterministic() {
 				t.Run(exec.name, func(t *testing.T) {
 					inst := build(t)
 					backend, err := exec.make(inst.g)
@@ -190,5 +229,96 @@ func TestAsyncConformance(t *testing.T) {
 					got, want, rel, tol[wname])
 			}
 		})
+	}
+}
+
+// TestSteadyStateAllocs pins the zero-allocation iteration loop: after
+// warm-up (operator factorization caches, scheduler chunk caches, graph
+// scratch), Iterate must perform no heap allocations for the serial,
+// barrier, and sharded executors on either schedule, and the residual/
+// objective evaluation path must be allocation-free too. ParallelFor is
+// exempt by design: its fork-join loops spawn goroutines each phase —
+// that is the executor's identity (the paper's "#pragma omp parallel
+// for"), not an accident.
+func TestSteadyStateAllocs(t *testing.T) {
+	backends := []struct {
+		name string
+		make func(g *graph.Graph) (admm.Backend, error)
+	}{
+		{"serial", func(g *graph.Graph) (admm.Backend, error) { return admm.NewSerial(), nil }},
+		{"serial-fused", func(g *graph.Graph) (admm.Backend, error) { return admm.NewSerialFused(), nil }},
+		{"barrier-2", func(g *graph.Graph) (admm.Backend, error) { return admm.NewBarrier(2), nil }},
+		{"barrier-2-fused", func(g *graph.Graph) (admm.Backend, error) {
+			b := admm.NewBarrier(2)
+			b.Fused = true
+			return b, nil
+		}},
+		{"sharded-2", func(g *graph.Graph) (admm.Backend, error) { return shard.New(2, graph.StrategyBalanced) }},
+		{"sharded-2-fused", func(g *graph.Graph) (admm.Backend, error) {
+			b, err := shard.New(2, graph.StrategyBalanced)
+			if err != nil {
+				return nil, err
+			}
+			b.Fused = true
+			return b, nil
+		}},
+	}
+	for wname, build := range confWorkloads {
+		t.Run(wname, func(t *testing.T) {
+			for _, be := range backends {
+				t.Run(be.name, func(t *testing.T) {
+					inst := build(t)
+					backend, err := be.make(inst.g)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer backend.Close()
+					var nanos [admm.NumPhases]int64
+					backend.Iterate(inst.g, 5, &nanos) // warm-up
+					allocs := testing.AllocsPerRun(10, func() {
+						backend.Iterate(inst.g, 1, &nanos)
+					})
+					if allocs != 0 {
+						t.Errorf("Iterate allocates %.1f objects per iteration in steady state", allocs)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestResidualObjectivePathAllocs pins the evaluation side of the steady
+// state: Residuals with the graph's reusable scratch, Objective, and a
+// whole residual-checking Run on a warmed graph allocate nothing.
+func TestResidualObjectivePathAllocs(t *testing.T) {
+	inst := confWorkloads["lasso"](t)
+	g := inst.g
+	backend := admm.NewSerialFused()
+	defer backend.Close()
+
+	// Warm up: operator caches, graph scratch.
+	if _, err := admm.Run(g, admm.Options{MaxIter: 20, Backend: backend, AbsTol: 1e-12, RelTol: 1e-12}); err != nil {
+		t.Fatal(err)
+	}
+	admm.Objective(g)
+
+	zPrev := g.ScratchZ()
+	if allocs := testing.AllocsPerRun(10, func() {
+		copy(zPrev, g.Z)
+		admm.Residuals(g, zPrev)
+	}); allocs != 0 {
+		t.Errorf("Residuals allocates %.1f objects per call", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		admm.Objective(g)
+	}); allocs != 0 {
+		t.Errorf("Objective allocates %.1f objects per call", allocs)
+	}
+	if allocs := testing.AllocsPerRun(5, func() {
+		if _, err := admm.Run(g, admm.Options{MaxIter: 15, Backend: backend, AbsTol: 1e-12, RelTol: 1e-12}); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("residual-checking Run allocates %.1f objects per call", allocs)
 	}
 }

@@ -44,6 +44,13 @@ func (b *AsyncBackend) Iterate(g *graph.Graph, iters int, phaseNanos *[NumPhases
 	nF := g.NumFunctions()
 	d := g.D()
 	start := time.Now()
+	// Async z-updates average M over every edge of a touched variable,
+	// including edges of functions not activated yet, so M must be
+	// coherent on entry. A fused backend that previously advanced this
+	// graph never wrote M (the message lives in registers); one refresh
+	// re-establishes m = x + u everywhere before activations start
+	// maintaining it incrementally.
+	MaterializeM(g)
 	var touched []int
 	for it := 0; it < iters; it++ {
 		for step := 0; step < nF; step++ {

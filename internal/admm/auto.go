@@ -1,0 +1,83 @@
+package admm
+
+import (
+	"runtime"
+
+	"repro/internal/graph"
+)
+
+// Executor auto-selection (ROADMAP: "Serve-layer executor
+// auto-selection"): ExecutorSpec{Kind: "auto"} resolves to a concrete
+// CPU executor from the finalized graph's Stats, so serving-layer
+// clients need not know the executor menu. The policy is a deliberate
+// stub — thresholds read straight off the committed BENCH_shard.json
+// shape, to be replaced by the measured trajectory once enough trend
+// data accumulates:
+//
+//   - one usable core: parallel executors only add synchronization, so
+//     everything resolves to serial (fused);
+//   - small graphs: a sharded solve pays two barriers per iteration,
+//     which dominates below ~AutoShardMinEdges edges (sharded-N trails
+//     serial on every quick-scale cell of BENCH_shard.json);
+//   - dense graphs (high mean variable degree): nearly every variable is
+//     a boundary variable, phase B degenerates into a replicated global
+//     z-update — the packing cliff — so dense graphs stay serial;
+//   - otherwise: sharded with the balanced strategy, shard count capped
+//     by cores and AutoMaxShards.
+//
+// Fused stays on in every branch unless the caller explicitly disabled
+// it (the resolved spec inherits the Fused field).
+const (
+	// AutoShardMinEdges is the smallest edge count for which a sharded
+	// solve can amortize its per-iteration barrier crossings.
+	AutoShardMinEdges = 20000
+	// AutoMaxMeanVarDegree is the density ceiling: above this mean
+	// variable degree the boundary set stops shrinking with shard count.
+	AutoMaxMeanVarDegree = 8.0
+	// AutoMaxShards caps the resolved shard count; beyond shared-LLC
+	// core groups more shards only grow the boundary set.
+	AutoMaxShards = 4
+)
+
+// ResolveAuto maps an auto spec to a concrete executor spec for g using
+// the policy above. It is exported so callers (serving layer, tests) can
+// inspect the decision without building a backend. Specs whose Kind is
+// not ExecAuto are returned unchanged.
+func (s ExecutorSpec) ResolveAuto(g *graph.Graph) ExecutorSpec {
+	_, shardedLinked := executorFactories[ExecSharded]
+	return s.resolveAuto(g, runtime.GOMAXPROCS(0), shardedLinked)
+}
+
+// resolveAuto is ResolveAuto with the core count and shard-executor
+// availability injected for tests.
+func (s ExecutorSpec) resolveAuto(g *graph.Graph, procs int, shardedLinked bool) ExecutorSpec {
+	if s.Kind != ExecAuto {
+		return s
+	}
+	out := ExecutorSpec{Kind: ExecSerial, Fused: s.Fused}
+	if procs <= 1 {
+		return out
+	}
+	if !shardedLinked {
+		// Auto's contract is "clients need not know the executor menu",
+		// so a binary that never imported internal/shard degrades to
+		// serial instead of erroring on exactly the large graphs auto
+		// exists to handle.
+		return out
+	}
+	st := g.Stats()
+	if st.Edges < AutoShardMinEdges {
+		return out
+	}
+	if st.MeanVarDegree > AutoMaxMeanVarDegree {
+		return out
+	}
+	shards := procs
+	if shards > AutoMaxShards {
+		shards = AutoMaxShards
+	}
+	out.Kind = ExecSharded
+	out.Shards = shards
+	out.Partition = string(graph.StrategyBalanced)
+	return out
+}

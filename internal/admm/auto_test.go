@@ -1,0 +1,180 @@
+package admm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/prox"
+)
+
+// autoChainGraph builds a sparse chain with the given number of
+// two-variable function nodes (2*funcs edges, mean variable degree ~2).
+func autoChainGraph(t *testing.T, funcs int) *graph.Graph {
+	t.Helper()
+	g := graph.New(1)
+	for i := 0; i < funcs; i++ {
+		g.AddNode(prox.Identity{}, i, i+1)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	g.SetUniformParams(1, 1)
+	g.InitZero()
+	return g
+}
+
+// autoDenseGraph builds a dense consensus graph: funcs ten-variable
+// nodes over a pool of 41+9 variables, so the mean variable degree is
+// far above AutoMaxMeanVarDegree once funcs is large.
+func autoDenseGraph(t *testing.T, funcs int) *graph.Graph {
+	t.Helper()
+	g := graph.New(1)
+	for i := 0; i < funcs; i++ {
+		base := i % 41
+		g.AddNode(prox.Identity{}, base, base+1, base+2, base+3, base+4,
+			base+5, base+6, base+7, base+8, base+9)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	g.SetUniformParams(1, 1)
+	g.InitZero()
+	return g
+}
+
+// TestResolveAutoSingleCore: with one usable core every graph resolves
+// to serial — parallel executors only add synchronization.
+func TestResolveAutoSingleCore(t *testing.T) {
+	g := autoChainGraph(t, AutoShardMinEdges) // 2x the edge threshold
+	got := ExecutorSpec{Kind: ExecAuto}.resolveAuto(g, 1, true)
+	if got.Kind != ExecSerial {
+		t.Fatalf("kind = %q, want serial", got.Kind)
+	}
+	if !got.FusedEnabled() {
+		t.Fatal("auto must keep fused on by default")
+	}
+}
+
+// TestResolveAutoSmallGraph: below the edge threshold the barrier cost
+// of a sharded solve dominates, so small graphs stay serial even with
+// plenty of cores.
+func TestResolveAutoSmallGraph(t *testing.T) {
+	g := autoChainGraph(t, 50) // 100 edges
+	got := ExecutorSpec{Kind: ExecAuto}.resolveAuto(g, 8, true)
+	if got.Kind != ExecSerial {
+		t.Fatalf("kind = %q, want serial", got.Kind)
+	}
+}
+
+// TestResolveAutoDenseGraph: above the density ceiling nearly every
+// variable is boundary (the packing cliff), so dense graphs stay serial
+// regardless of size.
+func TestResolveAutoDenseGraph(t *testing.T) {
+	g := autoDenseGraph(t, 2*AutoShardMinEdges/10)
+	if st := g.Stats(); st.Edges < AutoShardMinEdges || st.MeanVarDegree <= AutoMaxMeanVarDegree {
+		t.Fatalf("test graph does not exercise the density branch: %+v", st)
+	}
+	got := ExecutorSpec{Kind: ExecAuto}.resolveAuto(g, 8, true)
+	if got.Kind != ExecSerial {
+		t.Fatalf("kind = %q, want serial", got.Kind)
+	}
+}
+
+// TestResolveAutoLargeSparse: big and sparse resolves to the sharded
+// executor, capped shard count, balanced partition, fused on.
+func TestResolveAutoLargeSparse(t *testing.T) {
+	g := autoChainGraph(t, AutoShardMinEdges) // 2x the edge threshold
+	got := ExecutorSpec{Kind: ExecAuto}.resolveAuto(g, 8, true)
+	if got.Kind != ExecSharded {
+		t.Fatalf("kind = %q, want sharded", got.Kind)
+	}
+	if got.Shards != AutoMaxShards {
+		t.Fatalf("shards = %d, want cap %d", got.Shards, AutoMaxShards)
+	}
+	if got.Partition != string(graph.StrategyBalanced) {
+		t.Fatalf("partition = %q, want balanced", got.Partition)
+	}
+	if !got.FusedEnabled() {
+		t.Fatal("fused must stay on")
+	}
+	// Fewer cores than the cap: shard count follows the cores.
+	if got := (ExecutorSpec{Kind: ExecAuto}).resolveAuto(g, 2, true); got.Shards != 2 {
+		t.Fatalf("shards = %d, want 2 on 2 cores", got.Shards)
+	}
+}
+
+// TestResolveAutoFusedOptOut: an explicit fused=false survives
+// resolution into the concrete spec.
+func TestResolveAutoFusedOptOut(t *testing.T) {
+	off := false
+	g := autoChainGraph(t, AutoShardMinEdges)
+	got := ExecutorSpec{Kind: ExecAuto, Fused: &off}.resolveAuto(g, 8, true)
+	if got.FusedEnabled() {
+		t.Fatal("explicit fused=false dropped during auto resolution")
+	}
+}
+
+// TestResolveAutoUnlinkedSharded: a binary that never imported
+// internal/shard must degrade to serial on the large-sparse branch
+// rather than resolve to an executor it cannot build. This package's
+// tests run without the shard factory registered, so the exported
+// ResolveAuto exercises the real fallback.
+func TestResolveAutoUnlinkedSharded(t *testing.T) {
+	g := autoChainGraph(t, AutoShardMinEdges)
+	if got := (ExecutorSpec{Kind: ExecAuto}).resolveAuto(g, 8, false); got.Kind != ExecSerial {
+		t.Fatalf("kind = %q, want serial fallback without the shard factory", got.Kind)
+	}
+	got := ExecutorSpec{Kind: ExecAuto}.ResolveAuto(g)
+	if got.Kind == ExecSharded {
+		t.Fatal("ResolveAuto picked sharded with no factory registered")
+	}
+	b, err := got.NewBackend(g)
+	if err != nil {
+		t.Fatalf("resolved spec must always build: %v", err)
+	}
+	b.Close()
+}
+
+// TestResolveAutoPassThrough: non-auto specs are returned unchanged.
+func TestResolveAutoPassThrough(t *testing.T) {
+	g := autoChainGraph(t, 10)
+	in := ExecutorSpec{Kind: ExecBarrier, Workers: 7}
+	if got := in.resolveAuto(g, 8, true); got != in {
+		t.Fatalf("non-auto spec mutated: %+v", got)
+	}
+}
+
+// TestAutoNewBackend: the spec path builds a working backend and
+// requires a graph.
+func TestAutoNewBackend(t *testing.T) {
+	g := autoChainGraph(t, 50)
+	b, err := ExecutorSpec{Kind: ExecAuto}.NewBackend(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if !strings.Contains(b.Name(), "fused") {
+		t.Fatalf("auto backend %q is not fused", b.Name())
+	}
+	var nanos [NumPhases]int64
+	b.Iterate(g, 3, &nanos)
+
+	if _, err := (ExecutorSpec{Kind: ExecAuto}).NewBackend(nil); err == nil {
+		t.Fatal("auto without a graph accepted")
+	}
+}
+
+// TestParseExecutorAuto: the CLI/serve name resolves.
+func TestParseExecutorAuto(t *testing.T) {
+	s, err := ParseExecutor("auto", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != ExecAuto {
+		t.Fatalf("kind = %q", s.Kind)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -49,6 +49,64 @@ func benchmarkIterate(b *testing.B, backend Backend) {
 }
 
 func BenchmarkIterateSerial(b *testing.B)      { benchmarkIterate(b, NewSerial()) }
+func BenchmarkIterateSerialFused(b *testing.B) { benchmarkIterate(b, NewSerialFused()) }
 func BenchmarkIterateParallelFor(b *testing.B) { benchmarkIterate(b, NewParallelFor(4)) }
 func BenchmarkIterateBarrier(b *testing.B)     { benchmarkIterate(b, NewBarrier(4)) }
 func BenchmarkIterateAsync(b *testing.B)       { benchmarkIterate(b, NewAsync(1)) }
+
+func BenchmarkIterateBarrierFused(b *testing.B) {
+	be := NewBarrier(4)
+	be.Fused = true
+	benchmarkIterate(b, be)
+}
+
+// benchmarkStreamingPass times just the post-x streaming work (the
+// memory-bound phases the fused schedule collapses), isolating the
+// fusion win from the prox-dominated x-update.
+func benchmarkStreamingPass(b *testing.B, fused bool) {
+	g := benchGraph(b, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if fused {
+		for i := 0; i < b.N; i++ {
+			UpdateZFusedRange(g, 0, g.NumVariables())
+			UpdateUNRange(g, 0, g.NumEdges())
+		}
+		return
+	}
+	for i := 0; i < b.N; i++ {
+		UpdateMRange(g, 0, g.NumEdges())
+		UpdateZRange(g, 0, g.NumVariables())
+		UpdateURange(g, 0, g.NumEdges())
+		UpdateNRange(g, 0, g.NumEdges())
+	}
+}
+
+func BenchmarkStreamingPassReference(b *testing.B) { benchmarkStreamingPass(b, false) }
+func BenchmarkStreamingPassFused(b *testing.B)     { benchmarkStreamingPass(b, true) }
+
+// BenchmarkObjective pins the allocation-free objective path: 0 B/op
+// after the graph scratch warms up.
+func BenchmarkObjective(b *testing.B) {
+	g := benchGraph(b, 512)
+	NewSerialFused().Iterate(g, 5, &[NumPhases]int64{})
+	Objective(g) // warm the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Objective(g)
+	}
+}
+
+// BenchmarkResiduals pins the allocation-free residual path.
+func BenchmarkResiduals(b *testing.B) {
+	g := benchGraph(b, 512)
+	NewSerialFused().Iterate(g, 5, &[NumPhases]int64{})
+	zPrev := g.ScratchZ()
+	copy(zPrev, g.Z)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Residuals(g, zPrev)
+	}
+}

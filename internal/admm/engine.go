@@ -1,7 +1,9 @@
 // Package admm implements the message-passing ADMM on a factor-graph —
 // the paper's Algorithm 2 and the core contribution of parADMM.
 //
-// One iteration is five independent loops over graph elements:
+// One iteration of the reference path is five independent loops over
+// graph elements, the shape that maps one-to-one onto the paper's
+// OpenMP/CUDA kernel launches:
 //
 //	x-update: for each function node a:  x_(a,da) = Prox_{fa,rho}(n_(a,da))
 //	m-update: for each edge (a,b):       m = x + u
@@ -14,19 +16,30 @@
 // block of the flat N and X arrays. The z-update gathers over the
 // variable-side CSR; the u- and n-updates read one z block each.
 //
+// On CPUs the m-, u- and n-updates are pure streaming loops that
+// re-traverse state an adjacent phase just produced, so the package also
+// provides a fused two-pass schedule (fused.go): the x-update prox pass,
+// a z gather that forms m = x + u in registers, and one edge sweep that
+// merges the u- and n-updates. The fused path is bit-identical to the
+// five-phase reference and is the default for the CPU executors selected
+// through ExecutorSpec; the five-loop form remains the reference and the
+// shape the GPU simulator's launch model reasons about.
+//
 // The package provides several executors over identical kernels: Serial
 // (the paper's optimized single-core C baseline), ParallelFor (the
-// paper's first, faster OpenMP strategy: five fork-join loops per
-// iteration), BarrierWorkers (the second strategy: persistent workers
-// with barriers), and Async (a randomized-activation asynchronous variant
-// from the paper's future-work list). The GPU path lives in
-// internal/gpusim and reuses these kernels.
+// paper's first, faster OpenMP strategy: fork-join loops per iteration),
+// BarrierWorkers (the second strategy: persistent workers with barriers
+// — five per iteration on the reference path, three fused), and Async (a
+// randomized-activation asynchronous variant from the paper's
+// future-work list). The GPU path lives in internal/gpusim and reuses
+// these kernels.
 package admm
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/graph"
@@ -214,6 +227,12 @@ func (r Result) PhaseFractions() [NumPhases]float64 {
 	return out
 }
 
+// phaseScratch recycles the per-Run phase-time accumulator. Passing
+// &res.PhaseNanos into the Backend interface would force the whole
+// Result to escape to the heap on every Run; a pooled array keeps the
+// steady-state solve loop allocation-free.
+var phaseScratch = sync.Pool{New: func() any { return new([NumPhases]int64) }}
+
 // Run executes the message-passing ADMM on g.
 func Run(g *graph.Graph, opts Options) (Result, error) {
 	var res Result
@@ -236,9 +255,13 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 	}
 	var zPrev []float64
 	if needResiduals {
-		zPrev = make([]float64, len(g.Z))
+		// Reusable per-graph scratch: repeated Runs on one graph (the
+		// serving layer's steady state) allocate nothing here.
+		zPrev = g.ScratchZ()
 	}
 	res.Primal, res.Dual = math.NaN(), math.NaN()
+	phaseNanos := phaseScratch.Get().(*[NumPhases]int64)
+	*phaseNanos = [NumPhases]int64{}
 
 	start := time.Now()
 	done := 0
@@ -253,13 +276,13 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 			// whole block's — residual-balancing rho adaptation is
 			// badly biased otherwise.
 			if step > 1 {
-				backend.Iterate(g, step-1, &res.PhaseNanos)
+				backend.Iterate(g, step-1, phaseNanos)
 			}
 			copy(zPrev, g.Z)
-			backend.Iterate(g, 1, &res.PhaseNanos)
+			backend.Iterate(g, 1, phaseNanos)
 			res.Primal, res.Dual = Residuals(g, zPrev)
 		} else {
-			backend.Iterate(g, step, &res.PhaseNanos)
+			backend.Iterate(g, step, phaseNanos)
 		}
 		done += step
 		if opts.Adapt != nil {
@@ -277,6 +300,8 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 	}
 	res.Iterations = done
 	res.Elapsed = time.Since(start)
+	res.PhaseNanos = *phaseNanos
+	phaseScratch.Put(phaseNanos)
 	return res, nil
 }
 
@@ -319,7 +344,10 @@ func converged(g *graph.Graph, primal, dual, absTol, relTol float64) bool {
 func Objective(g *graph.Graph) float64 {
 	d := g.D()
 	var total float64
-	buf := make([]float64, 0, 64)
+	// Per-graph scratch sized to the largest function neighborhood:
+	// steady-state evaluation (residual callbacks, serve metrics) is
+	// allocation-free after the first call.
+	buf := g.ScratchEdgeBuf()
 	for a := 0; a < g.NumFunctions(); a++ {
 		v, ok := g.Op(a).(Valuer)
 		if !ok {
@@ -430,15 +458,32 @@ func runPhasesSerial(g *graph.Graph, phaseNanos *[NumPhases]int64) {
 // Serial is the single-core backend: the Go analogue of the paper's
 // optimized serial C implementation, against which all speedups are
 // measured.
-type serialBackend struct{}
+type serialBackend struct{ fused bool }
 
-// NewSerial returns the serial backend.
+// NewSerial returns the serial reference backend (five-phase schedule).
 func NewSerial() Backend { return serialBackend{} }
 
-func (serialBackend) Name() string { return "serial" }
-func (serialBackend) Close()       {}
+// NewSerialFused returns the serial backend on the fused two-pass
+// schedule — bit-identical iterates, roughly a third less memory traffic
+// on the streaming phases. This is what ExecutorSpec{Kind: "serial"}
+// builds by default.
+func NewSerialFused() Backend { return serialBackend{fused: true} }
 
-func (serialBackend) Iterate(g *graph.Graph, iters int, phaseNanos *[NumPhases]int64) {
+func (b serialBackend) Name() string {
+	if b.fused {
+		return "serial-fused"
+	}
+	return "serial"
+}
+func (serialBackend) Close() {}
+
+func (b serialBackend) Iterate(g *graph.Graph, iters int, phaseNanos *[NumPhases]int64) {
+	if b.fused {
+		for it := 0; it < iters; it++ {
+			runPhasesFused(g, phaseNanos)
+		}
+		return
+	}
 	for it := 0; it < iters; it++ {
 		runPhasesSerial(g, phaseNanos)
 	}

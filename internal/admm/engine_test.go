@@ -431,6 +431,19 @@ func TestBackendNames(t *testing.T) {
 	if NewBarrier(2).Name() != "barrier-workers(2)" {
 		t.Error("barrier name")
 	}
+	if NewSerialFused().Name() != "serial-fused" {
+		t.Error("serial-fused name")
+	}
+	pff := &ParallelForBackend{Workers: 3, Fused: true}
+	if pff.Name() != "parallel-for(3,fused)" {
+		t.Error("parallel-for fused name")
+	}
+	bf := NewBarrier(2)
+	bf.Fused = true
+	if bf.Name() != "barrier-workers(2,fused)" {
+		t.Error("barrier fused name")
+	}
+	bf.Close()
 	if NewAsync(1).Name() != "async-random-activation" {
 		t.Error("async name")
 	}

@@ -21,6 +21,10 @@ type ParallelForBackend struct {
 	// Dynamic enables self-scheduled (guided) loops instead of static
 	// chunks for the x- and z-updates, which have non-uniform task costs.
 	Dynamic bool
+	// Fused selects the two-pass fused schedule: three fork-join loops
+	// per iteration (x, fused z, fused u/n) instead of five, with the
+	// same iterates bit-for-bit.
+	Fused bool
 	// ZGrouping: nil means contiguous chunking; otherwise a precomputed
 	// degree-balanced partition from PrepareBalancedZ.
 	zGroups [][]int
@@ -48,13 +52,17 @@ func (b *ParallelForBackend) PrepareBalancedZ(g *graph.Graph) {
 
 // Name implements Backend.
 func (b *ParallelForBackend) Name() string {
-	if b.zGroups != nil {
-		return fmt.Sprintf("parallel-for(%d,balanced-z)", b.Workers)
+	opts := ""
+	switch {
+	case b.zGroups != nil:
+		opts = ",balanced-z"
+	case b.Dynamic:
+		opts = ",dynamic"
 	}
-	if b.Dynamic {
-		return fmt.Sprintf("parallel-for(%d,dynamic)", b.Workers)
+	if b.Fused {
+		opts += ",fused"
 	}
-	return fmt.Sprintf("parallel-for(%d)", b.Workers)
+	return fmt.Sprintf("parallel-for(%d%s)", b.Workers, opts)
 }
 
 // Close implements Backend.
@@ -71,6 +79,34 @@ func (b *ParallelForBackend) Iterate(g *graph.Graph, iters int, phaseNanos *[Num
 		heavyLoop = func(n int, fn func(lo, hi int)) {
 			sched.DynamicFor(w, n, 0, fn)
 		}
+	}
+	if b.Fused {
+		// Fused schedule: three fork-join loops per iteration. The m
+		// message forms inside the z gather and u/n merge into one edge
+		// sweep, so two join points (and two array traversals) vanish.
+		for it := 0; it < iters; it++ {
+			t := time.Now()
+			heavyLoop(g.NumFunctions(), func(lo, hi int) { UpdateXRange(g, lo, hi) })
+			phaseNanos[PhaseX] += time.Since(t).Nanoseconds()
+
+			t = time.Now()
+			switch {
+			case b.zGroups != nil:
+				sched.ParallelFor(len(b.zGroups), len(b.zGroups), func(lo, hi int) {
+					for gi := lo; gi < hi; gi++ {
+						UpdateZFusedVars(g, b.zGroups[gi])
+					}
+				})
+			default:
+				heavyLoop(g.NumVariables(), func(lo, hi int) { UpdateZFusedRange(g, lo, hi) })
+			}
+			phaseNanos[PhaseZ] += time.Since(t).Nanoseconds()
+
+			t = time.Now()
+			loop(g.NumEdges(), func(lo, hi int) { UpdateUNRange(g, lo, hi) })
+			phaseNanos[PhaseU] += time.Since(t).Nanoseconds()
+		}
+		return
 	}
 	for it := 0; it < iters; it++ {
 		t := time.Now()
@@ -118,6 +154,12 @@ type BarrierBackend struct {
 	barrier *sched.Barrier
 	closed  bool
 
+	// Fused selects the two-pass schedule: three barriers per iteration
+	// (after x, after fused z, after fused u/n) instead of five. Set it
+	// before the first Iterate; workers observe it through the same
+	// channel handshake that publishes the graph.
+	Fused bool
+
 	g     *graph.Graph
 	iters int
 	// phase boundary timestamps recorded by worker 0
@@ -144,7 +186,12 @@ func NewBarrier(workers int) *BarrierBackend {
 }
 
 // Name implements Backend.
-func (b *BarrierBackend) Name() string { return fmt.Sprintf("barrier-workers(%d)", b.workers) }
+func (b *BarrierBackend) Name() string {
+	if b.Fused {
+		return fmt.Sprintf("barrier-workers(%d,fused)", b.workers)
+	}
+	return fmt.Sprintf("barrier-workers(%d)", b.workers)
+}
 
 // Iterate implements Backend.
 func (b *BarrierBackend) Iterate(g *graph.Graph, iters int, phaseNanos *[NumPhases]int64) {
@@ -170,14 +217,51 @@ func (b *BarrierBackend) Close() {
 }
 
 func (b *BarrierBackend) worker(id int) {
+	// Static shares are a pure function of the graph shape; caching them
+	// across Iterate calls keeps the steady-state loop allocation-free.
+	var chunkedFor *graph.Graph
+	var fr, er, vr sched.Range
 	for range b.cmd {
 		g, iters := b.g, b.iters
-		nF, nE, nV := g.NumFunctions(), g.NumEdges(), g.NumVariables()
-		fr := sched.Chunks(nF, b.workers)[id]
-		er := sched.Chunks(nE, b.workers)[id]
-		vr := sched.Chunks(nV, b.workers)[id]
+		if g != chunkedFor {
+			fr = sched.Chunks(g.NumFunctions(), b.workers)[id]
+			er = sched.Chunks(g.NumEdges(), b.workers)[id]
+			vr = sched.Chunks(g.NumVariables(), b.workers)[id]
+			chunkedFor = g
+		}
 		lead := id == 0
 		var t time.Time
+		if b.Fused {
+			// Fused schedule: 3 barriers per iteration. The x barrier
+			// publishes X for the fused z gather (which also reads the
+			// previous sweep's U); the z barrier publishes Z for the
+			// fused u/n sweep; the u/n barrier publishes N (and U) for
+			// the next iteration's x-update.
+			for it := 0; it < iters; it++ {
+				if lead {
+					t = time.Now()
+				}
+				UpdateXRange(g, fr.Lo, fr.Hi)
+				b.barrier.Await()
+				if lead {
+					b.phaseNanos[PhaseX] += time.Since(t).Nanoseconds()
+					t = time.Now()
+				}
+				UpdateZFusedRange(g, vr.Lo, vr.Hi)
+				b.barrier.Await()
+				if lead {
+					b.phaseNanos[PhaseZ] += time.Since(t).Nanoseconds()
+					t = time.Now()
+				}
+				UpdateUNRange(g, er.Lo, er.Hi)
+				b.barrier.Await()
+				if lead {
+					b.phaseNanos[PhaseU] += time.Since(t).Nanoseconds()
+				}
+			}
+			b.done <- struct{}{}
+			continue
+		}
 		for it := 0; it < iters; it++ {
 			if lead {
 				t = time.Now()

@@ -22,6 +22,10 @@ const (
 	ExecBarrier     ExecutorKind = "barrier"
 	ExecAsync       ExecutorKind = "async"
 	ExecSharded     ExecutorKind = "sharded"
+	// ExecAuto defers the choice to ResolveAuto: the spec is resolved
+	// against the finalized graph's Stats (size/density thresholds) into
+	// serial or sharded, fused on. See auto.go.
+	ExecAuto ExecutorKind = "auto"
 )
 
 // ExecutorSpec is a declarative backend selection: a kind plus its
@@ -49,11 +53,22 @@ type ExecutorSpec struct {
 	// strategy: "block" | "balanced" | "greedy-mincut" (default
 	// "balanced"; sharded only).
 	Partition string `json:"partition,omitempty"`
+	// Fused selects the two-pass fused iteration schedule (see
+	// internal/admm fused.go). nil means the executor's default — ON for
+	// every CPU executor (serial, parallel-for, barrier, sharded), since
+	// fused iterates are bit-identical and strictly cheaper; an explicit
+	// false forces the five-phase reference schedule. The async executor
+	// has no phase structure to fuse and ignores the knob.
+	Fused *bool `json:"fused,omitempty"`
 }
 
+// FusedEnabled reports whether the spec selects the fused schedule:
+// true unless Fused explicitly disables it.
+func (s ExecutorSpec) FusedEnabled() bool { return s.Fused == nil || *s.Fused }
+
 // ParseExecutor resolves a user-facing executor name ("serial",
-// "parallel-for" or "parallel", "barrier", "async") and worker count
-// into a spec.
+// "parallel-for" or "parallel", "barrier", "async", "sharded", "auto")
+// and worker count into a spec.
 func ParseExecutor(name string, workers int) (ExecutorSpec, error) {
 	s := ExecutorSpec{Workers: workers}
 	switch strings.ToLower(strings.TrimSpace(name)) {
@@ -67,8 +82,10 @@ func ParseExecutor(name string, workers int) (ExecutorSpec, error) {
 		s.Kind = ExecAsync
 	case string(ExecSharded):
 		s.Kind = ExecSharded
+	case string(ExecAuto):
+		s.Kind = ExecAuto
 	default:
-		return s, fmt.Errorf("admm: unknown executor %q (want serial | parallel-for | barrier | async | sharded)", name)
+		return s, fmt.Errorf("admm: unknown executor %q (want serial | parallel-for | barrier | async | sharded | auto)", name)
 	}
 	return s, nil
 }
@@ -106,7 +123,7 @@ func RegisterExecutor(kind ExecutorKind, f ExecutorFactory) {
 // backend.
 func (s ExecutorSpec) Validate() error {
 	switch s.Kind {
-	case "", ExecSerial, ExecParallelFor, ExecBarrier, ExecAsync, ExecSharded:
+	case "", ExecSerial, ExecParallelFor, ExecBarrier, ExecAsync, ExecSharded, ExecAuto:
 	default:
 		return fmt.Errorf("admm: unknown executor kind %q", s.Kind)
 	}
@@ -141,10 +158,19 @@ func (s ExecutorSpec) NewBackend(g *graph.Graph) (Backend, error) {
 	}
 	switch s.Kind {
 	case "", ExecSerial:
+		if s.FusedEnabled() {
+			return NewSerialFused(), nil
+		}
 		return NewSerial(), nil
+	case ExecAuto:
+		if g == nil {
+			return nil, fmt.Errorf("admm: auto executor needs a finalized graph")
+		}
+		return s.ResolveAuto(g).NewBackend(g)
 	case ExecParallelFor:
 		b := NewParallelFor(workers)
 		b.Dynamic = s.Dynamic
+		b.Fused = s.FusedEnabled()
 		if s.BalancedZ {
 			if g == nil {
 				return nil, fmt.Errorf("admm: balanced_z needs a finalized graph")
@@ -153,7 +179,9 @@ func (s ExecutorSpec) NewBackend(g *graph.Graph) (Backend, error) {
 		}
 		return b, nil
 	case ExecBarrier:
-		return NewBarrier(workers), nil
+		b := NewBarrier(workers)
+		b.Fused = s.FusedEnabled()
+		return b, nil
 	case ExecAsync:
 		seed := s.Seed
 		if seed == 0 {

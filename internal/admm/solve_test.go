@@ -83,12 +83,17 @@ func TestShardedNeedsLinking(t *testing.T) {
 // TestSolveExecutors runs the same consensus problem through every
 // executor kind via the declarative entrypoint; all must reach the mean.
 func TestSolveExecutors(t *testing.T) {
+	off := false
 	specs := []ExecutorSpec{
 		{Kind: ExecSerial},
+		{Kind: ExecSerial, Fused: &off},
 		{Kind: ExecParallelFor, Workers: 2},
+		{Kind: ExecParallelFor, Workers: 2, Fused: &off},
 		{Kind: ExecParallelFor, Workers: 2, Dynamic: true},
 		{Kind: ExecBarrier, Workers: 2},
+		{Kind: ExecBarrier, Workers: 2, Fused: &off},
 		{Kind: ExecAsync, Seed: 5},
+		{Kind: ExecAuto},
 	}
 	for _, spec := range specs {
 		g := buildAveraging(t, []float64{1, 2, 6})
@@ -122,6 +127,37 @@ func TestSolveBalancedZ(t *testing.T) {
 	}
 	if _, err := spec.NewBackend(nil); err == nil {
 		t.Errorf("NewBackend(nil) with balanced_z should fail")
+	}
+}
+
+// TestSpecFusedDefault pins the CPU executors' fused-by-default policy:
+// an unset Fused field selects the fused schedule, explicit false the
+// reference one, and the constructors (NewSerial, NewParallelFor,
+// NewBarrier) stay on the reference schedule for baseline measurements.
+func TestSpecFusedDefault(t *testing.T) {
+	g := buildAveraging(t, []float64{1, 2})
+	for _, kind := range []ExecutorKind{ExecSerial, ExecParallelFor, ExecBarrier} {
+		b, err := ExecutorSpec{Kind: kind, Workers: 2}.NewBackend(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(b.Name(), "fused") {
+			t.Errorf("spec-built %q backend is %q, want fused default", kind, b.Name())
+		}
+		b.Close()
+
+		off := false
+		b, err = ExecutorSpec{Kind: kind, Workers: 2, Fused: &off}.NewBackend(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(b.Name(), "fused") {
+			t.Errorf("fused=false %q backend is %q", kind, b.Name())
+		}
+		b.Close()
+	}
+	if NewSerial().Name() != "serial" {
+		t.Error("NewSerial must stay the unfused reference")
 	}
 }
 

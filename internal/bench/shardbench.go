@@ -52,20 +52,48 @@ type shardBenchCell struct {
 	make func(g *graph.Graph) (admm.Backend, error)
 }
 
+// specCell builds a sweep cell from a declarative executor spec.
+func specCell(name string, spec admm.ExecutorSpec) shardBenchCell {
+	return shardBenchCell{name, func(g *graph.Graph) (admm.Backend, error) {
+		return spec.NewBackend(g)
+	}}
+}
+
+// unfused pins a spec to the five-phase reference schedule; the sweeps
+// compare it against the fused default explicitly.
+func unfused(spec admm.ExecutorSpec) admm.ExecutorSpec {
+	off := false
+	spec.Fused = &off
+	return spec
+}
+
 func shardBenchExecutors() []shardBenchCell {
-	specCell := func(name string, spec admm.ExecutorSpec) shardBenchCell {
-		return shardBenchCell{name, func(g *graph.Graph) (admm.Backend, error) {
-			return spec.NewBackend(g)
-		}}
-	}
+	// The executor-family sweep stays on the reference schedule so the
+	// BENCH_shard.json trajectory keeps measuring one thing (sync
+	// strategy); the fused-vs-unfused comparison is RunFusedBench's job.
 	return []shardBenchCell{
-		specCell("serial", admm.ExecutorSpec{Kind: admm.ExecSerial}),
-		specCell("parallel-for-4", admm.ExecutorSpec{Kind: admm.ExecParallelFor, Workers: 4}),
-		specCell("barrier-4", admm.ExecutorSpec{Kind: admm.ExecBarrier, Workers: 4}),
+		specCell("serial", unfused(admm.ExecutorSpec{Kind: admm.ExecSerial})),
+		specCell("parallel-for-4", unfused(admm.ExecutorSpec{Kind: admm.ExecParallelFor, Workers: 4})),
+		specCell("barrier-4", unfused(admm.ExecutorSpec{Kind: admm.ExecBarrier, Workers: 4})),
 		specCell("async", admm.ExecutorSpec{Kind: admm.ExecAsync}),
-		specCell("sharded-1", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 1}),
-		specCell("sharded-2", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 2}),
-		specCell("sharded-4", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4}),
+		specCell("sharded-1", unfused(admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 1})),
+		specCell("sharded-2", unfused(admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 2})),
+		specCell("sharded-4", unfused(admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4})),
+	}
+}
+
+// fusedBenchExecutors pairs every CPU executor family with its fused
+// twin — the BENCH_fused.json sweep that prices the fused schedule.
+func fusedBenchExecutors() []shardBenchCell {
+	return []shardBenchCell{
+		specCell("serial", unfused(admm.ExecutorSpec{Kind: admm.ExecSerial})),
+		specCell("serial-fused", admm.ExecutorSpec{Kind: admm.ExecSerial}),
+		specCell("parallel-for-4", unfused(admm.ExecutorSpec{Kind: admm.ExecParallelFor, Workers: 4})),
+		specCell("parallel-for-4-fused", admm.ExecutorSpec{Kind: admm.ExecParallelFor, Workers: 4}),
+		specCell("barrier-4", unfused(admm.ExecutorSpec{Kind: admm.ExecBarrier, Workers: 4})),
+		specCell("barrier-4-fused", admm.ExecutorSpec{Kind: admm.ExecBarrier, Workers: 4}),
+		specCell("sharded-4", unfused(admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4})),
+		specCell("sharded-4-fused", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4}),
 	}
 }
 
@@ -132,12 +160,19 @@ func shardBenchWorkloads(s Scale) []shardBenchWorkload {
 // (JIT-free Go still wants warm caches and, for lasso, warm Cholesky
 // factorizations) before the timed runs.
 func RunShardBench(s Scale) (*ShardBenchReport, error) {
-	return runShardBench(s, shardBenchWorkloads(s), 5)
+	return runShardBench(s, shardBenchExecutors(), shardBenchWorkloads(s), 5)
+}
+
+// RunFusedBench sweeps fused-vs-unfused pairs of every CPU executor
+// family over every workload — the BENCH_fused.json baseline behind the
+// perf-trend gate's fused file.
+func RunFusedBench(s Scale) (*ShardBenchReport, error) {
+	return runShardBench(s, fusedBenchExecutors(), shardBenchWorkloads(s), 5)
 }
 
 // runShardBench is the sweep core; tests call it with shrunken
 // workloads and fewer reps.
-func runShardBench(s Scale, workloads []shardBenchWorkload, reps int) (*ShardBenchReport, error) {
+func runShardBench(s Scale, executors []shardBenchCell, workloads []shardBenchWorkload, reps int) (*ShardBenchReport, error) {
 	seed := s.Seed
 	if seed == 0 {
 		seed = 1
@@ -173,7 +208,7 @@ func runShardBench(s Scale, workloads []shardBenchWorkload, reps int) (*ShardBen
 				c.backend.Close()
 			}
 		}
-		for _, cell := range shardBenchExecutors() {
+		for _, cell := range executors {
 			g, err := w.build(seed)
 			if err != nil {
 				closeCells()
@@ -271,7 +306,19 @@ func init() {
 			// Two reps keep the interactive experiment (and the CI
 			// experiment-sweep test) fast; the curated BENCH_shard.json
 			// baseline uses RunShardBench's best-of-five.
-			rep, err := runShardBench(s, shardBenchWorkloads(s), 2)
+			rep, err := runShardBench(s, shardBenchExecutors(), shardBenchWorkloads(s), 2)
+			if err != nil {
+				return nil, err
+			}
+			return rep.Tables(), nil
+		},
+	})
+	register(Experiment{
+		ID:    "ext-fused",
+		Paper: "extension: fused two-pass iteration vs the paper's five-kernel schedule",
+		Desc:  "Fused vs reference schedule for every CPU executor family on all workloads (iters/sec).",
+		Run: func(s Scale) ([]*Table, error) {
+			rep, err := runShardBench(s, fusedBenchExecutors(), shardBenchWorkloads(s), 2)
 			if err != nil {
 				return nil, err
 			}

@@ -17,7 +17,7 @@ func TestShardBenchReportShape(t *testing.T) {
 	for i := range workloads {
 		workloads[i].iters = 3
 	}
-	rep, err := runShardBench(Scale{Seed: 1}, workloads, 1)
+	rep, err := runShardBench(Scale{Seed: 1}, shardBenchExecutors(), workloads, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestShardBenchTables(t *testing.T) {
 	for i := range workloads {
 		workloads[i].iters = 2
 	}
-	rep, err := runShardBench(Scale{Seed: 1}, workloads, 1)
+	rep, err := runShardBench(Scale{Seed: 1}, shardBenchExecutors(), workloads, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

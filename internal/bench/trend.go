@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Perf-trend gate (ROADMAP: "wire the CI bench-smoke artifact into a
+// trend check"). A committed BENCH_*.json baseline and a freshly swept
+// report are compared cell by cell (executor x workload, on
+// iterations/sec); any cell whose throughput falls more than the
+// threshold below baseline is a regression and fails the gate.
+//
+// Raw iters/sec are machine-specific, so cross-machine comparisons (a CI
+// runner against the laptop that produced the committed baseline) first
+// normalize by the geometric mean of the per-cell current/baseline
+// ratios: a uniformly slower machine scales every cell equally and
+// cancels out, while a single executor x workload cell that regressed
+// relative to the rest survives normalization and is flagged.
+
+// TrendCell is one baseline/current throughput comparison.
+type TrendCell struct {
+	Workload string
+	Executor string
+	// BaselineIPS / CurrentIPS are raw iterations/sec.
+	BaselineIPS float64
+	CurrentIPS  float64
+	// Ratio is current/baseline after normalization (1.0 = on trend).
+	Ratio float64
+}
+
+// Key names the cell as "workload/executor".
+func (c TrendCell) Key() string { return c.Workload + "/" + c.Executor }
+
+// TrendResult is the full gate outcome.
+type TrendResult struct {
+	// Scale applied to current throughputs before comparison (1 when
+	// normalization is off).
+	Scale float64
+	// Cells holds every compared cell, sorted by ascending Ratio (worst
+	// first).
+	Cells []TrendCell
+	// Regressions are the cells whose Ratio fell below 1 - threshold.
+	Regressions []TrendCell
+	// MissingInCurrent lists baseline cells the current report lacks —
+	// coverage loss, treated as failure by the CLI.
+	MissingInCurrent []string
+}
+
+// CompareReports diffs current against baseline. threshold is the
+// allowed fractional throughput loss per cell (e.g. 0.25); normalize
+// rescales for overall machine-speed differences as described above.
+// Cells present only in current (a newly added executor) are ignored;
+// cells present only in baseline are reported as missing.
+func CompareReports(baseline, current *ShardBenchReport, threshold float64, normalize bool) (*TrendResult, error) {
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("bench: threshold = %g, need (0, 1)", threshold)
+	}
+	if baseline.Schema != ShardBenchSchema || current.Schema != ShardBenchSchema {
+		return nil, fmt.Errorf("bench: schema mismatch (baseline %q, current %q, want %q)",
+			baseline.Schema, current.Schema, ShardBenchSchema)
+	}
+	if baseline.GoMaxProcs != current.GoMaxProcs {
+		// Parallel-executor cells scale with the core count while serial
+		// cells don't, so a cross-core-count comparison violates the
+		// uniform-machine-speed assumption behind normalization: the
+		// geometric mean would absorb the parallel speedup and flag
+		// healthy serial cells. Re-sweep with GOMAXPROCS pinned to the
+		// baseline's value instead.
+		return nil, fmt.Errorf("bench: GOMAXPROCS mismatch (baseline %d, current %d) — "+
+			"per-cell scaling differs by executor family, making the comparison meaningless; "+
+			"re-run the sweep with GOMAXPROCS=%d",
+			baseline.GoMaxProcs, current.GoMaxProcs, baseline.GoMaxProcs)
+	}
+	cur := map[string]float64{}
+	for _, e := range current.Entries {
+		cur[e.Workload+"/"+e.Executor] = e.ItersPerSec
+	}
+	res := &TrendResult{Scale: 1}
+	var logSum float64
+	var logN int
+	for _, e := range baseline.Entries {
+		key := e.Workload + "/" + e.Executor
+		c, ok := cur[key]
+		if !ok {
+			res.MissingInCurrent = append(res.MissingInCurrent, key)
+			continue
+		}
+		if e.ItersPerSec <= 0 || c <= 0 {
+			return nil, fmt.Errorf("bench: non-positive throughput in cell %s", key)
+		}
+		res.Cells = append(res.Cells, TrendCell{
+			Workload:    e.Workload,
+			Executor:    e.Executor,
+			BaselineIPS: e.ItersPerSec,
+			CurrentIPS:  c,
+		})
+		logSum += math.Log(c / e.ItersPerSec)
+		logN++
+	}
+	if len(res.Cells) == 0 {
+		return nil, fmt.Errorf("bench: no comparable cells between reports")
+	}
+	if normalize && logN > 0 {
+		// Geometric mean of per-cell speed ratios = the machine-speed
+		// factor; dividing it out leaves per-cell relative movement.
+		res.Scale = 1 / math.Exp(logSum/float64(logN))
+	}
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		c.Ratio = c.CurrentIPS * res.Scale / c.BaselineIPS
+		if c.Ratio < 1-threshold {
+			res.Regressions = append(res.Regressions, *c)
+		}
+	}
+	sort.Slice(res.Cells, func(i, j int) bool { return res.Cells[i].Ratio < res.Cells[j].Ratio })
+	sort.Slice(res.Regressions, func(i, j int) bool { return res.Regressions[i].Ratio < res.Regressions[j].Ratio })
+	sort.Strings(res.MissingInCurrent)
+	return res, nil
+}
+
+// LoadReport reads a BENCH_*.json report from disk.
+func LoadReport(path string) (*ShardBenchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep ShardBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if rep.Schema != ShardBenchSchema {
+		return nil, fmt.Errorf("bench: %s: schema %q, want %q", path, rep.Schema, ShardBenchSchema)
+	}
+	return &rep, nil
+}

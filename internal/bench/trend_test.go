@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func trendReport(cells map[string]float64) *ShardBenchReport {
+	rep := &ShardBenchReport{Schema: ShardBenchSchema}
+	for key, ips := range cells {
+		parts := strings.SplitN(key, "/", 2)
+		rep.Entries = append(rep.Entries, ShardBenchEntry{
+			Workload:    parts[0],
+			Executor:    parts[1],
+			Iters:       100,
+			ElapsedNS:   1,
+			ItersPerSec: ips,
+		})
+	}
+	return rep
+}
+
+func TestCompareReportsOnTrend(t *testing.T) {
+	base := trendReport(map[string]float64{"lasso/serial": 100, "svm/serial": 50})
+	cur := trendReport(map[string]float64{"lasso/serial": 98, "svm/serial": 51})
+	res, err := CompareReports(base, cur, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 0 {
+		t.Fatalf("unexpected regressions: %+v", res.Regressions)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("compared %d cells, want 2", len(res.Cells))
+	}
+}
+
+func TestCompareReportsFlagsRegression(t *testing.T) {
+	base := trendReport(map[string]float64{"lasso/serial": 100, "svm/serial": 50})
+	cur := trendReport(map[string]float64{"lasso/serial": 100, "svm/serial": 30})
+	res, err := CompareReports(base, cur, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 1 || res.Regressions[0].Key() != "svm/serial" {
+		t.Fatalf("regressions = %+v, want svm/serial", res.Regressions)
+	}
+	if r := res.Regressions[0].Ratio; r < 0.59 || r > 0.61 {
+		t.Fatalf("ratio = %g, want 0.6", r)
+	}
+}
+
+// TestCompareReportsNormalization: a uniformly 2x-slower machine is not
+// a regression once normalized, while a cell that additionally lost half
+// its relative throughput still is.
+func TestCompareReportsNormalization(t *testing.T) {
+	base := trendReport(map[string]float64{
+		"lasso/serial": 100, "svm/serial": 50, "mpc/serial": 200, "packing/serial": 80,
+	})
+	uniform := trendReport(map[string]float64{
+		"lasso/serial": 50, "svm/serial": 25, "mpc/serial": 100, "packing/serial": 40,
+	})
+	res, err := CompareReports(base, uniform, 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 0 {
+		t.Fatalf("uniform slowdown flagged: %+v", res.Regressions)
+	}
+	if res.Scale < 1.99 || res.Scale > 2.01 {
+		t.Fatalf("scale = %g, want 2", res.Scale)
+	}
+
+	// Same machine factor, but one cell collapsed.
+	skewed := trendReport(map[string]float64{
+		"lasso/serial": 50, "svm/serial": 25, "mpc/serial": 100, "packing/serial": 8,
+	})
+	res, err = CompareReports(base, skewed, 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res.Regressions {
+		if r.Key() == "packing/serial" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("collapsed cell not flagged: %+v", res.Regressions)
+	}
+	// Unnormalized, the same pair flags everything.
+	res, err = CompareReports(base, skewed, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 4 {
+		t.Fatalf("raw comparison found %d regressions, want 4", len(res.Regressions))
+	}
+}
+
+func TestCompareReportsMissingCell(t *testing.T) {
+	base := trendReport(map[string]float64{"lasso/serial": 100, "svm/serial": 50})
+	cur := trendReport(map[string]float64{"lasso/serial": 100})
+	res, err := CompareReports(base, cur, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MissingInCurrent) != 1 || res.MissingInCurrent[0] != "svm/serial" {
+		t.Fatalf("missing = %v, want [svm/serial]", res.MissingInCurrent)
+	}
+	// Extra cells in current are not an error (new executors appear
+	// before their baseline is re-committed).
+	if _, err := CompareReports(cur, base, 0.25, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareReportsRejectsCoreCountMismatch: parallel cells scale with
+// GOMAXPROCS while serial cells don't, so cross-core-count comparisons
+// are refused rather than silently mis-normalized.
+func TestCompareReportsRejectsCoreCountMismatch(t *testing.T) {
+	base := trendReport(map[string]float64{"lasso/serial": 100})
+	base.GoMaxProcs = 1
+	cur := trendReport(map[string]float64{"lasso/serial": 100})
+	cur.GoMaxProcs = 4
+	if _, err := CompareReports(base, cur, 0.25, true); err == nil {
+		t.Fatal("GOMAXPROCS mismatch accepted")
+	}
+}
+
+func TestCompareReportsValidation(t *testing.T) {
+	base := trendReport(map[string]float64{"lasso/serial": 100})
+	if _, err := CompareReports(base, base, 0, false); err == nil {
+		t.Fatal("threshold 0 accepted")
+	}
+	if _, err := CompareReports(base, trendReport(map[string]float64{"x/y": 1}), 0.25, false); err == nil {
+		t.Fatal("disjoint reports accepted")
+	}
+	bad := trendReport(map[string]float64{"lasso/serial": 100})
+	bad.Schema = "other/v1"
+	if _, err := CompareReports(bad, base, 0.25, false); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}
+
+// TestFusedBenchReportShape mirrors the shard sweep's shape test for the
+// fused executor matrix.
+func TestFusedBenchReportShape(t *testing.T) {
+	workloads := shardBenchWorkloads(Scale{})[:2]
+	for i := range workloads {
+		workloads[i].iters = 3
+	}
+	rep, err := runShardBench(Scale{Seed: 1}, fusedBenchExecutors(), workloads, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	executors := len(fusedBenchExecutors())
+	if len(rep.Entries) != len(workloads)*executors {
+		t.Fatalf("%d entries, want %d x %d", len(rep.Entries), len(workloads), executors)
+	}
+	fusedSeen := 0
+	for _, e := range rep.Entries {
+		if e.ItersPerSec <= 0 {
+			t.Fatalf("degenerate entry %+v", e)
+		}
+		if strings.HasSuffix(e.Executor, "-fused") {
+			fusedSeen++
+		}
+	}
+	if fusedSeen != len(workloads)*executors/2 {
+		t.Fatalf("fused entries = %d, want half of %d", fusedSeen, len(workloads)*executors)
+	}
+}

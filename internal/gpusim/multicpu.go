@@ -120,13 +120,17 @@ func (m *MultiCPUModel) IterationTime(tasks [admm.NumPhases][]Task, cores int) f
 type MultiCoreBackend struct {
 	Model *MultiCPUModel
 	Cores int
+	// Fused advances the host state with the fused two-pass kernels;
+	// charged time stays the five-loop OpenMP model it simulates. On by
+	// default.
+	Fused bool
 
 	prepared *graph.Graph
 	phaseSec [admm.NumPhases]float64
 }
 
 // NewMultiCoreBackend returns a simulated multi-core backend (nil model
-// means the 32-core Opteron profile).
+// means the 32-core Opteron profile) with fused host kernels.
 func NewMultiCoreBackend(model *MultiCPUModel, cores int) *MultiCoreBackend {
 	if model == nil {
 		model = Opteron6300x32()
@@ -134,7 +138,7 @@ func NewMultiCoreBackend(model *MultiCPUModel, cores int) *MultiCoreBackend {
 	if cores < 1 {
 		panic("gpusim: cores must be >= 1")
 	}
-	return &MultiCoreBackend{Model: model, Cores: cores}
+	return &MultiCoreBackend{Model: model, Cores: cores, Fused: true}
 }
 
 // Name implements admm.Backend.
@@ -163,13 +167,7 @@ func (b *MultiCoreBackend) PhaseSeconds(g *graph.Graph) [admm.NumPhases]float64 
 // Iterate implements admm.Backend.
 func (b *MultiCoreBackend) Iterate(g *graph.Graph, iters int, phaseNanos *[admm.NumPhases]int64) {
 	b.prepare(g)
-	for it := 0; it < iters; it++ {
-		admm.UpdateXRange(g, 0, g.NumFunctions())
-		admm.UpdateMRange(g, 0, g.NumEdges())
-		admm.UpdateZRange(g, 0, g.NumVariables())
-		admm.UpdateURange(g, 0, g.NumEdges())
-		admm.UpdateNRange(g, 0, g.NumEdges())
-	}
+	hostAdvance(g, iters, b.Fused)
 	for p := admm.Phase(0); p < admm.NumPhases; p++ {
 		phaseNanos[p] += int64(b.phaseSec[p] * float64(iters) * 1e9)
 	}

@@ -103,6 +103,13 @@ type Graph struct {
 	X, M, U, N []float64
 	Z          []float64
 
+	// Reusable engine workspace (ScratchZ, ScratchEdgeBuf): lazily
+	// allocated once so the steady-state iteration loop — residual
+	// checks, objective evaluation — performs no per-call allocations.
+	scratchZ    []float64
+	scratchEdge []float64
+	maxFuncDeg  int
+
 	finalized bool
 }
 
@@ -211,6 +218,47 @@ func (g *Graph) Finalize() error {
 	g.Z = make([]float64, g.numVars*g.d)
 	g.finalized = true
 	return nil
+}
+
+// maxFuncDegree returns (computing lazily on first use) the largest
+// function-node degree. Lazy rather than set in Finalize so every path
+// that marks a graph finalized — Finalize, Decode — gets it for free;
+// a finalized graph has no zero-degree functions, so 0 means "not yet
+// computed".
+func (g *Graph) maxFuncDegree() int {
+	if g.maxFuncDeg == 0 {
+		for a := 0; a < len(g.ops); a++ {
+			if dg := g.fEdgeStart[a+1] - g.fEdgeStart[a]; dg > g.maxFuncDeg {
+				g.maxFuncDeg = dg
+			}
+		}
+	}
+	return g.maxFuncDeg
+}
+
+// ScratchZ returns a reusable variable-major workspace the same length
+// as Z (the engine's zPrev for residual evaluation). The buffer is owned
+// by the graph and allocated once; callers must not retain it across
+// concurrent engine runs on the same graph — but concurrent runs already
+// race on Z itself, so this adds no new constraint.
+func (g *Graph) ScratchZ() []float64 {
+	g.mustFinal()
+	if len(g.scratchZ) != len(g.Z) {
+		g.scratchZ = make([]float64, len(g.Z))
+	}
+	return g.scratchZ
+}
+
+// ScratchEdgeBuf returns a reusable zero-length buffer whose capacity
+// covers the largest function neighborhood (MaxFuncDegree * D doubles) —
+// the gather workspace for objective evaluation. Same ownership rules as
+// ScratchZ.
+func (g *Graph) ScratchEdgeBuf() []float64 {
+	g.mustFinal()
+	if need := g.maxFuncDegree() * g.d; cap(g.scratchEdge) < need {
+		g.scratchEdge = make([]float64, 0, need)
+	}
+	return g.scratchEdge[:0]
 }
 
 // mustFinal panics if the graph has not been finalized.

@@ -33,6 +33,7 @@ type LeastSquaresOp struct {
 	cachedRho float64
 	chol      *linalg.Cholesky
 	buf       []float64
+	rbuf      []float64 // Value's residual scratch (steady state allocates nothing)
 }
 
 // NewLeastSquares validates shapes and precomputes A^T A and A^T y.
@@ -91,9 +92,14 @@ func (p *LeastSquaresOp) Work(deg, d int) graph.Work {
 	return graph.Work{Flops: 2*nd*nd + 4*nd, MemWords: float64(2*d) + nd*nd, Serial: 0.7}
 }
 
-// Value returns 1/2 ||A s - y||^2.
+// Value returns 1/2 ||A s - y||^2. Like Eval, one instance must not be
+// evaluated concurrently (it owns scratch); every builder attaches one
+// instance per function node.
 func (p *LeastSquaresOp) Value(s []float64, d int) float64 {
-	r := make([]float64, p.A.Rows)
+	if len(p.rbuf) != p.A.Rows {
+		p.rbuf = make([]float64, p.A.Rows)
+	}
+	r := p.rbuf
 	p.A.MulVec(r, s[:p.A.Cols])
 	var total float64
 	for i := range r {

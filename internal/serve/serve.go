@@ -18,9 +18,12 @@
 // (lasso's per-block Cholesky pre-factorizations, packing's O(N^2)
 // collision nodes) dominates short solves. Executor selection is
 // per-request: any of the shared-memory strategies of internal/admm
-// (serial, parallel-for, barrier, async, sharded) with their knobs;
-// sharded solves additionally report partition/boundary statistics
-// through /metrics (paradmm_shard_*).
+// (serial, parallel-for, barrier, async, sharded) with their knobs,
+// or kind "auto" to resolve serial-vs-sharded from the graph's shape;
+// the fused two-pass schedule is the default for every CPU executor
+// ({"fused": false} forces the five-phase reference). Sharded solves
+// additionally report partition/boundary statistics through /metrics
+// (paradmm_shard_*).
 package serve
 
 import (

@@ -48,6 +48,32 @@
 // z-update uses, every strategy produces bit-identical iterates to the
 // Serial reference — the cross-executor conformance suite pins this.
 //
+// # The fused schedule
+//
+// With Backend.Fused (the ExecutorSpec default), each phase runs its
+// fused form — the sync structure is unchanged, still two barriers:
+//
+//	A (local):    x over owned functions;
+//	              fused z over interior vars (m = x + u in registers)
+//	-- barrier 1 --  (this iteration's X published; remote U was
+//	                  published by the previous iteration's crossing)
+//	B (boundary): fused z for owned boundary vars, gathering remote
+//	              x + u in CSR order
+//	-- barrier 2 --  (all z-blocks published)
+//	C (local):    fused u+n sweep over owned edges
+//
+// The m-array write and one of the two edge sweeps disappear (m/u/n
+// phases paid ~88d bytes of edge traffic per iteration on the reference
+// schedule, ~56d fused; see internal/admm/fused.go for the model). The
+// correctness argument is the same as the reference schedule's with one
+// addition: phase B reads remote X and U instead of remote M. X is
+// published by barrier 1 of the current iteration; U was last written
+// in the owning shard's previous phase C, which precedes that shard's
+// barrier-1 arrival in program order — and no phase between the
+// barriers writes X or U — so the gather observes exactly the values
+// the reference m-blocks would have frozen. Fused iterates therefore
+// stay bit-identical across all strategies and shard counts.
+//
 // # When sharded beats barrier workers
 //
 // BarrierBackend pays 5 global barriers per iteration regardless of

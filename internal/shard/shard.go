@@ -75,6 +75,13 @@ type Backend struct {
 	shards   int
 	strategy graph.PartitionStrategy
 
+	// Fused selects the two-pass fused phase schedule (see doc.go): the
+	// same two barriers per iteration, but phase A fuses the m-message
+	// into the interior z gather, phase B gathers remote x+u directly,
+	// and phase C merges the u- and n-sweeps. Set before the first
+	// Iterate; workers observe it through the cmd handshake.
+	Fused bool
+
 	cmd     chan struct{}
 	done    chan struct{}
 	barrier *spinBarrier
@@ -143,12 +150,20 @@ func init() {
 		if shards == 0 {
 			shards = 4
 		}
-		return New(shards, graph.PartitionStrategy(s.Partition))
+		sb, err := New(shards, graph.PartitionStrategy(s.Partition))
+		if err != nil {
+			return nil, err
+		}
+		sb.Fused = s.FusedEnabled()
+		return sb, nil
 	})
 }
 
 // Name implements admm.Backend.
 func (b *Backend) Name() string {
+	if b.Fused {
+		return fmt.Sprintf("sharded(%d,%s,fused)", b.shards, b.strategy)
+	}
 	return fmt.Sprintf("sharded(%d,%s)", b.shards, b.strategy)
 }
 
@@ -200,7 +215,8 @@ func (b *Backend) Close() {
 	close(b.cmd)
 }
 
-// worker is one persistent shard. Per iteration it runs:
+// worker is one persistent shard. Per iteration on the reference
+// schedule it runs:
 //
 //	A (local):    x over owned functions, m over owned edges,
 //	              z over interior variables
@@ -214,9 +230,17 @@ func (b *Backend) Close() {
 // plus z published before barrier 2, so no further barrier is needed:
 // a shard racing ahead parks at barrier 1 before it can touch anything
 // another shard still reads.
+//
+// The fused schedule keeps the same two sync points but fuses phase
+// contents: phase A skips the m sweep and gathers m = x + u in registers
+// inside the interior z-update; phase B gathers remote x+u directly (X
+// is published by barrier 1, and remote U — last written in the previous
+// iteration's phase C — is ordered by the same crossing); phase C merges
+// the u- and n-sweeps. No phase between the barriers writes X or U, so
+// the fused reads see exactly the values the reference m-blocks froze.
 func (b *Backend) worker(id int) {
 	for range b.cmd {
-		g, iters, plan := b.g, b.iters, b.plan
+		g, iters, plan, fused := b.g, b.iters, b.plan, b.Fused
 		lp := &plan.local[id]
 		lead := id == 0
 		var t time.Time
@@ -231,15 +255,21 @@ func (b *Backend) worker(id int) {
 				b.phaseNanos[admm.PhaseX] += time.Since(t).Nanoseconds()
 				t = time.Now()
 			}
-			for _, r := range lp.edgeRuns {
-				admm.UpdateMRange(g, r.Lo, r.Hi)
-			}
-			if lead {
-				b.phaseNanos[admm.PhaseM] += time.Since(t).Nanoseconds()
-				t = time.Now()
-			}
-			for _, r := range lp.interiorRuns {
-				admm.UpdateZRange(g, r.Lo, r.Hi)
+			if fused {
+				for _, r := range lp.interiorRuns {
+					admm.UpdateZFusedRange(g, r.Lo, r.Hi)
+				}
+			} else {
+				for _, r := range lp.edgeRuns {
+					admm.UpdateMRange(g, r.Lo, r.Hi)
+				}
+				if lead {
+					b.phaseNanos[admm.PhaseM] += time.Since(t).Nanoseconds()
+					t = time.Now()
+				}
+				for _, r := range lp.interiorRuns {
+					admm.UpdateZRange(g, r.Lo, r.Hi)
+				}
 			}
 			if lead {
 				b.phaseNanos[admm.PhaseZ] += time.Since(t).Nanoseconds()
@@ -250,7 +280,11 @@ func (b *Backend) worker(id int) {
 				b.stats.SyncWaitNanos += time.Since(t).Nanoseconds()
 				t = time.Now()
 			}
-			admm.UpdateZVars(g, lp.boundary)
+			if fused {
+				admm.UpdateZFusedVars(g, lp.boundary)
+			} else {
+				admm.UpdateZVars(g, lp.boundary)
+			}
 			if lead {
 				dt := time.Since(t).Nanoseconds()
 				b.phaseNanos[admm.PhaseZ] += dt
@@ -261,6 +295,15 @@ func (b *Backend) worker(id int) {
 			if lead {
 				b.stats.SyncWaitNanos += time.Since(t).Nanoseconds()
 				t = time.Now()
+			}
+			if fused {
+				for _, r := range lp.edgeRuns {
+					admm.UpdateUNRange(g, r.Lo, r.Hi)
+				}
+				if lead {
+					b.phaseNanos[admm.PhaseU] += time.Since(t).Nanoseconds()
+				}
+				continue
 			}
 			for _, r := range lp.edgeRuns {
 				admm.UpdateURange(g, r.Lo, r.Hi)

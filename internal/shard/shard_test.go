@@ -2,6 +2,7 @@ package shard
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/admm"
@@ -231,4 +232,37 @@ func TestSpecValidationThroughAdmm(t *testing.T) {
 	if _, err := (admm.ExecutorSpec{Kind: admm.ExecSharded}).NewBackend(nil); err == nil {
 		t.Error("sharded NewBackend accepted nil graph")
 	}
+}
+
+// TestAutoResolvesToShardedWhenLinked: with this package's factory
+// registered (the init above), a large sparse graph on a multi-core
+// budget resolves to a sharded fused backend and actually builds. The
+// serial fallback for unlinked binaries is covered in internal/admm.
+func TestAutoResolvesToShardedWhenLinked(t *testing.T) {
+	g := graph.New(1)
+	for i := 0; i < admm.AutoShardMinEdges; i++ { // 2x the edge threshold
+		g.AddNode(prox.Identity{}, i, i+1)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	g.SetUniformParams(1, 1)
+	g.InitZero()
+
+	spec := admm.ExecutorSpec{Kind: admm.ExecAuto}.ResolveAuto(g)
+	if spec.Kind == admm.ExecAuto {
+		t.Fatal("auto spec not resolved")
+	}
+	// On a single-core runner auto legitimately picks serial; with 2+
+	// cores it must pick sharded here.
+	if procs := runtime.GOMAXPROCS(0); procs > 1 && spec.Kind != admm.ExecSharded {
+		t.Fatalf("kind = %q with %d procs, want sharded", spec.Kind, procs)
+	}
+	b, err := spec.NewBackend(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var nanos [admm.NumPhases]int64
+	b.Iterate(g, 2, &nanos)
 }
