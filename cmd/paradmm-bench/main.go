@@ -9,6 +9,7 @@
 //	paradmm-bench -csv fig7            # CSV instead of aligned tables
 //	paradmm-bench -shard-json BENCH_shard.json   # machine-readable executor baseline
 //	paradmm-bench -fused-json BENCH_fused.json   # fused-vs-unfused schedule sweep
+//	paradmm-bench -partition-sweep BENCH_partition.json  # per-strategy partition quality
 //
 // Each experiment id matches the per-experiment index in DESIGN.md;
 // EXPERIMENTS.md records the paper-vs-reproduced comparison for each.
@@ -16,7 +17,9 @@
 // (iterations/sec, per-phase wall time, shard boundary footprint) used
 // as the committed perf-trajectory baseline and uploaded by CI;
 // -fused-json writes the fused-vs-unfused pairing of every CPU executor
-// family in the same schema. Both baselines are gated by cmd/benchtrend.
+// family in the same schema; -partition-sweep writes the 4-shard
+// executor under every partitioning strategy with per-cell cut cost
+// and load imbalance. All three baselines are gated by cmd/benchtrend.
 package main
 
 import (
@@ -34,15 +37,16 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	shardJSON := flag.String("shard-json", "", "write the executor x workload throughput sweep to this file and exit")
 	fusedJSON := flag.String("fused-json", "", "write the fused-vs-unfused schedule sweep to this file and exit")
+	partitionSweep := flag.String("partition-sweep", "", "write the per-strategy partition-quality sweep (cut cost, imbalance, iters/sec) to this file and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: paradmm-bench [-full] [-seed N] [-csv] [-shard-json FILE] [-fused-json FILE] <experiment-id>... | all | list\n\n")
+		fmt.Fprintf(os.Stderr, "usage: paradmm-bench [-full] [-seed N] [-csv] [-shard-json FILE] [-fused-json FILE] [-partition-sweep FILE] <experiment-id>... | all | list\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	args := flag.Args()
-	if *shardJSON != "" || *fusedJSON != "" {
+	if *shardJSON != "" || *fusedJSON != "" || *partitionSweep != "" {
 		if len(args) > 0 {
-			fatal(fmt.Errorf("-shard-json/-fused-json run their own sweeps and take no experiment ids (got %q)", args))
+			fatal(fmt.Errorf("-shard-json/-fused-json/-partition-sweep run their own sweeps and take no experiment ids (got %q)", args))
 		}
 		scale := bench.Scale{Full: *full, Seed: *seed}
 		if *shardJSON != "" {
@@ -58,6 +62,13 @@ func main() {
 				fatal(err)
 			}
 			writeReport(*fusedJSON, rep)
+		}
+		if *partitionSweep != "" {
+			rep, err := bench.RunPartitionBench(scale)
+			if err != nil {
+				fatal(err)
+			}
+			writeReport(*partitionSweep, rep)
 		}
 		return
 	}

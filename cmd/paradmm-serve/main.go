@@ -48,6 +48,10 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth")
 	cachePerKey := flag.Int("cache-per-key", 2, "pooled graphs per shape key")
 	maxIter := flag.Int("max-iter-limit", 200000, "reject requests asking for more iterations")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: paradmm-serve [-addr :8080] [-workers N] [-queue N] [flags]\n\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	srv := serve.New(serve.Config{

@@ -8,6 +8,7 @@
 //	paradmm-solve -problem mpc -size 50 -iters 20000 -backend serial
 //	paradmm-solve -problem svm -size 200 -iters 5000 -backend parallel -workers 4
 //	paradmm-solve -problem mpc -size 2000 -iters 1000 -backend sharded -shards 4 -partition balanced
+//	paradmm-solve -problem packing -size 20 -iters 2000 -backend sharded -shards 4 -partition mincut+fm
 //	paradmm-solve -problem lasso -size 100 -iters 5000
 package main
 
@@ -35,16 +36,21 @@ func main() {
 	backendName := flag.String("backend", "serial", "serial | parallel | barrier | async | sharded | auto | gpu | cpusim | multicpu | twa")
 	workers := flag.Int("workers", 4, "workers for parallel/barrier/multicpu")
 	shards := flag.Int("shards", 4, "shard count for -backend sharded")
-	partition := flag.String("partition", "balanced", "sharded partition strategy: block | balanced | greedy-mincut")
+	partition := flag.String("partition", "balanced", "sharded partition strategy: block | balanced | greedy-mincut | mincut+fm")
+	refine := flag.Bool("refine", false, "FM boundary-refinement pass on top of -partition (mincut+fm implies it)")
 	fused := flag.Bool("fused", true, "fused two-pass schedule for the CPU executors (false = five-phase reference)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: paradmm-solve [-problem P] [-size N] [-iters N] [-backend B] [flags]\n\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	// The sharded executor partitions the factor graph up front, so the
 	// backend is built after the problem: solve* functions receive this
 	// factory and call it with the finalized graph.
 	newBackend := func(g *graph.Graph) (admm.Backend, error) {
-		return makeBackend(*backendName, *workers, *shards, *partition, *fused, g)
+		return makeBackend(*backendName, *workers, *shards, *partition, *refine, *fused, g)
 	}
 
 	var err error
@@ -65,7 +71,7 @@ func main() {
 	}
 }
 
-func makeBackend(name string, workers, shards int, partition string, fused bool, g *graph.Graph) (admm.Backend, error) {
+func makeBackend(name string, workers, shards int, partition string, refine, fused bool, g *graph.Graph) (admm.Backend, error) {
 	// Shared-memory strategies go through the declarative executor spec —
 	// the same selection path the serving layer uses per request.
 	if spec, err := admm.ParseExecutor(name, workers); err == nil {
@@ -73,6 +79,7 @@ func makeBackend(name string, workers, shards int, partition string, fused bool,
 			spec.Workers = 0
 			spec.Shards = shards
 			spec.Partition = partition
+			spec.Refine = refine
 		}
 		if spec.Kind == admm.ExecAuto {
 			spec.Workers = 0
@@ -117,8 +124,8 @@ func report(res admm.Result, g *graph.Graph, backend admm.Backend) {
 		100*fr[0], 100*fr[1], 100*fr[2], 100*fr[3], 100*fr[4])
 	if sb, ok := backend.(*shard.Backend); ok {
 		st := sb.Stats()
-		fmt.Printf("shards: %d (%s partition), %d boundary vars / %d boundary edges, sync wait %v, boundary z %v\n",
-			st.Shards, st.Strategy, st.BoundaryVars, st.BoundaryEdges,
+		fmt.Printf("shards: %d (%s partition), %d boundary vars / %d boundary edges, cut cost %.0f words, sync wait %v, boundary z %v\n",
+			st.Shards, st.PartitionLabel(), st.BoundaryVars, st.BoundaryEdges, st.CutCost,
 			nanos(st.SyncWaitNanos), nanos(st.BoundaryZNanos))
 	}
 }

@@ -99,6 +99,8 @@ var confSpecs = []struct {
 	{"sharded-4", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4}},
 	{"sharded-2-block", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 2, Partition: "block"}},
 	{"sharded-4-greedy-mincut", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4, Partition: "greedy-mincut"}},
+	{"sharded-4-mincut-fm", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4, Partition: "mincut+fm"}},
+	{"sharded-3-balanced-refined", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 3, Refine: true}},
 	{"auto", admm.ExecutorSpec{Kind: admm.ExecAuto}},
 }
 

@@ -6,24 +6,27 @@ import (
 	"repro/internal/graph"
 )
 
-// Executor auto-selection (ROADMAP: "Serve-layer executor
-// auto-selection"): ExecutorSpec{Kind: "auto"} resolves to a concrete
-// CPU executor from the finalized graph's Stats, so serving-layer
-// clients need not know the executor menu. The policy is a deliberate
-// stub — thresholds read straight off the committed BENCH_shard.json
-// shape, to be replaced by the measured trajectory once enough trend
-// data accumulates:
+// Executor auto-selection (ROADMAP: "Executor auto-selection"):
+// ExecutorSpec{Kind: "auto"} resolves to a concrete CPU executor from
+// the finalized graph, so serving-layer clients need not know the
+// executor menu. The policy:
 //
 //   - one usable core: parallel executors only add synchronization, so
 //     everything resolves to serial (fused);
 //   - small graphs: a sharded solve pays two barriers per iteration,
 //     which dominates below ~AutoShardMinEdges edges (sharded-N trails
 //     serial on every quick-scale cell of BENCH_shard.json);
-//   - dense graphs (high mean variable degree): nearly every variable is
-//     a boundary variable, phase B degenerates into a replicated global
-//     z-update — the packing cliff — so dense graphs stay serial;
-//   - otherwise: sharded with the balanced strategy, shard count capped
-//     by cores and AutoMaxShards.
+//   - otherwise the decision is made on *predicted cut cost* instead of
+//     a density proxy: both refined partition candidates are computed —
+//     balanced+FM (wins on geometric graphs: chains, grids) and
+//     mincut+FM (wins when construction order scrambles the geometry)
+//     — candidates with a degenerate load balance are dropped
+//     (AutoMaxImbalance), and the cheaper survivor, by graph.CutCost,
+//     is compared against the serial threshold. If even the best
+//     refined partition would ship more than AutoMaxCutShare of the
+//     per-iteration edge state across shards every iteration (packing's
+//     all-pairs cliff, lasso/svm's consensus star), the graph stays
+//     serial; otherwise the winning refined sharding is used.
 //
 // Fused stays on in every branch unless the caller explicitly disabled
 // it (the resolved spec inherits the Fused field).
@@ -31,12 +34,23 @@ const (
 	// AutoShardMinEdges is the smallest edge count for which a sharded
 	// solve can amortize its per-iteration barrier crossings.
 	AutoShardMinEdges = 20000
-	// AutoMaxMeanVarDegree is the density ceiling: above this mean
-	// variable degree the boundary set stops shrinking with shard count.
-	AutoMaxMeanVarDegree = 8.0
+	// AutoMaxCutShare is the serial threshold on predicted boundary
+	// traffic: the refined partition's degree-weighted cut cost
+	// (graph.CutCost, words per iteration) divided by the graph's
+	// per-iteration edge-state words (Edges * D). Above it, phase B
+	// degenerates toward a replicated global z-update and sharding
+	// stops paying.
+	AutoMaxCutShare = 0.25
 	// AutoMaxShards caps the resolved shard count; beyond shared-LLC
 	// core groups more shards only grow the boundary set.
 	AutoMaxShards = 4
+	// AutoMaxImbalance disqualifies partition candidates whose largest
+	// shard holds more than this multiple of the mean shard load
+	// (graph.Partition.LoadImbalance). Cut cost alone cannot see the
+	// consensus-star pathology — "balanced" places every star function
+	// with the shared first variable, a zero-cut split with zero
+	// parallelism — so a candidate must be cheap on BOTH axes to win.
+	AutoMaxImbalance = 1.5
 )
 
 // ResolveAuto maps an auto spec to a concrete executor spec for g using
@@ -69,15 +83,47 @@ func (s ExecutorSpec) resolveAuto(g *graph.Graph, procs int, shardedLinked bool)
 	if st.Edges < AutoShardMinEdges {
 		return out
 	}
-	if st.MeanVarDegree > AutoMaxMeanVarDegree {
-		return out
-	}
 	shards := procs
 	if shards > AutoMaxShards {
 		shards = AutoMaxShards
 	}
+	strategy, cut, ok := bestRefinedPartition(g, shards)
+	if !ok || cut > AutoMaxCutShare*float64(st.Edges*st.D) {
+		return out
+	}
 	out.Kind = ExecSharded
 	out.Shards = shards
-	out.Partition = string(graph.StrategyBalanced)
+	out.Partition = string(strategy)
+	if strategy != graph.StrategyMincutFM {
+		out.Refine = true
+	}
 	return out
+}
+
+// bestRefinedPartition evaluates the two refined candidates —
+// balanced+FM and mincut+FM — drops any whose load imbalance exceeds
+// AutoMaxImbalance, and returns the survivor with the lower
+// degree-weighted cut cost (ties to the balanced split, whose boundary
+// is geometric and stays small as the graph grows). The candidate
+// partitions are recomputed by the sharded backend when the resolved
+// spec is built; partitioning is O(E) and a solve runs thousands of
+// O(E) iterations, so the duplicate work is noise.
+func bestRefinedPartition(g *graph.Graph, shards int) (graph.PartitionStrategy, float64, bool) {
+	bestCut, best, found := 0.0, graph.PartitionStrategy(""), false
+	for _, strategy := range []graph.PartitionStrategy{graph.StrategyBalanced, graph.StrategyMincutFM} {
+		p, err := graph.NewPartition(g, shards, strategy)
+		if err != nil {
+			return "", 0, false
+		}
+		if strategy != graph.StrategyMincutFM {
+			p.Refine(g)
+		}
+		if p.LoadImbalance(g) > AutoMaxImbalance {
+			continue
+		}
+		if cut := graph.CutCost(g, &p); !found || cut < bestCut {
+			bestCut, best, found = cut, strategy, true
+		}
+	}
+	return best, bestCut, found
 }

@@ -24,16 +24,16 @@ func autoChainGraph(t *testing.T, funcs int) *graph.Graph {
 	return g
 }
 
-// autoDenseGraph builds a dense consensus graph: funcs ten-variable
-// nodes over a pool of 41+9 variables, so the mean variable degree is
-// far above AutoMaxMeanVarDegree once funcs is large.
+// autoDenseGraph builds a consensus star (the lasso/svm shape): every
+// function touches the single shared variable 0 plus a private one, so
+// variable 0 is boundary under any multi-shard split and roughly
+// (parts-1)/parts of its edges — 3/8 of all edge state at 4 shards —
+// must cross shards every iteration. No refinement can fix that.
 func autoDenseGraph(t *testing.T, funcs int) *graph.Graph {
 	t.Helper()
 	g := graph.New(1)
 	for i := 0; i < funcs; i++ {
-		base := i % 41
-		g.AddNode(prox.Identity{}, base, base+1, base+2, base+3, base+4,
-			base+5, base+6, base+7, base+8, base+9)
+		g.AddNode(prox.Identity{}, 0, i+1)
 	}
 	if err := g.Finalize(); err != nil {
 		t.Fatal(err)
@@ -67,13 +67,18 @@ func TestResolveAutoSmallGraph(t *testing.T) {
 	}
 }
 
-// TestResolveAutoDenseGraph: above the density ceiling nearly every
-// variable is boundary (the packing cliff), so dense graphs stay serial
+// TestResolveAutoDenseGraph: when even the best refined partition's
+// predicted cut cost exceeds the serial threshold (the packing cliff:
+// nearly every variable is boundary), dense graphs stay serial
 // regardless of size.
 func TestResolveAutoDenseGraph(t *testing.T) {
-	g := autoDenseGraph(t, 2*AutoShardMinEdges/10)
-	if st := g.Stats(); st.Edges < AutoShardMinEdges || st.MeanVarDegree <= AutoMaxMeanVarDegree {
-		t.Fatalf("test graph does not exercise the density branch: %+v", st)
+	g := autoDenseGraph(t, AutoShardMinEdges)
+	st := g.Stats()
+	if st.Edges < AutoShardMinEdges {
+		t.Fatalf("test graph below the size threshold: %+v", st)
+	}
+	if _, cut, ok := bestRefinedPartition(g, AutoMaxShards); !ok || cut <= AutoMaxCutShare*float64(st.Edges*st.D) {
+		t.Fatalf("test graph does not exercise the cut-share branch: cut %v, ok %v", cut, ok)
 	}
 	got := ExecutorSpec{Kind: ExecAuto}.resolveAuto(g, 8, true)
 	if got.Kind != ExecSerial {
@@ -82,7 +87,11 @@ func TestResolveAutoDenseGraph(t *testing.T) {
 }
 
 // TestResolveAutoLargeSparse: big and sparse resolves to the sharded
-// executor, capped shard count, balanced partition, fused on.
+// executor, capped shard count, refined partition, fused on. On a
+// chain the balanced split's boundary is already geometric (parts-1
+// cut points), so the resolved spec keeps it and adds the FM pass via
+// the Refine knob rather than switching to the greedy-seeded
+// mincut+fm strategy.
 func TestResolveAutoLargeSparse(t *testing.T) {
 	g := autoChainGraph(t, AutoShardMinEdges) // 2x the edge threshold
 	got := ExecutorSpec{Kind: ExecAuto}.resolveAuto(g, 8, true)
@@ -92,8 +101,11 @@ func TestResolveAutoLargeSparse(t *testing.T) {
 	if got.Shards != AutoMaxShards {
 		t.Fatalf("shards = %d, want cap %d", got.Shards, AutoMaxShards)
 	}
-	if got.Partition != string(graph.StrategyBalanced) {
-		t.Fatalf("partition = %q, want balanced", got.Partition)
+	if got.Partition != string(graph.StrategyBalanced) || !got.Refine {
+		t.Fatalf("partition = %q refine = %v, want refined balanced", got.Partition, got.Refine)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("resolved spec invalid: %v", err)
 	}
 	if !got.FusedEnabled() {
 		t.Fatal("fused must stay on")

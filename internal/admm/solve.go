@@ -50,9 +50,16 @@ type ExecutorSpec struct {
 	// sharded only).
 	Shards int `json:"shards,omitempty"`
 	// Partition selects the sharded executor's graph-partitioning
-	// strategy: "block" | "balanced" | "greedy-mincut" (default
-	// "balanced"; sharded only).
+	// strategy: "block" | "balanced" | "greedy-mincut" | "mincut+fm"
+	// (default "balanced"; sharded only).
 	Partition string `json:"partition,omitempty"`
+	// Refine applies a Fiduccia–Mattheyses boundary-refinement pass
+	// (graph.Partition.Refine) on top of the selected partition
+	// strategy (sharded only). The "mincut+fm" strategy implies the
+	// pass; Refine extends it to any base strategy — e.g. Partition
+	// "balanced" with Refine keeps the geometric split but lets
+	// boundary swaps shave the degree-weighted cut cost.
+	Refine bool `json:"refine,omitempty"`
 	// Fused selects the two-pass fused iteration schedule (see
 	// internal/admm fused.go). nil means the executor's default — ON for
 	// every CPU executor (serial, parallel-for, barrier, sharded), since
@@ -136,8 +143,8 @@ func (s ExecutorSpec) Validate() error {
 	if s.Shards < 0 || s.Shards > MaxShards {
 		return fmt.Errorf("admm: shards = %d, need 0..%d", s.Shards, MaxShards)
 	}
-	if (s.Shards != 0 || s.Partition != "") && s.Kind != ExecSharded {
-		return fmt.Errorf("admm: shards/partition apply only to %q, not %q", ExecSharded, s.Kind)
+	if (s.Shards != 0 || s.Partition != "" || s.Refine) && s.Kind != ExecSharded {
+		return fmt.Errorf("admm: shards/partition/refine apply only to %q, not %q", ExecSharded, s.Kind)
 	}
 	if _, err := graph.ParseStrategy(s.Partition); err != nil {
 		return err

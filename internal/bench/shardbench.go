@@ -32,6 +32,13 @@ type ShardBenchEntry struct {
 	BoundaryVars  int   `json:"boundary_vars,omitempty"`
 	BoundaryEdges int   `json:"boundary_edges,omitempty"`
 	SyncWaitNS    int64 `json:"sync_wait_ns,omitempty"`
+	// Partition quality (sharded-only): the strategy that produced the
+	// split ("+fm" when a refinement pass polished a base strategy),
+	// the degree-weighted cut cost (graph.CutCost, words/iteration),
+	// and the max/mean shard load ratio.
+	Partition     string  `json:"partition,omitempty"`
+	CutCost       float64 `json:"cut_cost,omitempty"`
+	LoadImbalance float64 `json:"load_imbalance,omitempty"`
 }
 
 // ShardBenchReport is the machine-readable perf baseline paradmm-bench
@@ -95,6 +102,27 @@ func fusedBenchExecutors() []shardBenchCell {
 		specCell("sharded-4", unfused(admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4})),
 		specCell("sharded-4-fused", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4}),
 	}
+}
+
+// partitionBenchExecutors is the BENCH_partition.json sweep: the
+// 4-shard executor under every partitioning strategy (plus the
+// refined-balanced combination and the barrier executor as the
+// same-core-count reference), all on the fused production schedule.
+// The per-cell cut/imbalance columns tie throughput differences back
+// to partition quality.
+func partitionBenchExecutors() []shardBenchCell {
+	cells := []shardBenchCell{
+		specCell("barrier-4", admm.ExecutorSpec{Kind: admm.ExecBarrier, Workers: 4}),
+	}
+	for _, strat := range []graph.PartitionStrategy{
+		graph.StrategyBlock, graph.StrategyBalanced, graph.StrategyGreedyMincut, graph.StrategyMincutFM,
+	} {
+		cells = append(cells, specCell("sharded-4-"+string(strat),
+			admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4, Partition: string(strat)}))
+	}
+	cells = append(cells, specCell("sharded-4-balanced+fm",
+		admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4, Partition: string(graph.StrategyBalanced), Refine: true}))
+	return cells
 }
 
 // shardBenchWorkload builds one deterministic instance per call.
@@ -168,6 +196,14 @@ func RunShardBench(s Scale) (*ShardBenchReport, error) {
 // perf-trend gate's fused file.
 func RunFusedBench(s Scale) (*ShardBenchReport, error) {
 	return runShardBench(s, fusedBenchExecutors(), shardBenchWorkloads(s), 5)
+}
+
+// RunPartitionBench sweeps the 4-shard executor across every
+// partitioning strategy (barrier-4 as the reference) over every
+// workload — the BENCH_partition.json baseline: per-strategy cut cost,
+// load imbalance, and iterations/sec.
+func RunPartitionBench(s Scale) (*ShardBenchReport, error) {
+	return runShardBench(s, partitionBenchExecutors(), shardBenchWorkloads(s), 5)
 }
 
 // runShardBench is the sweep core; tests call it with shrunken
@@ -267,12 +303,39 @@ func runShardBench(s Scale, executors []shardBenchCell, workloads []shardBenchWo
 				entry.BoundaryVars = st.BoundaryVars
 				entry.BoundaryEdges = st.BoundaryEdges
 				entry.SyncWaitNS = c.syncWaitNS
+				entry.Partition = st.PartitionLabel()
+				entry.CutCost = st.CutCost
+				entry.LoadImbalance = st.LoadImbalance
 			}
 			c.backend.Close()
 			rep.Entries = append(rep.Entries, entry)
 		}
 	}
 	return rep, nil
+}
+
+// PartitionTables renders the partition sweep with its quality columns:
+// cut cost and imbalance next to throughput, one table per workload.
+func (r *ShardBenchReport) PartitionTables() []*Table {
+	byWorkload := map[string]*Table{}
+	order := []*Table{}
+	for _, e := range r.Entries {
+		t, ok := byWorkload[e.Workload]
+		if !ok {
+			t = NewTable(fmt.Sprintf("partition quality — %s", e.Workload),
+				"executor", "iters/s", "cut cost (words)", "imbalance", "boundary vars")
+			byWorkload[e.Workload] = t
+			order = append(order, t)
+		}
+		cut, imb, bv := "-", "-", "-"
+		if e.Shards > 0 {
+			cut = fmt.Sprintf("%.0f", e.CutCost)
+			imb = fmt.Sprintf("%.2f", e.LoadImbalance)
+			bv = fmt.Sprintf("%d", e.BoundaryVars)
+		}
+		t.AddRow(e.Executor, fmt.Sprintf("%.1f", e.ItersPerSec), cut, imb, bv)
+	}
+	return order
 }
 
 // Tables renders the report as one bench table per workload, for the
@@ -311,6 +374,18 @@ func init() {
 				return nil, err
 			}
 			return rep.Tables(), nil
+		},
+	})
+	register(Experiment{
+		ID:    "ext-partition",
+		Paper: "extension: partition quality — FM refinement vs the streaming heuristics",
+		Desc:  "4-shard executor under every partitioning strategy (cut cost, imbalance, iters/sec) vs barrier-4.",
+		Run: func(s Scale) ([]*Table, error) {
+			rep, err := runShardBench(s, partitionBenchExecutors(), shardBenchWorkloads(s), 2)
+			if err != nil {
+				return nil, err
+			}
+			return rep.PartitionTables(), nil
 		},
 	})
 	register(Experiment{

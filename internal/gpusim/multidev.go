@@ -60,14 +60,24 @@ type Partition struct {
 	BoundaryVars []int
 	// BoundaryEdges counts edges incident to boundary variables.
 	BoundaryEdges int
+	// CutWords is the degree-weighted cut cost (graph.CutCost): the
+	// doubles actually crossing the interconnect per iteration (remote
+	// m-block gathers plus z broadcasts, weighted by the per-edge
+	// vector dimension). Zero means unknown (a hand-built partition);
+	// IterationTime then falls back to the raw boundary-edge model,
+	// which overestimates chatty-but-thin boundaries.
+	CutWords float64
 }
 
-// fromGraphPartition adapts the shared analysis to the simulator view.
-func fromGraphPartition(p graph.Partition) Partition {
+// fromGraphPartition adapts the shared analysis to the simulator view,
+// pricing the boundary with the same degree-weighted cost model the
+// sharded executor and the FM refiner optimize.
+func fromGraphPartition(g *graph.Graph, p graph.Partition) Partition {
 	return Partition{
 		FuncDevice:    p.FuncPart,
 		BoundaryVars:  p.BoundaryVars,
 		BoundaryEdges: p.BoundaryEdges,
+		CutWords:      graph.CutCost(g, &p),
 	}
 }
 
@@ -80,7 +90,7 @@ func PartitionContiguous(g *graph.Graph, devices int) Partition {
 	if err != nil {
 		panic(err)
 	}
-	return fromGraphPartition(p)
+	return fromGraphPartition(g, p)
 }
 
 // PartitionByVariable is the locality-aware split
@@ -92,7 +102,20 @@ func PartitionByVariable(g *graph.Graph, devices int) Partition {
 	if err != nil {
 		panic(err)
 	}
-	return fromGraphPartition(p)
+	return fromGraphPartition(g, p)
+}
+
+// PartitionRefined is the strongest split (graph.StrategyMincutFM):
+// greedy streaming placement polished by a Fiduccia–Mattheyses
+// boundary-refinement pass minimizing the degree-weighted cut cost —
+// the same objective IterationTime charges the interconnect with, so
+// refinement directly shrinks the simulated exchange term.
+func PartitionRefined(g *graph.Graph, devices int) Partition {
+	p, err := graph.NewPartition(g, devices, graph.StrategyMincutFM)
+	if err != nil {
+		panic(err)
+	}
+	return fromGraphPartition(g, p)
 }
 
 // IterationTime returns the simulated seconds for one full iteration on
@@ -153,10 +176,15 @@ func (m *MultiDevice) IterationTime(g *graph.Graph, p Partition) (total, compute
 	compute += shard(admm.PhaseU, func(e int) int { return edgeDev[e] })
 	compute += shard(admm.PhaseN, func(e int) int { return edgeDev[e] })
 
-	// Exchange: boundary variables gather remote m-blocks and broadcast
-	// z back — 2 transfers of d doubles per remote boundary edge.
-	bytes := float64(2*p.BoundaryEdges*g.D()) * bytesPerWord
-	exchange = m.LinkLatencySec + bytes/m.LinkBandwidth
+	// Exchange: boundary variables gather remote m-blocks and the
+	// owners broadcast z back. CutWords prices exactly that traffic
+	// (graph.CutCost); partitions built outside the shared analysis
+	// fall back to 2 transfers of d doubles per boundary edge.
+	words := p.CutWords
+	if words == 0 {
+		words = float64(2 * p.BoundaryEdges * g.D())
+	}
+	exchange = m.LinkLatencySec + words*bytesPerWord/m.LinkBandwidth
 	return compute + exchange, compute, exchange
 }
 

@@ -163,3 +163,47 @@ func TestScalingMonotonicBookkeeping(t *testing.T) {
 		}
 	}
 }
+
+// TestPartitionCutWordsModel: partitions built through the shared
+// analysis carry the degree-weighted cut cost, and IterationTime
+// charges the interconnect with it — so a refined partition of a
+// scrambled graph predicts a strictly cheaper exchange than the naive
+// contiguous split of the same graph.
+func TestPartitionCutWordsModel(t *testing.T) {
+	// A chain built in scrambled order: contiguous splits lose the
+	// geometry, refinement recovers it.
+	rng := rand.New(rand.NewSource(3))
+	g := graph.New(2)
+	for _, i := range rng.Perm(2000) {
+		g.AddNode(prox.Consensus{Dim: 2}, i, i+1)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	g.SetUniformParams(1, 1)
+	g.InitZero()
+
+	naive := PartitionContiguous(g, 4)
+	refined := PartitionRefined(g, 4)
+	if naive.CutWords <= 0 || refined.CutWords <= 0 {
+		t.Fatalf("CutWords not populated: naive %g, refined %g", naive.CutWords, refined.CutWords)
+	}
+	if refined.CutWords >= naive.CutWords {
+		t.Fatalf("refined cut %g not below naive %g", refined.CutWords, naive.CutWords)
+	}
+	md, err := NewMultiDevice(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, naiveExch := md.IterationTime(g, naive)
+	_, _, refinedExch := md.IterationTime(g, refined)
+	if refinedExch >= naiveExch {
+		t.Fatalf("refined exchange %g not below naive %g", refinedExch, naiveExch)
+	}
+	// A hand-built partition (no CutWords) still prices its boundary
+	// via the raw-edge fallback.
+	hand := Partition{FuncDevice: naive.FuncDevice, BoundaryVars: naive.BoundaryVars, BoundaryEdges: naive.BoundaryEdges}
+	if _, _, exch := md.IterationTime(g, hand); exch <= 0 {
+		t.Fatalf("fallback exchange %g", exch)
+	}
+}

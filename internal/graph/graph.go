@@ -1,19 +1,3 @@
-// Package graph implements the bipartite factor-graph that the
-// message-passing ADMM (paper Algorithm 2) runs on.
-//
-// A factor-graph G = (F, V, E) has function nodes F (each carrying a
-// proximal operator), variable nodes V, and edges E. Each edge (a, b)
-// carries four auxiliary ADMM variables x, m, u, n (D doubles each) and
-// two scalar parameters rho and alpha; each variable node b carries one
-// consensus variable z_b (D doubles).
-//
-// The memory layout deliberately mirrors the paper's parADMM C engine:
-// all edge state lives in flat []float64 arrays in edge-creation order
-// (X, M, U, N), and Z is variable-major in variable-creation order. This
-// struct-of-arrays layout is what the GPU simulator's coalescing model
-// reasons about, and is also what makes the shared-memory executors
-// false-sharing-friendly: each update phase writes exactly one array,
-// in disjoint contiguous runs per task.
 package graph
 
 import (

@@ -35,6 +35,14 @@ const (
 	// beats the contiguous splits on graphs whose construction order
 	// does not follow the geometry.
 	StrategyGreedyMincut PartitionStrategy = "greedy-mincut"
+	// StrategyMincutFM is StrategyGreedyMincut followed by a
+	// Fiduccia–Mattheyses refinement pass (Partition.Refine): boundary
+	// function nodes are swept through a gain-bucket structure and
+	// greedily moved across shards under a balance constraint,
+	// minimizing the degree-weighted cut cost (CutCost). The strongest
+	// strategy on dense graphs, at a one-time O(passes * boundary)
+	// partitioning cost. See docs/partitioning.md.
+	StrategyMincutFM PartitionStrategy = "mincut+fm"
 )
 
 // ParseStrategy resolves a user-facing strategy name; the empty string
@@ -49,9 +57,11 @@ func ParseStrategy(name string) (PartitionStrategy, error) {
 		return StrategyBalanced, nil
 	case StrategyGreedyMincut:
 		return StrategyGreedyMincut, nil
+	case StrategyMincutFM:
+		return StrategyMincutFM, nil
 	}
-	return "", fmt.Errorf("graph: unknown partition strategy %q (want %s | %s | %s)",
-		name, StrategyBlock, StrategyBalanced, StrategyGreedyMincut)
+	return "", fmt.Errorf("graph: unknown partition strategy %q (want %s | %s | %s | %s)",
+		name, StrategyBlock, StrategyBalanced, StrategyGreedyMincut, StrategyMincutFM)
 }
 
 // Partition is a placement of every function node (and its edges) onto
@@ -97,13 +107,16 @@ func NewPartition(g *Graph, parts int, strategy PartitionStrategy) (Partition, e
 		funcPart = partitionBalanced(g, parts)
 	case StrategyBlock:
 		funcPart = partitionBlock(g, parts)
-	case StrategyGreedyMincut:
+	case StrategyGreedyMincut, StrategyMincutFM:
 		funcPart = partitionGreedyMincut(g, parts)
 	default:
 		return Partition{}, fmt.Errorf("graph: unknown partition strategy %q", strategy)
 	}
 	p := Partition{Parts: parts, FuncPart: funcPart}
 	p.analyze(g)
+	if strategy == StrategyMincutFM {
+		p.Refine(g)
+	}
 	return p, nil
 }
 
@@ -265,11 +278,18 @@ func (p *Partition) PartLoads(g *Graph) []int {
 }
 
 // Validate checks the partition's invariants against g: every function
-// placed on exactly one in-range shard, boundary analysis consistent
-// with a brute-force recomputation. Intended for tests and fuzzing.
+// placed on exactly one in-range shard, a shard count no larger than
+// the function-node count (more parts than functions guarantees empty
+// shards — NewPartition clamps, so a violation means the partition was
+// built by hand), boundary analysis consistent with a brute-force
+// recomputation. Intended for tests and fuzzing.
 func (p *Partition) Validate(g *Graph) error {
 	if p.Parts < 1 {
 		return fmt.Errorf("graph: partition has %d parts", p.Parts)
+	}
+	if p.Parts > g.NumFunctions() {
+		return fmt.Errorf("graph: %d parts exceed the %d function nodes — shards would be empty; "+
+			"NewPartition clamps the part count to the function count", p.Parts, g.NumFunctions())
 	}
 	if len(p.FuncPart) != g.NumFunctions() {
 		return fmt.Errorf("graph: partition covers %d of %d functions", len(p.FuncPart), g.NumFunctions())

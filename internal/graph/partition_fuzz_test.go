@@ -6,11 +6,13 @@ import (
 )
 
 // FuzzPartitionInvariants drives NewPartition over randomized graph
-// shapes, shard counts, and all three strategies, checking the
+// shapes, shard counts, and all four strategies, checking the
 // partitioner's invariants via Partition.Validate (every function on
 // exactly one in-range shard, boundary set identical to a brute-force
 // recomputation, owners hold at least one edge) — and that no shape
 // panics, including degenerate single-function and parts>|F| cases.
+// Every shape is then pushed through the FM refinement pass, which
+// must keep the partition valid and never increase the weighted cut.
 //
 // Run as a regression suite by plain `go test` over the seed corpus;
 // run `go test -fuzz=FuzzPartitionInvariants ./internal/graph` to
@@ -49,7 +51,7 @@ func FuzzPartitionInvariants(f *testing.F) {
 			// partitioner bug.
 			t.Skip()
 		}
-		strategies := []PartitionStrategy{StrategyBlock, StrategyBalanced, StrategyGreedyMincut}
+		strategies := []PartitionStrategy{StrategyBlock, StrategyBalanced, StrategyGreedyMincut, StrategyMincutFM}
 		s := strategies[int(strat)%len(strategies)]
 		p, err := NewPartition(g, int(parts), s)
 		if err != nil {
@@ -65,6 +67,17 @@ func FuzzPartitionInvariants(f *testing.F) {
 		}
 		if p.Parts == 1 && (len(p.BoundaryVars) != 0 || p.BoundaryEdges != 0) {
 			t.Fatalf("single part has boundary: %+v", p)
+		}
+		// Drive the FM pass over every fuzzed shape (for mincut+fm this
+		// is a second, idempotency-checking pass): the cut must never
+		// increase and the partition must stay valid.
+		before := CutCost(g, &p)
+		rst := p.Refine(g)
+		if rst.CostBefore != before || rst.CostAfter > before {
+			t.Fatalf("refine (%d funcs, %d parts, %s): cost %g -> %+v", g.NumFunctions(), parts, s, before, rst)
+		}
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("refined partition invalid (%d funcs, %d parts, %s): %v", g.NumFunctions(), parts, s, err)
 		}
 	})
 }

@@ -64,6 +64,7 @@ func TestParseStrategy(t *testing.T) {
 		"block":           StrategyBlock,
 		"balanced":        StrategyBalanced,
 		" Greedy-Mincut ": StrategyGreedyMincut,
+		"Mincut+FM":       StrategyMincutFM,
 	} {
 		got, err := ParseStrategy(name)
 		if err != nil || got != want {

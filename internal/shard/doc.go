@@ -9,11 +9,17 @@
 // # Partitioning
 //
 // The factor graph's function nodes are split into K shards by one of
-// three strategies (graph.NewPartition): "block" (contiguous function
+// four strategies (graph.NewPartition): "block" (contiguous function
 // ranges — the naive baseline), "balanced" (contiguous variable ranges,
-// which follows the problem's natural geometry and is the default), and
+// which follows the problem's natural geometry and is the default),
 // "greedy-mincut" (streaming greedy placement that recovers locality
-// when construction order is scrambled). A shard owns its functions and
+// when construction order is scrambled), and "mincut+fm" (the greedy
+// placement polished by a Fiduccia–Mattheyses boundary-refinement pass
+// minimizing the degree-weighted cut cost, graph.CutCost). The
+// Backend.Refine knob (ExecutorSpec "refine") runs the same FM pass on
+// top of any base strategy. docs/partitioning.md at the repo root has
+// the full catalog, the cost model, and measured cut/throughput cells
+// per strategy (BENCH_partition.json). A shard owns its functions and
 // their edges. Variables split into two classes:
 //
 //   - interior: every incident edge lives on one shard. That shard

@@ -82,6 +82,13 @@ type Backend struct {
 	// Iterate; workers observe it through the cmd handshake.
 	Fused bool
 
+	// Refine runs a Fiduccia–Mattheyses boundary-refinement pass
+	// (graph.Partition.Refine) over the partition before deriving the
+	// shard plans, whatever the base strategy — the "mincut+fm"
+	// strategy already includes the pass and ignores the knob. Set
+	// before the first Iterate.
+	Refine bool
+
 	cmd     chan struct{}
 	done    chan struct{}
 	barrier *spinBarrier
@@ -110,6 +117,15 @@ type Stats struct {
 	InteriorVars  int
 	// PartEdges is each shard's owned-edge count (load balance).
 	PartEdges []int
+	// CutCost is the partition's degree-weighted cut cost
+	// (graph.CutCost): the predicted cross-shard words per iteration.
+	CutCost float64
+	// LoadImbalance is max/mean over the shards' edge loads
+	// (graph.Partition.LoadImbalance).
+	LoadImbalance float64
+	// Refined reports whether an FM refinement pass shaped the
+	// partition (the Refine knob or the mincut+fm strategy).
+	Refined bool
 	// Iterations executed by this backend so far.
 	Iterations int64
 	// SyncWaitNanos is shard 0's cumulative time blocked at the two
@@ -155,16 +171,34 @@ func init() {
 			return nil, err
 		}
 		sb.Fused = s.FusedEnabled()
+		sb.Refine = s.Refine
 		return sb, nil
 	})
 }
 
+// PartitionLabel names the effective partitioning of a strategy plus
+// refinement knob: the strategy, with "+fm" appended when a refinement
+// pass was layered on top of a base strategy (mincut+fm already names
+// its pass). The single source for backend names, CLI output, and the
+// bench sweep's partition column.
+func PartitionLabel(strategy graph.PartitionStrategy, refined bool) string {
+	if refined && strategy != graph.StrategyMincutFM {
+		return string(strategy) + "+fm"
+	}
+	return string(strategy)
+}
+
+// PartitionLabel names the Stats' effective partitioning (see the
+// package-level PartitionLabel).
+func (s Stats) PartitionLabel() string { return PartitionLabel(s.Strategy, s.Refined) }
+
 // Name implements admm.Backend.
 func (b *Backend) Name() string {
+	strat := PartitionLabel(b.strategy, b.Refine)
 	if b.Fused {
-		return fmt.Sprintf("sharded(%d,%s,fused)", b.shards, b.strategy)
+		return fmt.Sprintf("sharded(%d,%s,fused)", b.shards, strat)
 	}
-	return fmt.Sprintf("sharded(%d,%s)", b.shards, b.strategy)
+	return fmt.Sprintf("sharded(%d,%s)", b.shards, strat)
 }
 
 // Stats returns partition and synchronization statistics. Valid after
@@ -177,7 +211,7 @@ func (b *Backend) Iterate(g *graph.Graph, iters int, phaseNanos *[admm.NumPhases
 		panic("shard: Iterate on closed Backend")
 	}
 	if b.plan == nil || b.plan.g != g {
-		p, err := newPlan(g, b.shards, b.strategy)
+		p, err := newPlan(g, b.shards, b.strategy, b.Refine)
 		if err != nil {
 			// The graph was already finalized by admm.Run; the only
 			// residual failure is a programming error.
@@ -191,6 +225,9 @@ func (b *Backend) Iterate(g *graph.Graph, iters int, phaseNanos *[admm.NumPhases
 			BoundaryEdges:  p.part.BoundaryEdges,
 			InteriorVars:   p.part.InteriorVars(g),
 			PartEdges:      p.part.PartLoads(g),
+			CutCost:        graph.CutCost(g, &p.part),
+			LoadImbalance:  p.part.LoadImbalance(g),
+			Refined:        b.Refine || b.strategy == graph.StrategyMincutFM,
 			Iterations:     b.stats.Iterations,
 			SyncWaitNanos:  b.stats.SyncWaitNanos,
 			BoundaryZNanos: b.stats.BoundaryZNanos,
@@ -344,13 +381,16 @@ type localPlan struct {
 	boundary     []int
 }
 
-// newPlan partitions g and derives per-shard index sets. Workers beyond
-// the partition's effective part count (tiny graphs) get empty plans and
-// only participate in barriers.
-func newPlan(g *graph.Graph, shards int, strategy graph.PartitionStrategy) (*plan, error) {
+// newPlan partitions g (optionally FM-refining the split) and derives
+// per-shard index sets. Workers beyond the partition's effective part
+// count (tiny graphs) get empty plans and only participate in barriers.
+func newPlan(g *graph.Graph, shards int, strategy graph.PartitionStrategy, refine bool) (*plan, error) {
 	part, err := graph.NewPartition(g, shards, strategy)
 	if err != nil {
 		return nil, err
+	}
+	if refine && strategy != graph.StrategyMincutFM {
+		part.Refine(g)
 	}
 	p := &plan{g: g, part: part, local: make([]localPlan, shards)}
 	for a := 0; a < g.NumFunctions(); a++ {

@@ -1,0 +1,99 @@
+// Partition-quality acceptance tests: the cross-package properties the
+// FM refinement pass was built for, pinned on the real workload
+// builders (internal/graph's own tests cover synthetic shapes). See
+// docs/partitioning.md for the cost model and strategy catalog.
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lasso"
+	"repro/internal/mpc"
+	"repro/internal/packing"
+	"repro/internal/svm"
+)
+
+// qualityWorkloads builds each domain at bench-comparable scale.
+func qualityWorkloads(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	pk, err := packing.FromSpec(packing.Spec{N: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk.InitRandom(rand.New(rand.NewSource(1)))
+	sv, err := svm.FromSpec(svm.Spec{N: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Graph.InitZero()
+	la, err := lasso.FromSpec(lasso.Spec{M: 96, Lambda: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	la.Graph.InitZero()
+	ch, err := mpc.FromSpec(mpc.Spec{K: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Graph.InitZero()
+	return map[string]*graph.Graph{
+		"packing": pk.Graph,
+		"svm":     sv.Graph,
+		"lasso":   la.Graph,
+		"mpc":     ch.Graph,
+	}
+}
+
+// TestMincutFMReducesPackingCut is the headline acceptance property: on
+// packing's dense all-pairs collision graph, the FM pass strictly
+// reduces the degree-weighted cut cost below the greedy streaming
+// placement it seeds from, without giving up its load balance.
+func TestMincutFMReducesPackingCut(t *testing.T) {
+	g := qualityWorkloads(t)["packing"]
+	greedy, err := graph.NewPartition(g, 4, graph.StrategyGreedyMincut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := graph.NewPartition(g, 4, graph.StrategyMincutFM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, fc := graph.CutCost(g, &greedy), graph.CutCost(g, &fm)
+	if fc >= gc {
+		t.Fatalf("packing: mincut+fm cut %g not strictly below greedy-mincut %g", fc, gc)
+	}
+	if gi, fi := greedy.LoadImbalance(g), fm.LoadImbalance(g); fi > gi+0.10 {
+		t.Fatalf("packing: refinement bought cut with imbalance: %.3f -> %.3f", gi, fi)
+	}
+	if err := fm.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefineNeverHurtsOnWorkloads: across every domain builder and
+// every base strategy, the refinement pass never increases the weighted
+// cut and keeps the partition valid — the executor-facing version of
+// the graph package's synthetic property tests.
+func TestRefineNeverHurtsOnWorkloads(t *testing.T) {
+	for wname, g := range qualityWorkloads(t) {
+		for _, strat := range []graph.PartitionStrategy{
+			graph.StrategyBlock, graph.StrategyBalanced, graph.StrategyGreedyMincut,
+		} {
+			for _, parts := range []int{2, 4} {
+				p, err := graph.NewPartition(g, parts, strat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st := p.Refine(g)
+				if st.CostAfter > st.CostBefore {
+					t.Errorf("%s/%s/%d: refine increased cut %g -> %g", wname, strat, parts, st.CostBefore, st.CostAfter)
+				}
+				if err := p.Validate(g); err != nil {
+					t.Errorf("%s/%s/%d: %v", wname, strat, parts, err)
+				}
+			}
+		}
+	}
+}
