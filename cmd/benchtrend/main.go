@@ -15,6 +15,17 @@
 // produced the committed baseline passes cleanly, while a single
 // executor x workload cell that lost ground relative to the rest is
 // flagged. -raw disables normalization for same-machine comparisons.
+//
+// The baseline gate cannot see drift that stays inside its band: a cell
+// losing 5% per PR never trips a 25% threshold against a fixed
+// baseline. -history FILE accumulates every sweep into a JSONL artifact
+// (CI persists it across runs with a cache) and compares head against
+// the rolling window of the last -window entries, machine-speed
+// normalized per entry; the drift table is always printed, and
+// -drift-threshold (0 disables) turns it into a second gate:
+//
+//	benchtrend -baseline BENCH_shard.json -current BENCH_shard.ci.json \
+//	    -history BENCH_history_shard.jsonl -window 10
 package main
 
 import (
@@ -31,8 +42,11 @@ func main() {
 	threshold := flag.Float64("threshold", 0.25, "allowed fractional iters/sec loss per cell")
 	raw := flag.Bool("raw", false, "compare raw iters/sec (skip machine-speed normalization)")
 	verbose := flag.Bool("v", false, "print every compared cell, not just regressions")
+	historyPath := flag.String("history", "", "JSONL history artifact: compare head against its rolling window, then append head")
+	window := flag.Int("window", 10, "rolling-window size for -history")
+	driftThreshold := flag.Float64("drift-threshold", 0, "fail when a cell drifts below 1-x of the rolling window (0 = report only)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchtrend -baseline FILE -current FILE [-threshold 0.25] [-raw] [-v]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: benchtrend -baseline FILE -current FILE [-threshold 0.25] [-raw] [-v] [-history FILE [-window 10] [-drift-threshold 0]]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -73,10 +87,58 @@ func main() {
 			c.Key(), 100*c.Ratio, c.BaselineIPS, c.CurrentIPS*res.Scale, 100*(1-*threshold))
 		failed = true
 	}
+	// Rolling-window drift: compare and report before appending head, so
+	// a run never compares against itself; append even when the baseline
+	// gate failed, so the history keeps recording what actually happened.
+	if *historyPath != "" {
+		if driftFailed := runHistory(*historyPath, current, *window, *driftThreshold, !*raw, *verbose); driftFailed {
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
 	fmt.Printf("benchtrend: %d cells within %.0f%% of baseline\n", len(res.Cells), 100**threshold)
+}
+
+// runHistory prints the rolling-window drift table, appends the head
+// sweep to the history artifact, and reports whether the drift gate
+// (when enabled) failed. normalize mirrors the baseline gate's -raw:
+// normalized drift tolerates mixed runners but cannot see a uniform
+// all-cell slowdown; raw drift (same-machine histories) can.
+func runHistory(path string, current *bench.ShardBenchReport, window int, driftThreshold float64, normalize, verbose bool) bool {
+	history, err := bench.LoadHistory(path)
+	if err != nil {
+		fatal(err)
+	}
+	drift, err := bench.CompareToHistory(history, current, window, normalize)
+	if err != nil {
+		fatal(err)
+	}
+	failed := false
+	switch {
+	case drift == nil:
+		fmt.Printf("history: no comparable entries in %s yet (%d total)\n", path, len(history))
+	default:
+		worst := drift.Worst()
+		fmt.Printf("history: head vs rolling window of %d run(s): worst cell %s at %.1f%% of trend\n",
+			drift.Window, worst.Key, 100*worst.Ratio)
+		for _, c := range drift.Cells {
+			drifted := driftThreshold > 0 && c.Ratio < 1-driftThreshold
+			if drifted {
+				fmt.Printf("DRIFT: %s at %.1f%% of the %d-run trend (%.1f -> %.1f it/s, threshold %.0f%%)\n",
+					c.Key, 100*c.Ratio, c.Samples, c.WindowIPS, c.CurrentIPS, 100*(1-driftThreshold))
+				failed = true
+			} else if verbose {
+				fmt.Printf("  %-28s window %12.1f it/s  head %12.1f it/s  ratio %.3f (%d samples)\n",
+					c.Key, c.WindowIPS, c.CurrentIPS, c.Ratio, c.Samples)
+			}
+		}
+	}
+	if err := bench.AppendHistory(path, current); err != nil {
+		fatal(err)
+	}
+	return failed
 }
 
 func fatal(err error) {

@@ -10,14 +10,24 @@
 //	paradmm-solve -problem mpc -size 2000 -iters 1000 -backend sharded -shards 4 -partition balanced
 //	paradmm-solve -problem packing -size 20 -iters 2000 -backend sharded -shards 4 -partition mincut+fm
 //	paradmm-solve -problem lasso -size 100 -iters 5000
+//
+// Cross-process sharding (one paradmm-shardworker process per shard;
+// see docs/transport.md):
+//
+//	paradmm-shardworker -listen unix:/tmp/w0.sock &
+//	paradmm-shardworker -listen unix:/tmp/w1.sock &
+//	paradmm-solve -problem mpc -size 2000 -iters 1000 -backend sharded \
+//	    -transport sockets -addrs unix:/tmp/w0.sock,unix:/tmp/w1.sock
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"strings"
 
 	"repro/internal/admm"
 	"repro/internal/gpusim"
@@ -39,18 +49,39 @@ func main() {
 	partition := flag.String("partition", "balanced", "sharded partition strategy: block | balanced | greedy-mincut | mincut+fm")
 	refine := flag.Bool("refine", false, "FM boundary-refinement pass on top of -partition (mincut+fm implies it)")
 	fused := flag.Bool("fused", true, "fused two-pass schedule for the CPU executors (false = five-phase reference)")
-	seed := flag.Int64("seed", 1, "workload seed")
+	transport := flag.String("transport", "", "sharded boundary exchange: local (default) | sockets (in-process loopback, or remote workers with -addrs)")
+	addrs := flag.String("addrs", "", "comma-separated paradmm-shardworker endpoints (unix:/path | tcp:host:port), one per shard, for -transport sockets")
+	seed := flag.Int64("seed", 1, "workload seed (0 selects the workload spec's default seed)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: paradmm-solve [-problem P] [-size N] [-iters N] [-backend B] [flags]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
+	workerAddrs := splitAddrs(*addrs)
+	shardsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsSet = true
+		}
+	})
 	// The sharded executor partitions the factor graph up front, so the
 	// backend is built after the problem: solve* functions receive this
-	// factory and call it with the finalized graph.
-	newBackend := func(g *graph.Graph) (admm.Backend, error) {
-		return makeBackend(*backendName, *workers, *shards, *partition, *refine, *fused, g)
+	// factory and call it with the finalized graph (plus, for the
+	// cross-process transport, the rebuildable problem reference the
+	// worker processes reconstruct the graph from).
+	newBackend := func(g *graph.Graph, ref *admm.ProblemRef) (admm.Backend, error) {
+		return makeBackend(backendConfig{
+			name:      *backendName,
+			workers:   *workers,
+			shards:    *shards,
+			shardsSet: shardsSet,
+			partition: *partition,
+			refine:    *refine,
+			fused:     *fused,
+			transport: *transport,
+			addrs:     workerAddrs,
+		}, ref, g)
 	}
 
 	var err error
@@ -71,37 +102,95 @@ func main() {
 	}
 }
 
-func makeBackend(name string, workers, shards int, partition string, refine, fused bool, g *graph.Graph) (admm.Backend, error) {
+func splitAddrs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// backendMaker builds the backend for a finalized graph; ref is the
+// rebuildable problem description (non-nil whenever the problem is
+// spec-addressable) that the sockets transport ships to remote workers.
+type backendMaker func(g *graph.Graph, ref *admm.ProblemRef) (admm.Backend, error)
+
+type backendConfig struct {
+	name      string
+	workers   int
+	shards    int
+	shardsSet bool // -shards passed explicitly (vs its default)
+	partition string
+	refine    bool
+	fused     bool
+	transport string
+	addrs     []string
+}
+
+func makeBackend(c backendConfig, ref *admm.ProblemRef, g *graph.Graph) (admm.Backend, error) {
 	// Shared-memory strategies go through the declarative executor spec —
 	// the same selection path the serving layer uses per request.
-	if spec, err := admm.ParseExecutor(name, workers); err == nil {
+	if spec, err := admm.ParseExecutor(c.name, c.workers); err == nil {
 		if spec.Kind == admm.ExecSharded {
 			spec.Workers = 0
-			spec.Shards = shards
-			spec.Partition = partition
-			spec.Refine = refine
+			spec.Shards = c.shards
+			spec.Partition = c.partition
+			spec.Refine = c.refine
+			if len(c.addrs) > 0 {
+				// One worker process per shard. An un-passed -shards
+				// follows the addr count; an explicit one must agree
+				// (Validate reports the mismatch).
+				if !c.shardsSet {
+					spec.Shards = len(c.addrs)
+				}
+				spec.Problem = ref
+			}
 		}
 		if spec.Kind == admm.ExecAuto {
 			spec.Workers = 0
 		}
-		spec.Fused = &fused
+		// Set unconditionally: Validate rejects transport/addrs on any
+		// non-sharded kind, so a -transport request against the wrong
+		// backend errors instead of silently solving locally.
+		spec.Transport = c.transport
+		spec.Addrs = c.addrs
+		spec.Fused = &c.fused
 		return spec.NewBackend(g)
 	}
-	switch name {
+	if c.transport != "" || len(c.addrs) > 0 {
+		return nil, fmt.Errorf("-transport/-addrs apply to -backend sharded, not %q", c.name)
+	}
+	switch c.name {
 	case "gpu":
 		return gpusim.NewBackend(nil), nil
 	case "cpusim":
 		return gpusim.NewCPUBackend(nil), nil
 	case "multicpu":
-		return gpusim.NewMultiCoreBackend(nil, workers), nil
+		return gpusim.NewMultiCoreBackend(nil, c.workers), nil
 	case "twa":
 		return admm.NewTWA(), nil
 	}
-	return nil, fmt.Errorf("unknown backend %q", name)
+	return nil, fmt.Errorf("unknown backend %q", c.name)
 }
 
-func run(g *graph.Graph, iters int, newBackend func(*graph.Graph) (admm.Backend, error)) (admm.Result, error) {
-	backend, err := newBackend(g)
+// problemRef marshals a workload spec into the reference remote shard
+// workers rebuild from.
+func problemRef(workload string, spec any) (*admm.ProblemRef, error) {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &admm.ProblemRef{Workload: workload, Spec: raw}, nil
+}
+
+func run(g *graph.Graph, iters int, newBackend backendMaker, ref *admm.ProblemRef) (admm.Result, error) {
+	backend, err := newBackend(g, ref)
 	if err != nil {
 		return admm.Result{}, err
 	}
@@ -122,23 +211,38 @@ func report(res admm.Result, g *graph.Graph, backend admm.Backend) {
 	fr := res.PhaseFractions()
 	fmt.Printf("phase time: x %.0f%%, m %.0f%%, z %.0f%%, u %.0f%%, n %.0f%%\n",
 		100*fr[0], 100*fr[1], 100*fr[2], 100*fr[3], 100*fr[4])
-	if sb, ok := backend.(*shard.Backend); ok {
+	if sb, ok := backend.(shard.StatsReporter); ok {
 		st := sb.Stats()
-		fmt.Printf("shards: %d (%s partition), %d boundary vars / %d boundary edges, cut cost %.0f words, sync wait %v, boundary z %v\n",
-			st.Shards, st.PartitionLabel(), st.BoundaryVars, st.BoundaryEdges, st.CutCost,
+		fmt.Printf("shards: %d (%s partition, %s transport), %d boundary vars / %d boundary edges, cut cost %.0f words, sync wait %v, boundary z %v\n",
+			st.Shards, st.PartitionLabel(), st.Transport, st.BoundaryVars, st.BoundaryEdges, st.CutCost,
 			nanos(st.SyncWaitNanos), nanos(st.BoundaryZNanos))
+		if st.BytesPerIter > 0 {
+			fmt.Printf("exchange: %.0f payload bytes/iter moved vs %.0f predicted (cut cost x 8), %.0f on the wire with framing\n",
+				st.BytesPerIter, 8*st.CutCost, st.WireBytesPerIter)
+		}
 	}
 }
 
 func nanos(n int64) string { return fmt.Sprintf("%.2fms", float64(n)/1e6) }
 
-func solvePacking(n, iters int, newBackend func(*graph.Graph) (admm.Backend, error), seed int64) error {
-	p, err := packing.Build(packing.Config{N: n})
+func solvePacking(n, iters int, newBackend backendMaker, seed int64) error {
+	if seed == 0 {
+		// packing.Spec's documented default; applying it here keeps the
+		// local InitRandom consistent with what the shipped spec (and a
+		// serve request for the same spec) would initialize from.
+		seed = 1
+	}
+	spec := packing.Spec{N: n, Seed: seed}
+	ref, err := problemRef("packing", spec)
+	if err != nil {
+		return err
+	}
+	p, err := packing.FromSpec(spec)
 	if err != nil {
 		return err
 	}
 	p.InitRandom(rand.New(rand.NewSource(seed)))
-	if _, err := run(p.Graph, iters, newBackend); err != nil {
+	if _, err := run(p.Graph, iters, newBackend, ref); err != nil {
 		return err
 	}
 	v := p.CheckValidity()
@@ -147,13 +251,18 @@ func solvePacking(n, iters int, newBackend func(*graph.Graph) (admm.Backend, err
 	return nil
 }
 
-func solveMPC(k, iters int, newBackend func(*graph.Graph) (admm.Backend, error)) error {
-	p, err := mpc.Build(mpc.Config{K: k})
+func solveMPC(k, iters int, newBackend backendMaker) error {
+	spec := mpc.Spec{K: k}
+	ref, err := problemRef("mpc", spec)
+	if err != nil {
+		return err
+	}
+	p, err := mpc.FromSpec(spec)
 	if err != nil {
 		return err
 	}
 	p.Graph.InitZero()
-	if _, err := run(p.Graph, iters, newBackend); err != nil {
+	if _, err := run(p.Graph, iters, newBackend, ref); err != nil {
 		return err
 	}
 	fmt.Printf("mpc: cost %.6f, dynamics residual %.2e, u(0) = %.4f\n",
@@ -161,30 +270,38 @@ func solveMPC(k, iters int, newBackend func(*graph.Graph) (admm.Backend, error))
 	return nil
 }
 
-func solveSVM(n, iters int, newBackend func(*graph.Graph) (admm.Backend, error), seed int64) error {
-	ds := svm.TwoGaussians(n, 2, 4, rand.New(rand.NewSource(seed)))
-	p, err := svm.Build(svm.Config{Data: ds, Lambda: 0.5})
+func solveSVM(n, iters int, newBackend backendMaker, seed int64) error {
+	spec := svm.Spec{N: n, Lambda: 0.5, Seed: seed}
+	ref, err := problemRef("svm", spec)
+	if err != nil {
+		return err
+	}
+	p, err := svm.FromSpec(spec)
 	if err != nil {
 		return err
 	}
 	p.Graph.InitZero()
-	if _, err := run(p.Graph, iters, newBackend); err != nil {
+	if _, err := run(p.Graph, iters, newBackend, ref); err != nil {
 		return err
 	}
 	w, b := p.Plane()
 	fmt.Printf("svm: training accuracy %.1f%%, |w| = %.4f, b = %.4f, objective %.4f\n",
-		100*p.Accuracy(ds), norm(w), b, p.HingeObjective())
+		100*p.Accuracy(p.Cfg.Data), norm(w), b, p.HingeObjective())
 	return nil
 }
 
-func solveLasso(m, iters int, newBackend func(*graph.Graph) (admm.Backend, error), seed int64) error {
-	inst := lasso.Synthetic(m, m/4+2, m/16+1, 0.05, rand.New(rand.NewSource(seed)))
-	p, err := lasso.Build(lasso.Config{Inst: inst, Blocks: 4, Lambda: 0.3})
+func solveLasso(m, iters int, newBackend backendMaker, seed int64) error {
+	spec := lasso.Spec{M: m, Lambda: 0.3, Seed: seed}
+	ref, err := problemRef("lasso", spec)
+	if err != nil {
+		return err
+	}
+	p, err := lasso.FromSpec(spec)
 	if err != nil {
 		return err
 	}
 	p.Graph.InitZero()
-	if _, err := run(p.Graph, iters, newBackend); err != nil {
+	if _, err := run(p.Graph, iters, newBackend, ref); err != nil {
 		return err
 	}
 	x := p.Coefficients()

@@ -101,6 +101,13 @@ var confSpecs = []struct {
 	{"sharded-4-greedy-mincut", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4, Partition: "greedy-mincut"}},
 	{"sharded-4-mincut-fm", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4, Partition: "mincut+fm"}},
 	{"sharded-3-balanced-refined", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 3, Refine: true}},
+	// The message transport over in-process loopback streams: every
+	// boundary byte is framed, serialized, and decoded exactly as
+	// between processes, so bit-identity here pins the wire protocol
+	// itself (the cross-process form is covered by the integration
+	// suite's coordinator + worker-process test).
+	{"sharded-4-sockets", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4, Transport: admm.TransportSockets}},
+	{"sharded-2-sockets-mincut-fm", admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 2, Partition: "mincut+fm", Transport: admm.TransportSockets}},
 	{"auto", admm.ExecutorSpec{Kind: admm.ExecAuto}},
 }
 

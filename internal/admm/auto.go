@@ -15,7 +15,12 @@ import (
 //     everything resolves to serial (fused);
 //   - small graphs: a sharded solve pays two barriers per iteration,
 //     which dominates below ~AutoShardMinEdges edges (sharded-N trails
-//     serial on every quick-scale cell of BENCH_shard.json);
+//     serial on every quick-scale cell of BENCH_shard.json). Small
+//     *dense* graphs — enough edges to amortize a fork-join spawn
+//     (AutoParallelMinEdges) concentrated on few variables
+//     (AutoParallelMinMeanDegree) — resolve to parallel-for: plenty of
+//     per-iteration work, but a boundary set partitioning could never
+//     make cheap. Small sparse graphs stay serial;
 //   - otherwise the decision is made on *predicted cut cost* instead of
 //     a density proxy: both refined partition candidates are computed —
 //     balanced+FM (wins on geometric graphs: chains, grids) and
@@ -25,8 +30,10 @@ import (
 //     is compared against the serial threshold. If even the best
 //     refined partition would ship more than AutoMaxCutShare of the
 //     per-iteration edge state across shards every iteration (packing's
-//     all-pairs cliff, lasso/svm's consensus star), the graph stays
-//     serial; otherwise the winning refined sharding is used.
+//     all-pairs cliff, lasso/svm's consensus star), sharding stops
+//     paying — but the graph is large, so fork-join loops still beat a
+//     single core: those graphs resolve to parallel-for instead of
+//     serial (ROADMAP: auto previously never picked fork-join).
 //
 // Fused stays on in every branch unless the caller explicitly disabled
 // it (the resolved spec inherits the Fused field).
@@ -34,6 +41,19 @@ const (
 	// AutoShardMinEdges is the smallest edge count for which a sharded
 	// solve can amortize its per-iteration barrier crossings.
 	AutoShardMinEdges = 20000
+	// AutoParallelMinEdges is the smallest edge count for which
+	// fork-join loops amortize their per-phase goroutine spawns; below
+	// it even parallel-for trails serial (the quick-scale
+	// BENCH_shard.json cells).
+	AutoParallelMinEdges = 2048
+	// AutoParallelMinMeanDegree is the density floor for the
+	// small-graph parallel-for branch: a mean variable degree this high
+	// concentrates the z gather (and the prox evaluations feeding it)
+	// enough that fork-join parallelism pays despite the small graph —
+	// packing's all-pairs collision nodes, lasso's row blocks. Sparse
+	// chains of the same size are memory-bound streaming loops where
+	// the spawns outweigh the work.
+	AutoParallelMinMeanDegree = 4.0
 	// AutoMaxCutShare is the serial threshold on predicted boundary
 	// traffic: the refined partition's degree-weighted cut cost
 	// (graph.CutCost, words per iteration) divided by the graph's
@@ -72,16 +92,28 @@ func (s ExecutorSpec) resolveAuto(g *graph.Graph, procs int, shardedLinked bool)
 	if procs <= 1 {
 		return out
 	}
-	if !shardedLinked {
-		// Auto's contract is "clients need not know the executor menu",
-		// so a binary that never imported internal/shard degrades to
-		// serial instead of erroring on exactly the large graphs auto
-		// exists to handle.
+	st := g.Stats()
+	parallelFor := func() ExecutorSpec {
+		workers := procs
+		if workers > MaxWorkers {
+			workers = MaxWorkers
+		}
+		return ExecutorSpec{Kind: ExecParallelFor, Workers: workers, Fused: s.Fused}
+	}
+	if st.Edges < AutoShardMinEdges {
+		// Too small to shard; dense enough to fork-join?
+		if st.Edges >= AutoParallelMinEdges && st.MeanVarDegree >= AutoParallelMinMeanDegree {
+			return parallelFor()
+		}
 		return out
 	}
-	st := g.Stats()
-	if st.Edges < AutoShardMinEdges {
-		return out
+	if !shardedLinked {
+		// Auto's contract is "clients need not know the executor menu",
+		// so a binary that never imported internal/shard degrades —
+		// to fork-join loops, which need no registration and beat a
+		// single core on exactly the large graphs auto exists to
+		// handle — instead of erroring.
+		return parallelFor()
 	}
 	shards := procs
 	if shards > AutoMaxShards {
@@ -89,7 +121,9 @@ func (s ExecutorSpec) resolveAuto(g *graph.Graph, procs int, shardedLinked bool)
 	}
 	strategy, cut, ok := bestRefinedPartition(g, shards)
 	if !ok || cut > AutoMaxCutShare*float64(st.Edges*st.D) {
-		return out
+		// No partition worth its boundary — but at this size there is
+		// plenty of per-iteration work for fork-join loops.
+		return parallelFor()
 	}
 	out.Kind = ExecSharded
 	out.Shards = shards

@@ -1,6 +1,7 @@
 package admm
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -69,8 +70,10 @@ func TestResolveAutoSmallGraph(t *testing.T) {
 
 // TestResolveAutoDenseGraph: when even the best refined partition's
 // predicted cut cost exceeds the serial threshold (the packing cliff:
-// nearly every variable is boundary), dense graphs stay serial
-// regardless of size.
+// nearly every variable is boundary), sharding is off the table — but a
+// graph this large has plenty of per-iteration work, so auto falls back
+// to fork-join parallel loops instead of a single core (ROADMAP: auto
+// previously never picked parallel-for).
 func TestResolveAutoDenseGraph(t *testing.T) {
 	g := autoDenseGraph(t, AutoShardMinEdges)
 	st := g.Stats()
@@ -81,8 +84,73 @@ func TestResolveAutoDenseGraph(t *testing.T) {
 		t.Fatalf("test graph does not exercise the cut-share branch: cut %v, ok %v", cut, ok)
 	}
 	got := ExecutorSpec{Kind: ExecAuto}.resolveAuto(g, 8, true)
-	if got.Kind != ExecSerial {
-		t.Fatalf("kind = %q, want serial", got.Kind)
+	if got.Kind != ExecParallelFor {
+		t.Fatalf("kind = %q, want parallel-for", got.Kind)
+	}
+	if got.Workers != 8 {
+		t.Fatalf("workers = %d, want all 8 cores", got.Workers)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("resolved spec invalid: %v", err)
+	}
+	if !got.FusedEnabled() {
+		t.Fatal("fused must stay on")
+	}
+}
+
+// autoSmallDenseGraph builds a dense-but-small graph: a clique-like
+// block where every function touches a window of shared variables, so
+// the mean variable degree clears AutoParallelMinMeanDegree while the
+// edge count stays below the shard threshold.
+func autoSmallDenseGraph(t *testing.T, funcs, span int) *graph.Graph {
+	t.Helper()
+	g := graph.New(1)
+	vars := funcs/4 + span
+	for i := 0; i < funcs; i++ {
+		base := i % (vars - span)
+		nodes := make([]int, span)
+		for k := range nodes {
+			nodes[k] = base + k
+		}
+		g.AddNode(prox.Identity{}, nodes...)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	g.SetUniformParams(1, 1)
+	g.InitZero()
+	return g
+}
+
+// TestResolveAutoSmallDense: below the shard threshold but above the
+// fork-join floor, a dense graph resolves to parallel-for; an equally
+// sized sparse chain stays serial.
+func TestResolveAutoSmallDense(t *testing.T) {
+	g := autoSmallDenseGraph(t, 800, 6) // 4800 edges, mean var degree ~> 4
+	st := g.Stats()
+	if st.Edges < AutoParallelMinEdges || st.Edges >= AutoShardMinEdges {
+		t.Fatalf("test graph outside the small-dense window: %+v", st)
+	}
+	if st.MeanVarDegree < AutoParallelMinMeanDegree {
+		t.Fatalf("test graph not dense enough: mean var degree %.1f", st.MeanVarDegree)
+	}
+	got := ExecutorSpec{Kind: ExecAuto}.resolveAuto(g, 6, true)
+	if got.Kind != ExecParallelFor || got.Workers != 6 {
+		t.Fatalf("resolved %+v, want parallel-for on 6 workers", got)
+	}
+	b, err := got.NewBackend(g)
+	if err != nil {
+		t.Fatalf("resolved spec must build: %v", err)
+	}
+	b.Close()
+
+	sparse := autoChainGraph(t, (AutoParallelMinEdges+AutoShardMinEdges)/4) // same window, mean degree ~2
+	sst := sparse.Stats()
+	if sst.Edges < AutoParallelMinEdges || sst.Edges >= AutoShardMinEdges {
+		t.Fatalf("sparse graph outside the window: %+v", sst)
+	}
+	if got := (ExecutorSpec{Kind: ExecAuto}).resolveAuto(sparse, 6, true); got.Kind != ExecSerial {
+		t.Fatalf("small sparse graph resolved to %q, want serial", got.Kind)
 	}
 }
 
@@ -128,14 +196,15 @@ func TestResolveAutoFusedOptOut(t *testing.T) {
 }
 
 // TestResolveAutoUnlinkedSharded: a binary that never imported
-// internal/shard must degrade to serial on the large-sparse branch
-// rather than resolve to an executor it cannot build. This package's
-// tests run without the shard factory registered, so the exported
-// ResolveAuto exercises the real fallback.
+// internal/shard must degrade on the large-sparse branch rather than
+// resolve to an executor it cannot build — and it degrades to
+// parallel-for (which needs no registration), not all the way to
+// serial. This package's tests run without the shard factory
+// registered, so the exported ResolveAuto exercises the real fallback.
 func TestResolveAutoUnlinkedSharded(t *testing.T) {
 	g := autoChainGraph(t, AutoShardMinEdges)
-	if got := (ExecutorSpec{Kind: ExecAuto}).resolveAuto(g, 8, false); got.Kind != ExecSerial {
-		t.Fatalf("kind = %q, want serial fallback without the shard factory", got.Kind)
+	if got := (ExecutorSpec{Kind: ExecAuto}).resolveAuto(g, 8, false); got.Kind != ExecParallelFor {
+		t.Fatalf("kind = %q, want parallel-for fallback without the shard factory", got.Kind)
 	}
 	got := ExecutorSpec{Kind: ExecAuto}.ResolveAuto(g)
 	if got.Kind == ExecSharded {
@@ -152,7 +221,7 @@ func TestResolveAutoUnlinkedSharded(t *testing.T) {
 func TestResolveAutoPassThrough(t *testing.T) {
 	g := autoChainGraph(t, 10)
 	in := ExecutorSpec{Kind: ExecBarrier, Workers: 7}
-	if got := in.resolveAuto(g, 8, true); got != in {
+	if got := in.resolveAuto(g, 8, true); !reflect.DeepEqual(got, in) {
 		t.Fatalf("non-auto spec mutated: %+v", got)
 	}
 }

@@ -51,14 +51,14 @@ import (
 func UpdateZFusedRange(g *graph.Graph, lo, hi int) {
 	d := g.D()
 	X, U, Z, Rho := g.X, g.U, g.Z, g.Rho
-	if d <= 3 {
-		// Small-d fast path (packing d=2, svm d=3): the gather state
-		// lives entirely in registers — no z store per edge, no slice
-		// headers. Per element the operation sequence is unchanged
+	if d <= 5 {
+		// Small-d fast path (packing d=2, svm d=3, mpc d=5): the gather
+		// state lives entirely in registers — no z store per edge, no
+		// slice headers. Per element the operation sequence is unchanged
 		// (m = x+u rounds, then the rho multiply accumulates), so
 		// iterates stay bit-identical to the reference kernels.
 		for b := lo; b < hi; b++ {
-			var z0, z1, z2 float64
+			var z0, z1, z2, z3, z4 float64
 			var rhoSum float64
 			for _, e := range g.VarEdges(b) {
 				r := Rho[e]
@@ -71,6 +71,12 @@ func UpdateZFusedRange(g *graph.Graph, lo, hi int) {
 				if d > 2 {
 					z2 += r * (X[base+2] + U[base+2])
 				}
+				if d > 3 {
+					z3 += r * (X[base+3] + U[base+3])
+				}
+				if d > 4 {
+					z4 += r * (X[base+4] + U[base+4])
+				}
 			}
 			inv := 1 / rhoSum
 			zb := b * d
@@ -80,6 +86,12 @@ func UpdateZFusedRange(g *graph.Graph, lo, hi int) {
 			}
 			if d > 2 {
 				Z[zb+2] = z2 * inv
+			}
+			if d > 3 {
+				Z[zb+3] = z3 * inv
+			}
+			if d > 4 {
+				Z[zb+4] = z4 * inv
 			}
 		}
 		return
@@ -127,7 +139,7 @@ func UpdateZFusedVars(g *graph.Graph, vars []int) {
 func UpdateUNRange(g *graph.Graph, lo, hi int) {
 	d := g.D()
 	X, U, N, Z, Alpha := g.X, g.U, g.N, g.Z, g.Alpha
-	if d <= 3 {
+	if d <= 5 {
 		// Small-d fast path: fully unrolled, no slice headers. The
 		// per-element sequence (u' = u + alpha*(x-z), then n = z - u')
 		// is the reference kernels' exactly.
@@ -150,6 +162,18 @@ func UpdateUNRange(g *graph.Graph, lo, hi int) {
 				u2 := U[base+2] + al*(X[base+2]-z2)
 				U[base+2] = u2
 				N[base+2] = z2 - u2
+			}
+			if d > 3 {
+				z3 := Z[zb+3]
+				u3 := U[base+3] + al*(X[base+3]-z3)
+				U[base+3] = u3
+				N[base+3] = z3 - u3
+			}
+			if d > 4 {
+				z4 := Z[zb+4]
+				u4 := U[base+4] + al*(X[base+4]-z4)
+				U[base+4] = u4
+				N[base+4] = z4 - u4
 			}
 		}
 		return

@@ -1,0 +1,66 @@
+package admm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/prox"
+)
+
+// fusedKernelGraph builds a consensus graph with the given per-edge
+// dimension and a mix of variable degrees, state randomized so every
+// lane of the small-d specializations carries a distinct value.
+func fusedKernelGraph(t *testing.T, d int) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(d)))
+	g := graph.New(d)
+	const vars = 17
+	for i := 0; i < 60; i++ {
+		v := i % vars
+		if i >= vars {
+			v = rng.Intn(vars)
+		}
+		g.AddNode(prox.Identity{}, v)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	g.SetUniformParams(1, 1)
+	g.InitRandom(-1, 1, rng)
+	for e := range g.Rho {
+		g.Rho[e] = 0.25 + rng.Float64()
+		g.Alpha[e] = 0.5 + rng.Float64()
+	}
+	return g
+}
+
+// TestFusedKernelsBitIdenticalAcrossD pins the fused z-gather and u/n
+// sweep against the reference kernels for every dimension around the
+// small-d specialization boundary (d <= 5 unrolled — packing 2, svm 3,
+// mpc 5 — and the generic loop above it). Bit-identity, not tolerance:
+// the specializations must preserve per-element arithmetic order.
+func TestFusedKernelsBitIdenticalAcrossD(t *testing.T) {
+	for d := 1; d <= 7; d++ {
+		ref := fusedKernelGraph(t, d)
+		fused := fusedKernelGraph(t, d) // same seed => identical state
+
+		UpdateMRange(ref, 0, ref.NumEdges())
+		UpdateZRange(ref, 0, ref.NumVariables())
+		UpdateZFusedRange(fused, 0, fused.NumVariables())
+		for i := range ref.Z {
+			if ref.Z[i] != fused.Z[i] {
+				t.Fatalf("d=%d: fused z diverged at %d: %g vs %g", d, i, fused.Z[i], ref.Z[i])
+			}
+		}
+
+		UpdateURange(ref, 0, ref.NumEdges())
+		UpdateNRange(ref, 0, ref.NumEdges())
+		UpdateUNRange(fused, 0, fused.NumEdges())
+		for i := range ref.U {
+			if ref.U[i] != fused.U[i] || ref.N[i] != fused.N[i] {
+				t.Fatalf("d=%d: fused u/n diverged at %d", d, i)
+			}
+		}
+	}
+}

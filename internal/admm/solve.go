@@ -23,8 +23,9 @@ const (
 	ExecAsync       ExecutorKind = "async"
 	ExecSharded     ExecutorKind = "sharded"
 	// ExecAuto defers the choice to ResolveAuto: the spec is resolved
-	// against the finalized graph's Stats (size/density thresholds) into
-	// serial or sharded, fused on. See auto.go.
+	// against the finalized graph's Stats (size/density thresholds and
+	// predicted cut cost) into serial, parallel-for, or sharded, fused
+	// on. See auto.go.
 	ExecAuto ExecutorKind = "auto"
 )
 
@@ -67,11 +68,51 @@ type ExecutorSpec struct {
 	// false forces the five-phase reference schedule. The async executor
 	// has no phase structure to fuse and ignores the knob.
 	Fused *bool `json:"fused,omitempty"`
+	// Transport selects how the sharded executor's boundary exchange is
+	// carried (sharded only): "" or "local" for in-process shared
+	// memory, "sockets" for the message protocol of internal/exchange.
+	Transport string `json:"transport,omitempty"`
+	// Addrs lists the control endpoints of running paradmm-shardworker
+	// processes, one per shard, for Transport "sockets" ("unix:/path"
+	// or "tcp:host:port"). Empty keeps the sockets transport in-process
+	// over loopback streams.
+	Addrs []string `json:"addrs,omitempty"`
+	// Problem lets the sockets transport ship a rebuildable problem
+	// description to remote workers. It is filled by the serving layer
+	// and the CLIs from their request context, never decoded from the
+	// wire spec itself.
+	Problem *ProblemRef `json:"-"`
 }
 
 // FusedEnabled reports whether the spec selects the fused schedule:
 // true unless Fused explicitly disables it.
 func (s ExecutorSpec) FusedEnabled() bool { return s.Fused == nil || *s.Fused }
+
+// Boundary-exchange transports for the sharded executor
+// (ExecutorSpec.Transport). The empty string means TransportLocal.
+const (
+	// TransportLocal carries the boundary exchange over shared-memory
+	// barriers — the in-process default.
+	TransportLocal = "local"
+	// TransportSockets carries it over the length-prefixed frame
+	// protocol of internal/exchange: in-process worker goroutines over
+	// loopback byte streams when Addrs is empty (the full wire codec,
+	// no kernel), or one remote paradmm-shardworker process per shard
+	// when Addrs lists their control endpoints.
+	TransportSockets = "sockets"
+)
+
+// ProblemRef names a problem that worker processes can rebuild locally:
+// a workload name from the serving registry (internal/workload) plus
+// its raw spec JSON. Proximal operators cannot cross a process
+// boundary, so the sockets transport ships this reference at handshake
+// and each worker reconstructs the identical factor graph from it; the
+// coordinator then pushes the full ADMM state down, so only topology
+// and operators need to be rebuilt deterministically.
+type ProblemRef struct {
+	Workload string
+	Spec     []byte
+}
 
 // ParseExecutor resolves a user-facing executor name ("serial",
 // "parallel-for" or "parallel", "barrier", "async", "sharded", "auto")
@@ -148,6 +189,22 @@ func (s ExecutorSpec) Validate() error {
 	}
 	if _, err := graph.ParseStrategy(s.Partition); err != nil {
 		return err
+	}
+	if (s.Transport != "" || len(s.Addrs) > 0) && s.Kind != ExecSharded {
+		return fmt.Errorf("admm: transport/addrs apply only to %q, not %q", ExecSharded, s.Kind)
+	}
+	switch s.Transport {
+	case "", TransportLocal, TransportSockets:
+	default:
+		return fmt.Errorf("admm: unknown transport %q (want %s | %s)", s.Transport, TransportLocal, TransportSockets)
+	}
+	if len(s.Addrs) > 0 {
+		if s.Transport != TransportSockets {
+			return fmt.Errorf("admm: addrs require transport %q", TransportSockets)
+		}
+		if s.Shards != 0 && s.Shards != len(s.Addrs) {
+			return fmt.Errorf("admm: %d addrs for %d shards — the sockets transport runs one worker process per shard", len(s.Addrs), s.Shards)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Bench-trend history (ROADMAP: "track a history artifact across runs
+// ... so slow drift inside the 25% band is visible"). The baseline gate
+// in trend.go only compares head against the committed BENCH_*.json, so
+// a regression that leaks in 5% per PR never trips it. The history
+// layer appends every CI sweep's per-cell throughput to a JSONL
+// artifact (persisted across runs by the CI cache) and compares head
+// against the rolling window's geometric mean — per-run noise averages
+// out, monotone drift accumulates and surfaces.
+
+// HistoryEntry is one appended sweep summary: the per-cell
+// iterations/sec of a whole report, one JSONL line per CI run.
+type HistoryEntry struct {
+	Schema     string             `json:"schema"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Scale      string             `json:"scale"`
+	Cells      map[string]float64 `json:"cells"`
+}
+
+// historyEntryOf summarizes a report for appending.
+func historyEntryOf(rep *ShardBenchReport) HistoryEntry {
+	e := HistoryEntry{
+		Schema:     rep.Schema,
+		GoMaxProcs: rep.GoMaxProcs,
+		Scale:      rep.Scale,
+		Cells:      map[string]float64{},
+	}
+	for _, c := range rep.Entries {
+		e.Cells[c.Workload+"/"+c.Executor] = c.ItersPerSec
+	}
+	return e
+}
+
+// AppendHistory appends one report summary to the JSONL history file,
+// creating it if needed.
+func AppendHistory(path string, rep *ShardBenchReport) error {
+	line, err := json.Marshal(historyEntryOf(rep))
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LoadHistory reads a JSONL history file. Entries that do not parse
+// (a run cancelled mid-append leaves a truncated last line, and the CI
+// cache would replay it forever) or whose schema does not match the
+// current report layout are skipped — corruption or a schema bump must
+// not brick the rolling window, just shrink or restart it. A missing
+// file is an empty history.
+func LoadHistory(path string) ([]HistoryEntry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []HistoryEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e HistoryEntry
+		if err := json.Unmarshal(raw, &e); err != nil || e.Schema != ShardBenchSchema {
+			continue
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DriftCell is one cell's head-vs-rolling-window comparison.
+type DriftCell struct {
+	Key string
+	// WindowIPS is the geometric mean of the cell's machine-speed
+	// normalized throughput over the window; CurrentIPS the head
+	// sweep's raw value.
+	WindowIPS  float64
+	CurrentIPS float64
+	// Ratio is head/window after per-entry normalization (1.0 = on
+	// trend; 0.9 = head runs at 90% of the recent past).
+	Ratio float64
+	// Samples is how many window entries contained the cell.
+	Samples int
+}
+
+// DriftResult is the rolling-window comparison of one head sweep.
+type DriftResult struct {
+	// Window is the number of history entries actually compared (after
+	// GOMAXPROCS/scale filtering and window truncation).
+	Window int
+	// Cells holds every compared cell, worst ratio first.
+	Cells []DriftCell
+}
+
+// Worst returns the lowest-ratio cell (zero value when empty).
+func (r *DriftResult) Worst() DriftCell {
+	if len(r.Cells) == 0 {
+		return DriftCell{}
+	}
+	return r.Cells[0]
+}
+
+// CompareToHistory compares the head report against the geometric mean
+// of the last `window` comparable history entries (same GOMAXPROCS and
+// scale — cross-core-count throughputs are not comparable, exactly as
+// in CompareReports). With normalize set, each history entry is first
+// normalized by the geometric mean of its per-cell speed ratio against
+// head, so a mix of faster and slower runners averages into a stable
+// trend line — at the cost that a change slowing every cell uniformly
+// is absorbed into the machine factor and invisible; raw comparisons
+// (normalize false, same-machine histories only) see it. A nil result
+// with nil error means no comparable history yet.
+func CompareToHistory(history []HistoryEntry, current *ShardBenchReport, window int, normalize bool) (*DriftResult, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("bench: history window = %d, need > 0", window)
+	}
+	if current.Schema != ShardBenchSchema {
+		return nil, fmt.Errorf("bench: current schema %q, want %q", current.Schema, ShardBenchSchema)
+	}
+	cur := map[string]float64{}
+	for _, e := range current.Entries {
+		cur[e.Workload+"/"+e.Executor] = e.ItersPerSec
+	}
+	comparable := history[:0:0]
+	for _, h := range history {
+		if h.GoMaxProcs == current.GoMaxProcs && h.Scale == current.Scale {
+			comparable = append(comparable, h)
+		}
+	}
+	if len(comparable) == 0 {
+		return nil, nil
+	}
+	if len(comparable) > window {
+		comparable = comparable[len(comparable)-window:]
+	}
+	// Per-entry machine-speed scale against head, then per-cell
+	// log-ratio accumulation.
+	logSum := map[string]float64{}
+	samples := map[string]int{}
+	for _, h := range comparable {
+		var entLogSum float64
+		var entN int
+		for key, ips := range h.Cells {
+			if c, ok := cur[key]; ok && ips > 0 && c > 0 {
+				entLogSum += math.Log(c / ips)
+				entN++
+			}
+		}
+		if entN == 0 {
+			continue
+		}
+		scale := 1.0
+		if normalize {
+			scale = math.Exp(entLogSum / float64(entN)) // entry's head/hist speed factor
+		}
+		for key, ips := range h.Cells {
+			c, ok := cur[key]
+			if !ok || ips <= 0 || c <= 0 {
+				continue
+			}
+			// head/hist for this cell, with the machine factor removed.
+			logSum[key] += math.Log(c/ips) - math.Log(scale)
+			samples[key]++
+		}
+	}
+	res := &DriftResult{Window: len(comparable)}
+	for key, n := range samples {
+		ratio := math.Exp(logSum[key] / float64(n))
+		res.Cells = append(res.Cells, DriftCell{
+			Key:        key,
+			WindowIPS:  cur[key] / ratio,
+			CurrentIPS: cur[key],
+			Ratio:      ratio,
+			Samples:    n,
+		})
+	}
+	sort.Slice(res.Cells, func(i, j int) bool {
+		if res.Cells[i].Ratio != res.Cells[j].Ratio {
+			return res.Cells[i].Ratio < res.Cells[j].Ratio
+		}
+		return res.Cells[i].Key < res.Cells[j].Key
+	})
+	return res, nil
+}

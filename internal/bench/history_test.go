@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func histReport(scale float64, cells map[string]float64) *ShardBenchReport {
+	rep := &ShardBenchReport{Schema: ShardBenchSchema, GoMaxProcs: 1, Scale: "quick"}
+	for key, ips := range cells {
+		wl, ex := key[:4], key[5:]
+		rep.Entries = append(rep.Entries, ShardBenchEntry{Workload: wl, Executor: ex, ItersPerSec: ips * scale})
+	}
+	return rep
+}
+
+var histCells = map[string]float64{
+	"lass/serial":    1000,
+	"lass/sharded-4": 2600,
+	"mpcx/serial":    400,
+}
+
+// TestHistoryRoundTrip: append -> load preserves entries and skips
+// foreign-schema lines instead of failing.
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	if err := AppendHistory(path, histReport(1, histCells)); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, histReport(1.1, histCells)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"schema":"paradmm-shard-bench/v999","cells":{}}` + "\n")
+	// A run cancelled mid-append leaves a truncated line; the CI cache
+	// replays it forever, so it must be skipped, not fatal.
+	f.WriteString(`{"schema":"paradmm-shard-bench/v1","gomaxprocs":1,"cel`)
+	f.Close()
+
+	got, err := LoadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d entries, want 2 (foreign schema + truncated line skipped)", len(got))
+	}
+	if got[0].Cells["lass/serial"] != 1000 || got[1].Cells["lass/serial"] != 1100 {
+		t.Fatalf("cells corrupted: %+v", got)
+	}
+
+	if missing, err := LoadHistory(filepath.Join(t.TempDir(), "none.jsonl")); err != nil || missing != nil {
+		t.Fatalf("missing history = %v, %v; want empty, nil", missing, err)
+	}
+}
+
+// TestCompareToHistoryDrift: a head sweep from a uniformly slower
+// machine with one genuinely degraded cell — normalization must absorb
+// the machine factor and isolate the drift.
+func TestCompareToHistoryDrift(t *testing.T) {
+	history := []HistoryEntry{}
+	for i := 0; i < 6; i++ {
+		history = append(history, historyEntryOf(histReport(1+0.01*float64(i), histCells)))
+	}
+	headCells := map[string]float64{}
+	for k, v := range histCells {
+		headCells[k] = v
+	}
+	headCells["mpcx/serial"] *= 0.7    // 30% drift
+	head := histReport(0.5, headCells) // head machine 2x slower overall
+
+	drift, err := CompareToHistory(history, head, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift == nil || drift.Window != 4 {
+		t.Fatalf("drift = %+v, want a 4-entry window", drift)
+	}
+	worst := drift.Worst()
+	if worst.Key != "mpcx/serial" {
+		t.Fatalf("worst cell %q, want mpcx/serial", worst.Key)
+	}
+	// The machine factor partially leaks into the geometric mean (the
+	// drifted cell drags it), so accept a band around 0.7.
+	if worst.Ratio > 0.85 || worst.Ratio < 0.6 {
+		t.Fatalf("drifted cell ratio %.3f, want ~0.7", worst.Ratio)
+	}
+	for _, c := range drift.Cells[1:] {
+		if math.Abs(c.Ratio-1) > 0.2 {
+			t.Fatalf("healthy cell %s drifted to %.3f", c.Key, c.Ratio)
+		}
+	}
+	if worst.Samples != 4 {
+		t.Fatalf("samples = %d, want 4", worst.Samples)
+	}
+
+	// Raw mode (same-machine histories) must surface what normalization
+	// absorbs: the head's uniform 2x slowdown shows up in every cell.
+	raw, err := CompareToHistory(history, head, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range raw.Cells {
+		if c.Ratio > 0.55 {
+			t.Fatalf("raw drift missed the uniform slowdown: %s at %.3f", c.Key, c.Ratio)
+		}
+	}
+}
+
+// TestCompareToHistoryFilters: entries from a different core count or
+// sweep scale are not comparable and must be excluded; an empty
+// comparable set yields a nil result.
+func TestCompareToHistoryFilters(t *testing.T) {
+	other := historyEntryOf(histReport(1, histCells))
+	other.GoMaxProcs = 8
+	scaled := historyEntryOf(histReport(1, histCells))
+	scaled.Scale = "full"
+	head := histReport(1, histCells)
+
+	drift, err := CompareToHistory([]HistoryEntry{other, scaled}, head, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift != nil {
+		t.Fatalf("incomparable history produced a drift result: %+v", drift)
+	}
+
+	ok := historyEntryOf(histReport(1, histCells))
+	drift, err = CompareToHistory([]HistoryEntry{other, ok, scaled}, head, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift == nil || drift.Window != 1 {
+		t.Fatalf("drift = %+v, want a 1-entry window", drift)
+	}
+}

@@ -86,6 +86,12 @@ func shardBenchExecutors() []shardBenchCell {
 		specCell("sharded-1", unfused(admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 1})),
 		specCell("sharded-2", unfused(admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 2})),
 		specCell("sharded-4", unfused(admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4})),
+		// The message transport over loopback streams: same partition
+		// as sharded-4, every boundary byte serialized/deserialized —
+		// the trajectory's measure of what framing costs relative to
+		// shared memory.
+		specCell("sharded-4-sockets", unfused(admm.ExecutorSpec{
+			Kind: admm.ExecSharded, Shards: 4, Transport: admm.TransportSockets})),
 	}
 }
 

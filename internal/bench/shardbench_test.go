@@ -47,8 +47,9 @@ func TestShardBenchReportShape(t *testing.T) {
 			}
 		}
 	}
-	if shardedSeen != 3*len(workloads) {
-		t.Fatalf("sharded entries = %d, want %d", shardedSeen, 3*len(workloads))
+	// sharded-1, sharded-2, sharded-4, and the sockets-transport twin.
+	if shardedSeen != 4*len(workloads) {
+		t.Fatalf("sharded entries = %d, want %d", shardedSeen, 4*len(workloads))
 	}
 	if _, err := json.Marshal(rep); err != nil {
 		t.Fatalf("report not serializable: %v", err)

@@ -1,0 +1,81 @@
+package exchange
+
+// Exchanger synchronizes boundary-variable state between the K shard
+// workers of one sharded solve. Every worker calls the two methods once
+// per iteration, in order; both block until the crossing completes.
+//
+// GatherM is sync point 1, crossed after phase A: on return, every
+// m-contribution needed to combine the worker's owned boundary
+// variables is available (shared memory for Local, materialized into
+// the graph's M array for Messaged — see Materialized).
+//
+// ScatterZ is sync point 2, crossed after the worker combined its owned
+// boundary z: on return, the owner-computed z of every boundary
+// variable the worker touches is available.
+//
+// Implementations are safe for concurrent use by their distinct
+// workers; a single worker's calls are sequential by construction.
+type Exchanger interface {
+	GatherM(worker int)
+	ScatterZ(worker int)
+
+	// Materialized reports whether GatherM materializes m-messages into
+	// the graph's M array. When true, workers must combine boundary z
+	// with the reference CSR gather (admm.UpdateZVars) regardless of
+	// schedule — the materialized blocks are bit-identical to the fused
+	// in-register messages, so iterates are unchanged. When false,
+	// phase-A state is shared directly and fused workers may gather
+	// x + u in registers (admm.UpdateZFusedVars).
+	Materialized() bool
+
+	// Stats reports cumulative traffic counters. Must not be called
+	// concurrently with an in-flight iteration.
+	Stats() Stats
+
+	// Close releases transport resources. Workers must have finished.
+	Close() error
+}
+
+// Stats counts an exchanger's data-plane traffic. Every byte is counted
+// once, at its sender, so the totals are "bytes moved" regardless of
+// topology; Local moves no bytes and reports zeros.
+type Stats struct {
+	// BytesMoved is the cumulative boundary-state payload sent across
+	// all workers this exchanger carries: the doubles of the m/z blocks
+	// themselves, exactly what the graph.CutCost word model prices
+	// (BytesMoved per round == PredictedWords x 8 when the manifest is
+	// correct — the transport tests pin the identity).
+	BytesMoved int64
+	// WireBytes is the cumulative bytes actually written to the
+	// streams: BytesMoved plus per-frame header overhead. The gap is
+	// pure framing and shrinks relatively as boundaries grow; thin
+	// boundaries (a chain's handful of cut points) keep it visible.
+	WireBytes int64
+	// Frames is the number of data-plane frames sent.
+	Frames int64
+	// Rounds is the number of completed iterations (GatherM+ScatterZ
+	// pairs) observed by the accounting worker.
+	Rounds int64
+	// PredictedWords is the manifest's steady-state traffic prediction
+	// in doubles per iteration — equal to graph.CutCost of the bound
+	// partition by construction (0 for Local).
+	PredictedWords int
+}
+
+// BytesPerRound returns the measured payload bytes moved per iteration,
+// 0 before the first completed round.
+func (s Stats) BytesPerRound() float64 {
+	if s.Rounds == 0 {
+		return 0
+	}
+	return float64(s.BytesMoved) / float64(s.Rounds)
+}
+
+// WireBytesPerRound returns the measured wire bytes (payload plus frame
+// headers) per iteration, 0 before the first completed round.
+func (s Stats) WireBytesPerRound() float64 {
+	if s.Rounds == 0 {
+		return 0
+	}
+	return float64(s.WireBytes) / float64(s.Rounds)
+}

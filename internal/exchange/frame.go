@@ -1,0 +1,156 @@
+package exchange
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The wire format is a single length-prefixed frame shape shared by the
+// data plane (boundary m/z payloads) and the coordinator/worker control
+// plane (internal/shard):
+//
+//	| length u32 LE | kind u8 | seq u32 LE | payload (length-5 bytes) |
+//
+// length counts everything after itself (kind + seq + payload), so an
+// empty frame has length 5. Data-plane payloads are raw little-endian
+// float64 blocks whose layout both ends fixed at handshake via a
+// Manifest — no per-edge indices on the wire. Control payloads are JSON
+// (internal/shard defines the messages). seq carries the iteration
+// round on data frames (a cheap desynchronization tripwire) and is 0 on
+// control frames.
+//
+// Decoding is defensive: a frame that is truncated, oversized, or
+// undersized produces an error, never a panic — FuzzExchangeFrameDecode
+// pins this.
+
+// Frame kinds. Data-plane kinds are produced by Messaged; control kinds
+// by the coordinator/worker protocol in internal/shard.
+const (
+	// FrameM carries boundary m-contributions (sync point 1).
+	FrameM byte = 1
+	// FrameZ carries owner-combined boundary z blocks (sync point 2).
+	FrameZ byte = 2
+
+	// FrameCfg opens a coordinator session: JSON worker configuration.
+	FrameCfg byte = 10
+	// FramePeer opens a worker-to-worker mesh connection.
+	FramePeer byte = 11
+	// FrameReady acknowledges FrameCfg: JSON graph shape + manifest digest.
+	FrameReady byte = 12
+	// FrameState pushes full ADMM state down: raw Rho|Alpha|X|U|N|Z.
+	FrameState byte = 13
+	// FrameIter commands a block of iterations: JSON {iters, params}.
+	FrameIter byte = 14
+	// FrameParams precedes FrameIter when per-edge parameters changed
+	// between blocks (rho adaptation): raw Rho|U.
+	FrameParams byte = 15
+	// FrameDone reports a finished block: JSON worker statistics.
+	FrameDone byte = 16
+	// FrameUp follows FrameDone: raw owned X|U|N|Z state.
+	FrameUp byte = 17
+	// FrameBye ends a session.
+	FrameBye byte = 18
+	// FrameErr reports a worker-side failure: UTF-8 message.
+	FrameErr byte = 19
+)
+
+// frameOverhead is the non-payload bytes of one frame on the wire.
+const frameOverhead = 4 + 1 + 4
+
+// MaxFrameLen bounds a frame's length field. State frames carry whole
+// edge-state arrays, so the bound is generous; anything larger is
+// treated as stream corruption rather than allocated.
+const MaxFrameLen = 1 << 28
+
+// Frame is one decoded frame. Payload aliases the reader's scratch
+// buffer and is valid until the next ReadFrame on the same buffer.
+type Frame struct {
+	Kind    byte
+	Seq     uint32
+	Payload []byte
+}
+
+// AppendFrame appends one encoded frame to dst and returns the extended
+// slice (the allocation-free encode path).
+func AppendFrame(dst []byte, kind byte, seq uint32, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(5+len(payload)))
+	dst = append(dst, kind)
+	dst = binary.LittleEndian.AppendUint32(dst, seq)
+	return append(dst, payload...)
+}
+
+// WriteFrame encodes and writes one frame.
+func WriteFrame(w io.Writer, kind byte, seq uint32, payload []byte) error {
+	if len(payload) > MaxFrameLen-5 {
+		return fmt.Errorf("exchange: frame payload %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, 0, frameOverhead+len(payload))
+	_, err := w.Write(AppendFrame(buf, kind, seq, payload))
+	return err
+}
+
+// ReadFrame reads one frame from r, reusing buf for the payload when it
+// is large enough. It returns the frame and the (possibly grown) buffer
+// for the caller's next read. Truncated streams, lengths below the
+// 5-byte header, and lengths beyond MaxFrameLen are errors; ReadFrame
+// never panics on malformed input.
+func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, buf, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[:])
+	if length < 5 {
+		return Frame{}, buf, fmt.Errorf("exchange: frame length %d below header size", length)
+	}
+	if length > MaxFrameLen {
+		return Frame{}, buf, fmt.Errorf("exchange: frame length %d exceeds limit %d", length, MaxFrameLen)
+	}
+	if cap(buf) < int(length) {
+		buf = make([]byte, length)
+	}
+	buf = buf[:length]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, buf, fmt.Errorf("exchange: truncated frame (want %d payload bytes): %w", length, err)
+	}
+	return Frame{
+		Kind:    buf[0],
+		Seq:     binary.LittleEndian.Uint32(buf[1:5]),
+		Payload: buf[5:],
+	}, buf, nil
+}
+
+// AppendF64 appends v's little-endian IEEE-754 bits to dst.
+func AppendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// AppendF64s appends every element of vals to dst.
+func AppendF64s(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = AppendF64(dst, v)
+	}
+	return dst
+}
+
+// F64At decodes the i-th float64 of a raw payload.
+func F64At(payload []byte, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+}
+
+// CopyF64s decodes len(dst) float64s from payload into dst. The payload
+// length must be exactly 8*len(dst).
+func CopyF64s(dst []float64, payload []byte) error {
+	if len(payload) != 8*len(dst) {
+		return fmt.Errorf("exchange: payload %d bytes, want %d doubles", len(payload), len(dst))
+	}
+	for i := range dst {
+		dst[i] = F64At(payload, i)
+	}
+	return nil
+}

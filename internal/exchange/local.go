@@ -1,0 +1,93 @@
+package exchange
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// spinBarrier is a sense-reversing barrier whose waiters yield-spin
+// (runtime.Gosched) for a bounded number of rounds before parking on a
+// condition variable. The sharded executor crosses it twice per
+// iteration with sub-millisecond phases in between; futex-based
+// sleep/wake churn at that granularity costs more than the phases
+// themselves, especially when phase B is nearly empty (a chain graph
+// has a handful of boundary variables) — but pure spinning would let
+// badly-oversized shard counts (empty shards, stragglers) peg cores for
+// a whole solve, so waiters that exhaust the spin budget sleep like
+// sched.Barrier's. Atomic loads/stores give the happens-before edges
+// the phases rely on.
+type spinBarrier struct {
+	parties int32
+	count   atomic.Int32
+	gen     atomic.Uint32
+
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+// spinYields bounds the yield-spin phase of one Await. Crossing the
+// boundary-z barrier typically takes a handful of yields; a waiter
+// still spinning after this many is stuck behind a straggling shard
+// and should get off the CPU.
+const spinYields = 256
+
+func newSpinBarrier(parties int) *spinBarrier {
+	b := &spinBarrier{parties: int32(parties)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *spinBarrier) Await() {
+	gen := b.gen.Load()
+	if b.count.Add(1) == b.parties {
+		b.count.Store(0)
+		b.mu.Lock()
+		b.gen.Add(1)
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for i := 0; i < spinYields; i++ {
+		if b.gen.Load() != gen {
+			return
+		}
+		runtime.Gosched()
+	}
+	b.mu.Lock()
+	for b.gen.Load() == gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Local is the shared-memory exchanger: both sync points are crossings
+// of one yield-spin barrier, exactly the two-barrier protocol the
+// sharded executor always ran. Phase-A writes become visible to phase B
+// (and phase-B z writes to phase C) through the barrier's
+// happens-before edges; no state is copied, so Stats reports zeros.
+type Local struct {
+	barrier *spinBarrier
+}
+
+// NewLocal returns a shared-memory exchanger for parties workers.
+func NewLocal(parties int) *Local {
+	return &Local{barrier: newSpinBarrier(parties)}
+}
+
+// GatherM implements Exchanger.
+func (l *Local) GatherM(worker int) { l.barrier.Await() }
+
+// ScatterZ implements Exchanger.
+func (l *Local) ScatterZ(worker int) { l.barrier.Await() }
+
+// Materialized implements Exchanger: phase-A state is shared directly.
+func (l *Local) Materialized() bool { return false }
+
+// Stats implements Exchanger.
+func (l *Local) Stats() Stats { return Stats{} }
+
+// Close implements Exchanger.
+func (l *Local) Close() error { return nil }
+
+var _ Exchanger = (*Local)(nil)

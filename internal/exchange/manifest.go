@@ -1,0 +1,137 @@
+package exchange
+
+import (
+	"hash/fnv"
+
+	"repro/internal/graph"
+)
+
+// Manifest fixes the steady-state payload layout of a messaged exchange
+// for one (graph, partition) pair: which edge's m-block and which
+// variable's z-block occupies which offset of each per-peer frame. Both
+// ends of every stream derive the manifest from the same deterministic
+// partition, so frames carry only payload doubles — no indices; the
+// Digest is exchanged at handshake to verify the derivations agree
+// before any data flows (a worker that partitioned a different graph
+// fails fast instead of silently combining garbage).
+type Manifest struct {
+	// Shards is the worker count (>= the partition's effective part
+	// count; workers beyond it have empty rows).
+	Shards int
+	// D is the graph's doubles-per-edge.
+	D int
+	// MEdges[i*Shards+j] lists, ascending, the edges owned by shard i
+	// (their function node is on i) incident to a boundary variable
+	// owned by shard j. Off-diagonal rows are wire traffic at sync
+	// point 1: i sends those m-blocks to j. The diagonal i == j is the
+	// owner's own contributions — never sent, but materialized into M
+	// locally on the fused schedule so the reference gather sees a
+	// complete row.
+	MEdges [][]int32
+	// ZVars[i*Shards+j] lists, ascending, the boundary variables owned
+	// by shard i that shard j has edges on (i != j): the z-blocks i
+	// sends j at sync point 2.
+	ZVars [][]int32
+}
+
+// NewManifest derives the manifest of partition p for a solve with the
+// given worker count (>= p.Parts; the partitioner clamps parts to the
+// function count, and surplus workers simply idle).
+func NewManifest(g *graph.Graph, p *graph.Partition, shards int) *Manifest {
+	m := &Manifest{
+		Shards: shards,
+		D:      g.D(),
+		MEdges: make([][]int32, shards*shards),
+		ZVars:  make([][]int32, shards*shards),
+	}
+	// Edge -> owning shard, via the function CSR (edges of one function
+	// are contiguous, and functions are visited ascending, so each
+	// MEdges row is built in ascending edge order).
+	edgePart := make([]int32, g.NumEdges())
+	for a, s := range p.FuncPart {
+		lo, hi := g.FuncEdges(a)
+		for e := lo; e < hi; e++ {
+			edgePart[e] = int32(s)
+			v := g.EdgeVar(e)
+			if p.IsBoundary(v) {
+				owner := p.VarPart[v]
+				m.MEdges[s*shards+owner] = append(m.MEdges[s*shards+owner], int32(e))
+			}
+		}
+	}
+	touched := make([]bool, shards)
+	for _, v := range p.BoundaryVars {
+		owner := p.VarPart[v]
+		for i := range touched {
+			touched[i] = false
+		}
+		for _, e := range g.VarEdges(v) {
+			touched[edgePart[e]] = true
+		}
+		for s, t := range touched {
+			if t && s != owner {
+				m.ZVars[owner*shards+s] = append(m.ZVars[owner*shards+s], int32(v))
+			}
+		}
+	}
+	return m
+}
+
+// GatherWords returns the doubles crossing the wire at sync point 1 per
+// iteration: one d-block per off-diagonal MEdges entry.
+func (m *Manifest) GatherWords() int {
+	n := 0
+	for i := 0; i < m.Shards; i++ {
+		for j := 0; j < m.Shards; j++ {
+			if i != j {
+				n += len(m.MEdges[i*m.Shards+j])
+			}
+		}
+	}
+	return n * m.D
+}
+
+// ScatterWords returns the doubles crossing the wire at sync point 2
+// per iteration: one d-block per ZVars entry.
+func (m *Manifest) ScatterWords() int {
+	n := 0
+	for _, row := range m.ZVars {
+		n += len(row)
+	}
+	return n * m.D
+}
+
+// Words returns the total steady-state doubles per iteration. By
+// construction this equals graph.CutCost of the source partition: the
+// off-diagonal MEdges entries of a boundary variable count
+// deg(v) - pins(v, owner) and its ZVars entries count lambda(v) - 1,
+// the two terms of the cut model. TestManifestWordsMatchCutCost pins
+// the identity.
+func (m *Manifest) Words() int { return m.GatherWords() + m.ScatterWords() }
+
+// Digest returns an FNV-1a fingerprint of the manifest — dimensions and
+// every index list. Coordinator and workers compare digests at
+// handshake; a mismatch means the sides partitioned different graphs
+// (or diverging partitioner versions) and the session must abort.
+func (m *Manifest) Digest() uint64 {
+	h := fnv.New64a()
+	var scratch [4]byte
+	w32 := func(v int32) {
+		scratch[0] = byte(v)
+		scratch[1] = byte(v >> 8)
+		scratch[2] = byte(v >> 16)
+		scratch[3] = byte(v >> 24)
+		h.Write(scratch[:])
+	}
+	w32(int32(m.Shards))
+	w32(int32(m.D))
+	for _, rows := range [][][]int32{m.MEdges, m.ZVars} {
+		for _, row := range rows {
+			w32(int32(len(row)))
+			for _, v := range row {
+				w32(v)
+			}
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,313 @@
+package exchange
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Messaged carries the boundary exchange over length-prefixed binary
+// frames on per-peer byte streams — the message-shaped form of the
+// protocol in internal/shard/doc.go. One instance serves either all K
+// workers of an in-process solve over loopback streams (NewLoopback) or
+// the single worker of one process in a cross-process solve whose
+// streams are socket connections (NewPeer).
+//
+// Per iteration and worker w:
+//
+//	GatherM:  send one FrameM per peer j with manifest row
+//	          MEdges[w][j] non-empty (the m-blocks of w's edges whose
+//	          boundary variable j owns, in manifest order; on the fused
+//	          schedule the blocks are formed as x + u, bit-identical to
+//	          the reference m-update), then ingest the peers' FrameM
+//	          payloads into the M array. On the fused schedule w's own
+//	          contributions (diagonal row) are materialized into M
+//	          locally, so the reference CSR gather sees a complete row.
+//	ScatterZ: send one FrameZ per peer j with manifest row ZVars[w][j]
+//	          non-empty (the owner-combined z blocks), then ingest the
+//	          peers' z into the Z array.
+//
+// With a shared graph (loopback) the ingested z bytes already equal the
+// owner's in-place writes, so receivers decode and verify lengths but
+// skip the store; the frame receipt itself is the happens-before edge
+// that replaces the barrier crossing.
+//
+// Failure semantics are fail-stop: construction and handshake errors
+// are returned by the coordinator protocol (internal/shard), but a
+// stream that errors or desynchronizes mid-solve panics with context —
+// the admm.Backend iteration contract has no error channel, and a
+// half-exchanged iteration has no consistent state to resume from. See
+// docs/transport.md.
+type Messaged struct {
+	g      *graph.Graph
+	man    *Manifest
+	fused  bool
+	shared bool
+
+	// streams[w][j] is worker w's duplex stream to peer j; only local
+	// workers' rows are populated.
+	streams [][]io.ReadWriteCloser
+	state   []msgWorkerState
+	// acct is the lowest local worker id; it owns the rounds counter.
+	acct int
+
+	bytes  atomic.Int64
+	wire   atomic.Int64
+	frames atomic.Int64
+	rounds int64
+}
+
+// msgWorkerState is one local worker's reusable per-round scratch.
+type msgWorkerState struct {
+	round   uint32
+	sendBuf []byte
+	recvBuf []byte
+}
+
+// NewLoopback returns a messaged exchanger carrying all of the
+// manifest's workers in one process over in-memory streams, against the
+// shared graph g. Every boundary byte is framed, serialized, and
+// decoded exactly as over sockets — the wire codec without the kernel.
+func NewLoopback(g *graph.Graph, man *Manifest, fused bool) *Messaged {
+	mesh := loopbackMesh(man.Shards)
+	return &Messaged{
+		g:       g,
+		man:     man,
+		fused:   fused,
+		shared:  true,
+		streams: mesh,
+		state:   make([]msgWorkerState, man.Shards),
+		acct:    0,
+	}
+}
+
+// NewPeer returns the messaged exchanger for worker id of a
+// cross-process solve: conns[j] is the established duplex connection to
+// peer j (nil for id itself and for peers with no shared boundary). The
+// graph is this process's private replica, so ingested state is stored.
+// Close closes the peer connections.
+func NewPeer(g *graph.Graph, man *Manifest, fused bool, id int, conns []io.ReadWriteCloser) (*Messaged, error) {
+	if len(conns) != man.Shards {
+		return nil, fmt.Errorf("exchange: %d peer conns for %d shards", len(conns), man.Shards)
+	}
+	k := man.Shards
+	for j := 0; j < k; j++ {
+		if j == id {
+			continue
+		}
+		need := len(man.MEdges[id*k+j]) > 0 || len(man.MEdges[j*k+id]) > 0 ||
+			len(man.ZVars[id*k+j]) > 0 || len(man.ZVars[j*k+id]) > 0
+		if need && conns[j] == nil {
+			return nil, fmt.Errorf("exchange: worker %d needs a peer connection to %d (boundary traffic in manifest)", id, j)
+		}
+	}
+	streams := make([][]io.ReadWriteCloser, k)
+	streams[id] = conns
+	return &Messaged{
+		g:       g,
+		man:     man,
+		fused:   fused,
+		shared:  false,
+		streams: streams,
+		state:   make([]msgWorkerState, k),
+		acct:    id,
+	}, nil
+}
+
+// Materialized implements Exchanger: GatherM materializes m-messages
+// into M, so boundary z must be combined with the reference CSR gather.
+func (m *Messaged) Materialized() bool { return true }
+
+// GatherM implements Exchanger (sync point 1).
+func (m *Messaged) GatherM(w int) {
+	k, d := m.man.Shards, m.man.D
+	st := &m.state[w]
+	g := m.g
+	// Own contributions: the fused schedule never writes M, so the
+	// owner's blocks for its own boundary variables are formed here;
+	// the reference schedule already wrote them in phase A.
+	if m.fused {
+		for _, e := range m.man.MEdges[w*k+w] {
+			base := int(e) * d
+			for i := 0; i < d; i++ {
+				g.M[base+i] = g.X[base+i] + g.U[base+i]
+			}
+		}
+	}
+	send := func() {
+		for j := 0; j < k; j++ {
+			row := m.man.MEdges[w*k+j]
+			if j == w || len(row) == 0 {
+				continue
+			}
+			buf := beginFrame(st.sendBuf[:0], FrameM, st.round)
+			for _, e := range row {
+				base := int(e) * d
+				for i := 0; i < d; i++ {
+					v := g.M[base+i]
+					if m.fused {
+						v = g.X[base+i] + g.U[base+i]
+					}
+					buf = AppendF64(buf, v)
+				}
+			}
+			st.sendBuf = m.sendFrame(m.streams[w][j], buf, w, j)
+		}
+	}
+	done := m.dispatchSends(send)
+	for j := 0; j < k; j++ {
+		row := m.man.MEdges[j*k+w]
+		if j == w || len(row) == 0 {
+			continue
+		}
+		payload := m.recvFrame(st, w, j, FrameM, len(row)*d)
+		for idx, e := range row {
+			base := int(e) * d
+			for i := 0; i < d; i++ {
+				g.M[base+i] = F64At(payload, idx*d+i)
+			}
+		}
+	}
+	<-done
+}
+
+// ScatterZ implements Exchanger (sync point 2).
+func (m *Messaged) ScatterZ(w int) {
+	k, d := m.man.Shards, m.man.D
+	st := &m.state[w]
+	g := m.g
+	send := func() {
+		for j := 0; j < k; j++ {
+			row := m.man.ZVars[w*k+j]
+			if j == w || len(row) == 0 {
+				continue
+			}
+			buf := beginFrame(st.sendBuf[:0], FrameZ, st.round)
+			for _, v := range row {
+				base := int(v) * d
+				buf = AppendF64s(buf, g.Z[base:base+d])
+			}
+			st.sendBuf = m.sendFrame(m.streams[w][j], buf, w, j)
+		}
+	}
+	done := m.dispatchSends(send)
+	for j := 0; j < k; j++ {
+		row := m.man.ZVars[j*k+w]
+		if j == w || len(row) == 0 {
+			continue
+		}
+		payload := m.recvFrame(st, w, j, FrameZ, len(row)*d)
+		if m.shared {
+			// The owner already wrote these exact bytes into the shared
+			// Z; storing them again would race with nothing to gain.
+			// Receipt alone orders the owner's write before this
+			// worker's phase-C reads.
+			continue
+		}
+		for idx, v := range row {
+			base := int(v) * d
+			for i := 0; i < d; i++ {
+				g.Z[base+i] = F64At(payload, idx*d+i)
+			}
+		}
+	}
+	<-done
+	st.round++
+	if w == m.acct {
+		m.rounds++
+	}
+}
+
+// dispatchSends runs send inline on loopback streams (writes never
+// block) and on a goroutine over real sockets, where a large frame
+// could otherwise deadlock head-to-head against a peer writing to us.
+func (m *Messaged) dispatchSends(send func()) <-chan struct{} {
+	if m.shared {
+		send()
+		return closedCh
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		send()
+	}()
+	return done
+}
+
+var closedCh = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// beginFrame starts an encoded frame in buf; finishFrame (inside
+// sendFrame) patches the length once the payload is appended.
+func beginFrame(buf []byte, kind byte, seq uint32) []byte {
+	buf = append(buf, 0, 0, 0, 0, kind)
+	return binary.LittleEndian.AppendUint32(buf, seq)
+}
+
+// sendFrame patches the frame length, writes the frame, and accounts
+// payload and wire bytes. It returns the buffer for reuse.
+func (m *Messaged) sendFrame(w io.Writer, buf []byte, from, to int) []byte {
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
+	if _, err := w.Write(buf); err != nil {
+		panic(fmt.Sprintf("exchange: worker %d: send to peer %d: %v", from, to, err))
+	}
+	m.bytes.Add(int64(len(buf) - frameOverhead))
+	m.wire.Add(int64(len(buf)))
+	m.frames.Add(1)
+	return buf
+}
+
+// recvFrame reads and validates one data frame from peer j: kind, round
+// sequence, and payload size must all match the manifest's expectation,
+// otherwise the stream has desynchronized and the solve fail-stops.
+func (m *Messaged) recvFrame(st *msgWorkerState, w, j int, kind byte, words int) []byte {
+	f, buf, err := ReadFrame(m.streams[w][j], st.recvBuf)
+	st.recvBuf = buf
+	if err != nil {
+		panic(fmt.Sprintf("exchange: worker %d: recv from peer %d: %v", w, j, err))
+	}
+	if f.Kind != kind || f.Seq != st.round {
+		panic(fmt.Sprintf("exchange: worker %d: peer %d desynchronized: frame kind %d seq %d, want kind %d seq %d",
+			w, j, f.Kind, f.Seq, kind, st.round))
+	}
+	if len(f.Payload) != words*8 {
+		panic(fmt.Sprintf("exchange: worker %d: peer %d frame payload %d bytes, manifest expects %d",
+			w, j, len(f.Payload), words*8))
+	}
+	return f.Payload
+}
+
+// Stats implements Exchanger.
+func (m *Messaged) Stats() Stats {
+	return Stats{
+		BytesMoved:     m.bytes.Load(),
+		WireBytes:      m.wire.Load(),
+		Frames:         m.frames.Load(),
+		Rounds:         m.rounds,
+		PredictedWords: m.man.Words(),
+	}
+}
+
+// Close implements Exchanger.
+func (m *Messaged) Close() error {
+	var first error
+	for _, row := range m.streams {
+		for _, s := range row {
+			if s == nil {
+				continue
+			}
+			if err := s.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+var _ Exchanger = (*Messaged)(nil)

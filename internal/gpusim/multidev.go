@@ -81,6 +81,28 @@ func fromGraphPartition(g *graph.Graph, p graph.Partition) Partition {
 	}
 }
 
+// ExchangeWords returns the doubles one iteration's boundary exchange
+// ships across the interconnect under this partition: CutWords when the
+// shared analysis priced it (graph.CutCost), else the raw
+// 2-transfers-per-boundary-edge fallback for hand-built partitions.
+// Multiplied by 8 this is the prediction the real message transport is
+// held to: internal/shard's sockets transport reports measured payload
+// bytes per iteration (shard.Stats.BytesPerIter) priced by the same
+// word model, so simulated link traffic and measured wire traffic are
+// directly comparable.
+func (p Partition) ExchangeWords(g *graph.Graph) float64 {
+	if p.CutWords != 0 {
+		return p.CutWords
+	}
+	return float64(2 * p.BoundaryEdges * g.D())
+}
+
+// ExchangeBytesPerIter returns ExchangeWords in bytes — the number to
+// put next to a measured shard.Stats.BytesPerIter.
+func (p Partition) ExchangeBytesPerIter(g *graph.Graph) float64 {
+	return bytesPerWord * p.ExchangeWords(g)
+}
+
 // PartitionContiguous is the naive "shard by construction order" split
 // (graph.StrategyBlock): contiguous function ranges with balanced edge
 // counts, the baseline the locality-aware PartitionByVariable is
@@ -177,14 +199,9 @@ func (m *MultiDevice) IterationTime(g *graph.Graph, p Partition) (total, compute
 	compute += shard(admm.PhaseN, func(e int) int { return edgeDev[e] })
 
 	// Exchange: boundary variables gather remote m-blocks and the
-	// owners broadcast z back. CutWords prices exactly that traffic
-	// (graph.CutCost); partitions built outside the shared analysis
-	// fall back to 2 transfers of d doubles per boundary edge.
-	words := p.CutWords
-	if words == 0 {
-		words = float64(2 * p.BoundaryEdges * g.D())
-	}
-	exchange = m.LinkLatencySec + words*bytesPerWord/m.LinkBandwidth
+	// owners broadcast z back, priced by the shared word model
+	// (ExchangeWords — graph.CutCost when available).
+	exchange = m.LinkLatencySec + p.ExchangeBytesPerIter(g)/m.LinkBandwidth
 	return compute + exchange, compute, exchange
 }
 

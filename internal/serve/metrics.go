@@ -132,6 +132,12 @@ func (m *metrics) render(b *strings.Builder, queueDepth int, cacheHits, cacheMis
 	fmt.Fprintf(b, "# HELP paradmm_shard_shards Shard count of the last sharded solve.\n")
 	fmt.Fprintf(b, "# TYPE paradmm_shard_shards gauge\n")
 	fmt.Fprintf(b, "paradmm_shard_shards %d\n", m.shardLast.Shards)
+	fmt.Fprintf(b, "# HELP paradmm_shard_bytes_per_iter Boundary-state payload bytes per iteration the last sharded solve's message transport moved (0 on the local transport; equals cut cost x 8 when the manifest is healthy).\n")
+	fmt.Fprintf(b, "# TYPE paradmm_shard_bytes_per_iter gauge\n")
+	fmt.Fprintf(b, "paradmm_shard_bytes_per_iter %g\n", m.shardLast.BytesPerIter)
+	fmt.Fprintf(b, "# HELP paradmm_shard_cut_cost_words Degree-weighted cut cost of the last sharded solve's partition (predicted cross-shard words per iteration).\n")
+	fmt.Fprintf(b, "# TYPE paradmm_shard_cut_cost_words gauge\n")
+	fmt.Fprintf(b, "paradmm_shard_cut_cost_words %g\n", m.shardLast.CutCost)
 
 	fmt.Fprintf(b, "# HELP paradmm_jobs_inflight Jobs currently executing.\n")
 	fmt.Fprintf(b, "# TYPE paradmm_jobs_inflight gauge\n")

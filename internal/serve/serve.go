@@ -19,11 +19,15 @@
 // collision nodes) dominates short solves. Executor selection is
 // per-request: any of the shared-memory strategies of internal/admm
 // (serial, parallel-for, barrier, async, sharded) with their knobs,
-// or kind "auto" to resolve serial-vs-sharded from the graph's shape;
-// the fused two-pass schedule is the default for every CPU executor
-// ({"fused": false} forces the five-phase reference). Sharded solves
-// additionally report partition/boundary statistics through /metrics
-// (paradmm_shard_*).
+// or kind "auto" to resolve serial / parallel-for / sharded from the
+// graph's shape; the fused two-pass schedule is the default for every
+// CPU executor ({"fused": false} forces the five-phase reference).
+// Sharded solves take a per-request boundary-exchange transport
+// ({"transport": "sockets"} with optional {"addrs": [...]} naming
+// paradmm-shardworker processes — the server ships the request's
+// workload+spec to them as the rebuildable problem reference; see
+// docs/transport.md) and additionally report partition/boundary/
+// traffic statistics through /metrics (paradmm_shard_*).
 package serve
 
 import (
@@ -129,6 +133,7 @@ type Job struct {
 	id       string
 	workload string
 	key      string
+	rawSpec  json.RawMessage
 	build    func() (problem, error)
 	executor admm.ExecutorSpec
 	maxIter  int
@@ -255,6 +260,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	job := &Job{
 		workload: workload,
 		key:      adm.key,
+		rawSpec:  req.Spec,
 		build:    adm.build,
 		executor: req.Executor,
 		maxIter:  req.MaxIter,
@@ -378,6 +384,25 @@ func (s *Server) runJob(j *Job) {
 		close(j.done)
 	}
 
+	// The sockets transport's mid-solve failures are fail-stop panics
+	// (a dead shard-worker process, a desynchronized stream — see
+	// docs/transport.md); convert them into a failed job instead of
+	// letting one tenant's broken worker pool take down the server.
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		j.mu.Lock()
+		finished := j.status == StatusDone || j.status == StatusFailed
+		j.mu.Unlock()
+		if finished {
+			// Nothing left to report the failure to; re-raise.
+			panic(rec)
+		}
+		fail(fmt.Errorf("solve aborted: %v", rec))
+	}()
+
 	var buildNanos int64
 	p, hit := s.cacheGet(j.key)
 	if !hit {
@@ -397,23 +422,32 @@ func (s *Server) runJob(j *Job) {
 	p.Reset()
 	// Build the backend explicitly (rather than through admm.Solve) so
 	// sharded executors can be asked for their partition/boundary stats
-	// after the run.
+	// after the run. The sockets transport additionally needs the
+	// problem reference: its worker processes rebuild the graph from the
+	// request's workload + spec, exactly what this job admitted.
 	g := p.FactorGraph()
-	backend, err := j.executor.NewBackend(g)
+	spec := j.executor
+	if spec.Transport == admm.TransportSockets && len(spec.Addrs) > 0 {
+		spec.Problem = &admm.ProblemRef{Workload: j.workload, Spec: j.rawSpec}
+	}
+	backend, err := spec.NewBackend(g)
 	if err != nil {
 		fail(err)
 		return
 	}
+	// Deferred (not inline) so a recovered mid-solve panic still
+	// releases the workers/connections; every backend's Close is
+	// idempotent.
+	defer backend.Close()
 	res, err := admm.Run(g, admm.Options{
 		MaxIter: j.maxIter,
 		Backend: backend,
 		AbsTol:  j.absTol,
 		RelTol:  j.relTol,
 	})
-	if sb, ok := backend.(*shard.Backend); ok && err == nil {
+	if sb, ok := backend.(shard.StatsReporter); ok && err == nil {
 		s.met.recordShard(sb.Stats())
 	}
-	backend.Close()
 	if err != nil {
 		fail(err)
 		return

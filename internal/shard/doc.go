@@ -29,43 +29,66 @@
 //     boundary variable's edges combines its z by gathering the remote
 //     m-blocks.
 //
-// # The boundary-only protocol
+// # The boundary-only protocol, behind the Exchanger seam
 //
 // Each shard worker runs all five phases over its local edges; one
-// iteration needs only two barriers instead of the five global
-// fork-join joins of the barrier/parallel-for executors:
+// iteration needs only two synchronization points instead of the five
+// global fork-join joins of the barrier/parallel-for executors:
 //
 //	shard 0                 shard 1
 //	x  over local functions x  over local functions      phase A
 //	m  over local edges     m  over local edges          (no sync)
 //	z  over interior vars   z  over interior vars
-//	══════════════ barrier 1: m-blocks published ═══════════════
-//	z over owned boundary vars, gathering remote m       phase B
-//	══════════════ barrier 2: z-blocks published ═══════════════
+//	═════════ GatherM: boundary m-contributions available ══════
+//	z over owned boundary vars, gathering m in CSR order phase B
+//	═════════ ScatterZ: boundary z-blocks available ════════════
 //	u  over local edges     u  over local edges          phase C
 //	n  over local edges     n  over local edges          (no sync)
 //	            ... next iteration's phase A ...
 //
+// The two crossings are an exchange.Exchanger (internal/exchange), the
+// transport seam this executor is structured around:
+//
+//   - exchange.Local (ExecutorSpec transport "local", the default) is
+//     the shared-memory form: both crossings are one yield-spin
+//     barrier, nothing is copied.
+//   - exchange.Messaged (transport "sockets") moves exactly the
+//     boundary state as length-prefixed frames on per-peer byte
+//     streams — in-process loopback streams by default, or real
+//     sockets when ExecutorSpec.Addrs names paradmm-shardworker
+//     processes, in which case Remote (remote.go) coordinates one
+//     worker process per shard and this package's ServeWorker
+//     (worker.go) runs the far side. docs/transport.md documents the
+//     frame protocol, handshake, manifests, and failure semantics;
+//     Stats.BytesPerIter prices the measured traffic with the same
+//     graph.CutCost word model the partitioner refines.
+//
 // Phase C and the next iteration's phase A touch only shard-local
-// state plus z published before barrier 2, so a shard racing ahead
-// parks at the next barrier 1 before it can disturb a slower shard.
-// Because interior z is computed by exactly the serial kernel and
-// boundary z gathers m-blocks in the same CSR order the serial
-// z-update uses, every strategy produces bit-identical iterates to the
-// Serial reference — the cross-executor conformance suite pins this.
+// state plus z delivered by ScatterZ, so a shard racing ahead blocks
+// in the next GatherM before it can disturb a slower shard. Because
+// interior z is computed by exactly the serial kernel and boundary z
+// gathers m-blocks in the same CSR order the serial z-update uses —
+// the messaged transports materialize received blocks into M at
+// canonical edge indices precisely so the owner can run the unmodified
+// reference gather — every strategy and transport produces
+// bit-identical iterates to the Serial reference; the cross-executor
+// conformance suite and the cross-process integration test pin this.
 //
 // # The fused schedule
 //
 // With Backend.Fused (the ExecutorSpec default), each phase runs its
-// fused form — the sync structure is unchanged, still two barriers:
+// fused form — the sync structure is unchanged, still two crossings:
 //
 //	A (local):    x over owned functions;
 //	              fused z over interior vars (m = x + u in registers)
-//	-- barrier 1 --  (this iteration's X published; remote U was
+//	-- GatherM --    (this iteration's X published; remote U was
 //	                  published by the previous iteration's crossing)
 //	B (boundary): fused z for owned boundary vars, gathering remote
-//	              x + u in CSR order
-//	-- barrier 2 --  (all z-blocks published)
+//	              x + u in CSR order (on a message transport the
+//	              exchanger forms the same x + u blocks sender-side
+//	              and the owner gathers them through M — identical
+//	              bits either way)
+//	-- ScatterZ --   (all z-blocks published)
 //	C (local):    fused u+n sweep over owned edges
 //
 // The m-array write and one of the two edge sweeps disappear (m/u/n
@@ -73,18 +96,19 @@
 // schedule, ~56d fused; see internal/admm/fused.go for the model). The
 // correctness argument is the same as the reference schedule's with one
 // addition: phase B reads remote X and U instead of remote M. X is
-// published by barrier 1 of the current iteration; U was last written
-// in the owning shard's previous phase C, which precedes that shard's
-// barrier-1 arrival in program order — and no phase between the
-// barriers writes X or U — so the gather observes exactly the values
-// the reference m-blocks would have frozen. Fused iterates therefore
-// stay bit-identical across all strategies and shard counts.
+// published by the GatherM crossing of the current iteration; U was
+// last written in the owning shard's previous phase C, which precedes
+// that shard's GatherM arrival in program order — and no phase between
+// the crossings writes X or U — so the gather observes exactly the
+// values the reference m-blocks would have frozen. Fused iterates
+// therefore stay bit-identical across all strategies, shard counts,
+// and transports.
 //
 // # When sharded beats barrier workers
 //
 // BarrierBackend pays 5 global barriers per iteration regardless of
-// graph shape. This executor pays 2 barriers plus a boundary-z combine
-// whose cost is proportional to the boundary-edge count. On
+// graph shape. This executor pays 2 sync points plus a boundary-z
+// combine whose cost is proportional to the boundary-edge count. On
 // chain-structured graphs (MPC: a K-step chain splits with K-1 cut
 // points under the balanced strategy) the combine is a few variables
 // and sharded wins on synchronization count alone. On dense graphs

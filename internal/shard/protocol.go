@@ -1,0 +1,267 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/admm"
+	"repro/internal/exchange"
+	"repro/internal/graph"
+)
+
+// The cross-process control protocol between a Remote coordinator and
+// its paradmm-shardworker processes. Everything rides the frame format
+// of internal/exchange; control payloads are JSON, bulk state payloads
+// are raw little-endian float64 arrays whose layout both ends derive
+// from the same deterministic partition. docs/transport.md documents
+// the full session lifecycle, frame-by-frame.
+//
+// Session lifecycle, per solve:
+//
+//	coordinator -> worker i:  Cfg   {worker, shards, problem, knobs, peers}
+//	worker i    -> worker j<i: Peer {from, session}      (mesh dial)
+//	worker i    -> coordinator: Ready {graph shape, manifest digest}
+//	coordinator -> worker i:  State {Rho|Alpha|X|U|N|Z}
+//	repeat:
+//	  coordinator -> worker i:  [Params {Rho|U}]  Iter {iters}
+//	  ...workers exchange FrameM/FrameZ over the mesh per iteration...
+//	  worker i    -> coordinator: Done {timings, bytes}  Up {owned state}
+//	coordinator -> worker i:  Bye
+//
+// Any side that detects a malformed frame, a shape or manifest-digest
+// mismatch, or an I/O failure sends Err (when it still can) and tears
+// the session down: transport failures are fail-stop, because a
+// half-exchanged iteration has no consistent state to resume from.
+
+// wireConfig opens a session (FrameCfg payload).
+type wireConfig struct {
+	Session  uint64          `json:"session"`
+	Worker   int             `json:"worker"`
+	Shards   int             `json:"shards"`
+	Workload string          `json:"workload"`
+	Spec     json.RawMessage `json:"spec"`
+	Strategy string          `json:"strategy"`
+	Refine   bool            `json:"refine"`
+	Fused    bool            `json:"fused"`
+	// Peers lists every worker's control endpoint, indexed by worker;
+	// worker i dials workers j < i it shares boundary state with.
+	Peers []string `json:"peers"`
+}
+
+// wirePeer opens a worker-to-worker mesh connection (FramePeer payload).
+type wirePeer struct {
+	Session uint64 `json:"session"`
+	From    int    `json:"from"`
+}
+
+// wireReady acknowledges a config (FrameReady payload): the rebuilt
+// graph's shape and the worker's boundary-manifest digest, which the
+// coordinator verifies against its own before any state moves.
+type wireReady struct {
+	Functions      int    `json:"functions"`
+	Variables      int    `json:"variables"`
+	Edges          int    `json:"edges"`
+	D              int    `json:"d"`
+	ManifestDigest string `json:"manifest_digest"`
+}
+
+// wireIter commands one block of iterations (FrameIter payload).
+type wireIter struct {
+	Iters int `json:"iters"`
+}
+
+// wireDone reports a finished block (FrameDone payload). PhaseNanos,
+// SyncWaitNanos and BoundaryZNanos are this block's values; BytesMoved
+// and Frames are the worker's cumulative data-plane counters since the
+// session started (every byte counted at its sender, so the
+// coordinator's sum across workers is total bytes moved).
+type wireDone struct {
+	PhaseNanos     [admm.NumPhases]int64 `json:"phase_nanos"`
+	SyncWaitNanos  int64                 `json:"sync_wait_nanos"`
+	BoundaryZNanos int64                 `json:"boundary_z_nanos"`
+	BytesMoved     int64                 `json:"bytes_moved"`
+	WireBytes      int64                 `json:"wire_bytes"`
+	Frames         int64                 `json:"frames"`
+}
+
+// writeJSONFrame marshals v and writes it as one frame of the given kind.
+func writeJSONFrame(w io.Writer, kind byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return exchange.WriteFrame(w, kind, 0, payload)
+}
+
+// readFrameKind reads one frame and requires the given kind; a FrameErr
+// is surfaced as the remote side's error message.
+func readFrameKind(r io.Reader, buf []byte, kind byte) (exchange.Frame, []byte, error) {
+	f, buf, err := exchange.ReadFrame(r, buf)
+	if err != nil {
+		return f, buf, err
+	}
+	if f.Kind == exchange.FrameErr {
+		return f, buf, fmt.Errorf("shard: remote error: %s", f.Payload)
+	}
+	if f.Kind != kind {
+		return f, buf, fmt.Errorf("shard: unexpected frame kind %d, want %d", f.Kind, kind)
+	}
+	return f, buf, nil
+}
+
+// decodeJSONFrame strictly decodes a control payload.
+func decodeJSONFrame(f exchange.Frame, into any) error {
+	dec := json.NewDecoder(bytes.NewReader(f.Payload))
+	dec.DisallowUnknownFields()
+	return dec.Decode(into)
+}
+
+// dialTimeout bounds control and mesh connection establishment; once a
+// session runs, reads are unbounded (a large iteration block is
+// legitimately slow).
+const dialTimeout = 10 * time.Second
+
+// SplitAddr parses a worker endpoint into a network and address for
+// net.Dial/net.Listen: "unix:/path" and "tcp:host:port" are explicit;
+// a bare string containing a path separator is a unix socket path,
+// anything else a TCP host:port.
+func SplitAddr(addr string) (network, address string) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", strings.TrimPrefix(addr, "unix:")
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", strings.TrimPrefix(addr, "tcp:")
+	case strings.ContainsAny(addr, "/\\"):
+		return "unix", addr
+	default:
+		return "tcp", addr
+	}
+}
+
+// DialAddr connects to a worker endpoint (see SplitAddr).
+func DialAddr(addr string) (net.Conn, error) {
+	network, address := SplitAddr(addr)
+	return net.DialTimeout(network, address, dialTimeout)
+}
+
+// ListenAddr listens on a worker endpoint (see SplitAddr).
+func ListenAddr(addr string) (net.Listener, error) {
+	network, address := SplitAddr(addr)
+	return net.Listen(network, address)
+}
+
+// State payload layouts. The full down-sync (FrameState) concatenates
+// Rho|Alpha|X|U|N|Z; the parameter refresh (FrameParams) Rho|U — the
+// only arrays the engine mutates between Iterate calls (residual
+// checks read, rho adaptation rescales Rho and U), sent only before
+// blocks where Rho actually moved. M is never shipped:
+// both schedules fully rewrite every m-contribution they read each
+// iteration, so its value between sessions is scratch (the same
+// staleness contract the fused path documents).
+
+func stateWords(g *graph.Graph) int {
+	e, v, d := g.NumEdges(), g.NumVariables(), g.D()
+	return 2*e + 3*e*d + v*d
+}
+
+func appendState(dst []byte, g *graph.Graph) []byte {
+	dst = exchange.AppendF64s(dst, g.Rho)
+	dst = exchange.AppendF64s(dst, g.Alpha)
+	dst = exchange.AppendF64s(dst, g.X)
+	dst = exchange.AppendF64s(dst, g.U)
+	dst = exchange.AppendF64s(dst, g.N)
+	return exchange.AppendF64s(dst, g.Z)
+}
+
+// payloadCursor decodes a raw-doubles payload as consecutive array
+// segments (each take is one exchange.CopyF64s over its window; the
+// caller validates the total length up front).
+type payloadCursor struct {
+	payload []byte
+	off     int
+}
+
+func (c *payloadCursor) take(dst []float64) {
+	exchange.CopyF64s(dst, c.payload[c.off*8:(c.off+len(dst))*8])
+	c.off += len(dst)
+}
+
+func installState(g *graph.Graph, payload []byte) error {
+	if len(payload) != stateWords(g)*8 {
+		return fmt.Errorf("shard: state payload %d bytes, want %d", len(payload), stateWords(g)*8)
+	}
+	cur := payloadCursor{payload: payload}
+	for _, arr := range [][]float64{g.Rho, g.Alpha, g.X, g.U, g.N, g.Z} {
+		cur.take(arr)
+	}
+	return nil
+}
+
+func paramsWords(g *graph.Graph) int { return g.NumEdges() + g.NumEdges()*g.D() }
+
+func appendParams(dst []byte, g *graph.Graph) []byte {
+	dst = exchange.AppendF64s(dst, g.Rho)
+	return exchange.AppendF64s(dst, g.U)
+}
+
+func installParams(g *graph.Graph, payload []byte) error {
+	if len(payload) != paramsWords(g)*8 {
+		return fmt.Errorf("shard: params payload %d bytes, want %d", len(payload), paramsWords(g)*8)
+	}
+	cur := payloadCursor{payload: payload}
+	cur.take(g.Rho)
+	cur.take(g.U)
+	return nil
+}
+
+// Owned-state upload (FrameUp): X, U and N over the shard's owned edge
+// runs, then Z over its owned variables (appendOwnedVars order). Both
+// ends derive the layout from the same partition, so the payload is
+// raw doubles.
+
+func ownedWords(lp *localPlan, d int) int {
+	return 3*lp.ownedEdgeCount()*d + lp.ownedVarCount()*d
+}
+
+func appendOwned(dst []byte, g *graph.Graph, lp *localPlan, ownedVars []int) []byte {
+	d := g.D()
+	for _, arr := range [][]float64{g.X, g.U, g.N} {
+		for _, r := range lp.edgeRuns {
+			dst = exchange.AppendF64s(dst, arr[r.Lo*d:r.Hi*d])
+		}
+	}
+	for _, v := range ownedVars {
+		dst = exchange.AppendF64s(dst, g.Z[v*d:(v+1)*d])
+	}
+	return dst
+}
+
+func installOwned(g *graph.Graph, lp *localPlan, ownedVars []int, payload []byte) error {
+	d := g.D()
+	if len(payload) != ownedWords(lp, d)*8 {
+		return fmt.Errorf("shard: owned-state payload %d bytes, want %d", len(payload), ownedWords(lp, d)*8)
+	}
+	cur := payloadCursor{payload: payload}
+	for _, arr := range [][]float64{g.X, g.U, g.N} {
+		for _, r := range lp.edgeRuns {
+			cur.take(arr[r.Lo*d : r.Hi*d])
+		}
+	}
+	for _, v := range ownedVars {
+		cur.take(g.Z[v*d : (v+1)*d])
+	}
+	return nil
+}
+
+// meshNeeded reports whether workers i and j exchange any boundary
+// state under the manifest — the condition for a mesh connection.
+func meshNeeded(man *exchange.Manifest, i, j int) bool {
+	k := man.Shards
+	return len(man.MEdges[i*k+j]) > 0 || len(man.MEdges[j*k+i]) > 0 ||
+		len(man.ZVars[i*k+j]) > 0 || len(man.ZVars[j*k+i]) > 0
+}

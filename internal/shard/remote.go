@@ -1,0 +1,331 @@
+package shard
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/admm"
+	"repro/internal/exchange"
+	"repro/internal/graph"
+)
+
+// handshakeTimeout bounds how long the coordinator waits for a worker's
+// Ready after shipping its config (problem build + partition + mesh).
+const handshakeTimeout = 30 * time.Second
+
+// Remote is the cross-process sharded executor's coordinator: it drives
+// one paradmm-shardworker process per shard over the control protocol
+// in protocol.go. Workers rebuild the problem from the spec's
+// ProblemRef, verify boundary-manifest agreement at handshake, receive
+// the full ADMM state once, and then execute iteration blocks locally —
+// exchanging only boundary m/z frames among themselves per iteration —
+// uploading their owned state after each block so the coordinator's
+// graph stays exact for residual checks, rho adaptation, and solution
+// readout. Iterates are bit-identical to Serial, like every other
+// transport (the conformance and integration suites pin this).
+//
+// Remote is bound to the graph it was built for; the serving layer and
+// CLIs build one backend per solve. Mid-solve transport failures are
+// fail-stop (panic with context) — see protocol.go.
+type Remote struct {
+	shards   int
+	strategy graph.PartitionStrategy
+	fused    bool
+	refine   bool
+	session  uint64
+
+	g         *graph.Graph
+	plan      *plan
+	man       *exchange.Manifest
+	ownedVars [][]int
+	conns     []net.Conn
+	bufs      [][]byte
+
+	// rhoShadow/uShadow are Rho and U as the workers last saw them
+	// (handshake state, params pushes, and each block's own uploads).
+	// The engine path that mutates parameters between Iterate calls is
+	// rho adaptation — which can rescale U even while Rho stays
+	// bit-identical (every edge clamped at the floor/ceiling) — so the
+	// refresh gate compares both arrays; residual-checked solves
+	// without adaptation then ship only the boundary exchange.
+	rhoShadow []float64
+	uShadow   []float64
+
+	started bool
+	closed  bool
+	stats   Stats
+	// Cumulative data-plane counters, summed from the workers' reports.
+	exBytes  int64
+	exWire   int64
+	exFrames int64
+}
+
+// remoteSessions feeds session identifiers; combined with the PID they
+// let a worker's accept loop discard mesh dials from a dead session.
+var remoteSessions atomic.Uint64
+
+// NewRemote dials the worker control endpoints in spec.Addrs, ships the
+// spec's ProblemRef and executor knobs, verifies every worker rebuilt
+// the same graph and boundary manifest, and pushes g's full state down.
+// The returned backend drives the workers on each Iterate. g must be
+// the finalized coordinator-side replica of the referenced problem.
+func NewRemote(spec admm.ExecutorSpec, shards int, g *graph.Graph) (*Remote, error) {
+	if g == nil {
+		return nil, fmt.Errorf("shard: remote transport needs a finalized graph")
+	}
+	if spec.Problem == nil {
+		return nil, fmt.Errorf("shard: remote transport needs a problem reference (workload + spec) for the workers to rebuild")
+	}
+	if len(spec.Addrs) != shards {
+		return nil, fmt.Errorf("shard: %d worker addrs for %d shards", len(spec.Addrs), shards)
+	}
+	strategy, err := graph.ParseStrategy(spec.Partition)
+	if err != nil {
+		return nil, err
+	}
+	r := &Remote{
+		shards:   shards,
+		strategy: strategy,
+		fused:    spec.FusedEnabled(),
+		refine:   spec.Refine,
+		session:  uint64(os.Getpid())<<32 | remoteSessions.Add(1),
+		g:        g,
+	}
+	r.plan, err = newPlan(g, shards, strategy, spec.Refine)
+	if err != nil {
+		return nil, err
+	}
+	r.man = exchange.NewManifest(g, &r.plan.part, shards)
+	r.ownedVars = make([][]int, shards)
+	for i := range r.ownedVars {
+		r.ownedVars[i] = r.plan.local[i].appendOwnedVars(nil)
+	}
+	r.bufs = make([][]byte, shards)
+	if err := r.handshake(spec); err != nil {
+		r.teardown()
+		return nil, err
+	}
+	p := &r.plan.part
+	r.stats = Stats{
+		Shards:        shards,
+		Strategy:      strategy,
+		Transport:     admm.TransportSockets,
+		BoundaryVars:  len(p.BoundaryVars),
+		BoundaryEdges: p.BoundaryEdges,
+		InteriorVars:  p.InteriorVars(g),
+		PartEdges:     p.PartLoads(g),
+		CutCost:       graph.CutCost(g, p),
+		LoadImbalance: p.LoadImbalance(g),
+		Refined:       r.refine || strategy == graph.StrategyMincutFM,
+	}
+	return r, nil
+}
+
+// handshake runs Cfg -> Ready -> State against every worker. Configs go
+// out in ascending worker order so that by the time worker i dials its
+// mesh peers j < i, those workers already know the session.
+func (r *Remote) handshake(spec admm.ExecutorSpec) error {
+	r.conns = make([]net.Conn, r.shards)
+	for i := 0; i < r.shards; i++ {
+		conn, err := DialAddr(spec.Addrs[i])
+		if err != nil {
+			return fmt.Errorf("shard: worker %d (%s): %w", i, spec.Addrs[i], err)
+		}
+		r.conns[i] = conn
+		cfg := wireConfig{
+			Session:  r.session,
+			Worker:   i,
+			Shards:   r.shards,
+			Workload: spec.Problem.Workload,
+			Spec:     spec.Problem.Spec,
+			Strategy: string(r.strategy),
+			Refine:   r.refine,
+			Fused:    r.fused,
+			Peers:    spec.Addrs,
+		}
+		if err := writeJSONFrame(conn, exchange.FrameCfg, cfg); err != nil {
+			return fmt.Errorf("shard: worker %d: send config: %w", i, err)
+		}
+	}
+	wantDigest := fmt.Sprintf("%016x", r.man.Digest())
+	st := r.g.Stats()
+	for i := 0; i < r.shards; i++ {
+		// A handshake must answer promptly — an endpoint that accepts
+		// and then never replies (a mistyped addr pointing at some
+		// unrelated server) would otherwise wedge this coordinator (and
+		// a serve pool slot) forever. Iteration-block reads stay
+		// unbounded: large blocks are legitimately slow.
+		r.conns[i].SetReadDeadline(time.Now().Add(handshakeTimeout))
+		f, buf, err := readFrameKind(r.conns[i], r.bufs[i], exchange.FrameReady)
+		r.bufs[i] = buf
+		r.conns[i].SetReadDeadline(time.Time{})
+		if err != nil {
+			return fmt.Errorf("shard: worker %d handshake: %w", i, err)
+		}
+		var ready wireReady
+		if err := decodeJSONFrame(f, &ready); err != nil {
+			return fmt.Errorf("shard: worker %d ready: %w", i, err)
+		}
+		if ready.Functions != st.Functions || ready.Variables != st.Variables ||
+			ready.Edges != st.Edges || ready.D != st.D {
+			return fmt.Errorf("shard: worker %d rebuilt a different graph (%d/%d/%d/%d vs %d/%d/%d/%d functions/variables/edges/d) — problem spec mismatch",
+				i, ready.Functions, ready.Variables, ready.Edges, ready.D, st.Functions, st.Variables, st.Edges, st.D)
+		}
+		if ready.ManifestDigest != wantDigest {
+			return fmt.Errorf("shard: worker %d boundary manifest %s != coordinator %s — partition derivations diverged",
+				i, ready.ManifestDigest, wantDigest)
+		}
+	}
+	state := appendState(nil, r.g)
+	for i := 0; i < r.shards; i++ {
+		if err := exchange.WriteFrame(r.conns[i], exchange.FrameState, 0, state); err != nil {
+			return fmt.Errorf("shard: worker %d: send state: %w", i, err)
+		}
+	}
+	r.rhoShadow = append([]float64(nil), r.g.Rho...)
+	r.uShadow = append([]float64(nil), r.g.U...)
+	return nil
+}
+
+// Name implements admm.Backend.
+func (r *Remote) Name() string {
+	strat := PartitionLabel(r.strategy, r.refine)
+	if r.fused {
+		strat += ",fused"
+	}
+	return fmt.Sprintf("sharded(%d,%s,remote)", r.shards, strat)
+}
+
+// Stats returns partition and synchronization statistics, aggregated
+// from the workers' per-block reports.
+func (r *Remote) Stats() Stats { return r.stats }
+
+// Iterate implements admm.Backend: one iteration block across all
+// worker processes.
+func (r *Remote) Iterate(g *graph.Graph, iters int, phaseNanos *[admm.NumPhases]int64) {
+	if r.closed {
+		panic("shard: Iterate on closed Remote")
+	}
+	if g != r.g {
+		panic("shard: Remote backend is bound to the problem it was built for; build a new backend per graph")
+	}
+	// Parameter refresh: rho adaptation between blocks rescales Rho and
+	// U coordinator-side; push them before the next block when (and
+	// only when) either moved against the workers' last view.
+	if r.started && r.paramsChanged(g) {
+		params := appendParams(nil, g)
+		for i, conn := range r.conns {
+			if err := exchange.WriteFrame(conn, exchange.FrameParams, 0, params); err != nil {
+				panic(fmt.Sprintf("shard: worker %d: send params: %v", i, err))
+			}
+		}
+	}
+	r.started = true
+	for i, conn := range r.conns {
+		if err := writeJSONFrame(conn, exchange.FrameIter, wireIter{Iters: iters}); err != nil {
+			panic(fmt.Sprintf("shard: worker %d: send iterate: %v", i, err))
+		}
+	}
+	dones := make([]wireDone, r.shards)
+	var wg sync.WaitGroup
+	errs := make([]error, r.shards)
+	for i := range r.conns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = r.collect(i, g, &dones[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			panic(fmt.Sprintf("shard: worker %d: %v", i, err))
+		}
+	}
+	// After the block, the coordinator's Rho went down with the last
+	// params push (or never changed) and U was just uploaded by the
+	// workers — both sides agree again; resync the shadows.
+	copy(r.rhoShadow, g.Rho)
+	copy(r.uShadow, g.U)
+	var bytes, wire, frames int64
+	for i := range dones {
+		bytes += dones[i].BytesMoved
+		wire += dones[i].WireBytes
+		frames += dones[i].Frames
+	}
+	r.exBytes, r.exWire, r.exFrames = bytes, wire, frames
+	for p, v := range dones[0].PhaseNanos {
+		phaseNanos[p] += v
+	}
+	r.stats.SyncWaitNanos += dones[0].SyncWaitNanos
+	r.stats.BoundaryZNanos += dones[0].BoundaryZNanos
+	r.stats.Iterations += int64(iters)
+	r.stats.BytesPerIter = float64(r.exBytes) / float64(r.stats.Iterations)
+	r.stats.WireBytesPerIter = float64(r.exWire) / float64(r.stats.Iterations)
+	r.stats.ExchangeFrames = r.exFrames
+}
+
+// paramsChanged reports whether Rho or U differs from the workers'
+// last view.
+func (r *Remote) paramsChanged(g *graph.Graph) bool {
+	for i, v := range g.Rho {
+		if r.rhoShadow[i] != v {
+			return true
+		}
+	}
+	for i, v := range g.U {
+		if r.uShadow[i] != v {
+			return true
+		}
+	}
+	return false
+}
+
+// collect reads one worker's Done report and owned-state upload and
+// installs the state into the coordinator graph (disjoint slices per
+// worker, so installs run concurrently).
+func (r *Remote) collect(i int, g *graph.Graph, done *wireDone) error {
+	f, buf, err := readFrameKind(r.conns[i], r.bufs[i], exchange.FrameDone)
+	r.bufs[i] = buf
+	if err != nil {
+		return err
+	}
+	if err := decodeJSONFrame(f, done); err != nil {
+		return fmt.Errorf("done report: %w", err)
+	}
+	f, buf, err = readFrameKind(r.conns[i], r.bufs[i], exchange.FrameUp)
+	r.bufs[i] = buf
+	if err != nil {
+		return err
+	}
+	return installOwned(g, &r.plan.local[i], r.ownedVars[i], f.Payload)
+}
+
+// Close implements admm.Backend: ends the session and closes the
+// control connections; the workers return to their accept loops.
+func (r *Remote) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, conn := range r.conns {
+		if conn != nil {
+			exchange.WriteFrame(conn, exchange.FrameBye, 0, nil)
+		}
+	}
+	r.teardown()
+}
+
+func (r *Remote) teardown() {
+	for _, conn := range r.conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+}
+
+var _ admm.Backend = (*Remote)(nil)

@@ -2,84 +2,33 @@ package shard
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/admm"
+	"repro/internal/exchange"
 	"repro/internal/graph"
 	"repro/internal/sched"
 )
 
-// spinBarrier is a sense-reversing barrier whose waiters yield-spin
-// (runtime.Gosched) for a bounded number of rounds before parking on a
-// condition variable. The executor crosses it twice per iteration with
-// sub-millisecond phases in between; futex-based sleep/wake churn at
-// that granularity costs more than the phases themselves, especially
-// when phase B is nearly empty (a chain graph has a handful of
-// boundary variables) — but pure spinning would let badly-oversized
-// shard counts (empty shards, stragglers) peg cores for a whole solve,
-// so waiters that exhaust the spin budget sleep like sched.Barrier's.
-// Atomic loads/stores give the happens-before edges the phases rely on.
-type spinBarrier struct {
-	parties int32
-	count   atomic.Int32
-	gen     atomic.Uint32
-
-	mu   sync.Mutex
-	cond *sync.Cond
-}
-
-// spinYields bounds the yield-spin phase of one Await. Crossing the
-// boundary-z barrier typically takes a handful of yields; a waiter
-// still spinning after this many is stuck behind a straggling shard
-// and should get off the CPU.
-const spinYields = 256
-
-func newSpinBarrier(parties int) *spinBarrier {
-	b := &spinBarrier{parties: int32(parties)}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *spinBarrier) Await() {
-	gen := b.gen.Load()
-	if b.count.Add(1) == b.parties {
-		b.count.Store(0)
-		b.mu.Lock()
-		b.gen.Add(1)
-		b.mu.Unlock()
-		b.cond.Broadcast()
-		return
-	}
-	for i := 0; i < spinYields; i++ {
-		if b.gen.Load() != gen {
-			return
-		}
-		runtime.Gosched()
-	}
-	b.mu.Lock()
-	for b.gen.Load() == gen {
-		b.cond.Wait()
-	}
-	b.mu.Unlock()
-}
-
 // Backend is the sharded executor: K persistent shard workers, each
 // executing all five ADMM phases over its own partition of the factor
 // graph, synchronizing only boundary-variable z-state between
-// iterations. See doc.go for the protocol and when this beats the
-// global-barrier executor.
+// iterations. The synchronization itself is delegated to an
+// exchange.Exchanger — shared-memory barriers on the local transport,
+// length-prefixed frames over byte streams on the sockets transport —
+// so the same worker loop serves both. See doc.go for the protocol and
+// when this beats the global-barrier executor; the cross-process form
+// of the same loop is Remote (remote.go) + ServeWorker (worker.go).
 type Backend struct {
 	shards   int
 	strategy graph.PartitionStrategy
 
 	// Fused selects the two-pass fused phase schedule (see doc.go): the
-	// same two barriers per iteration, but phase A fuses the m-message
-	// into the interior z gather, phase B gathers remote x+u directly,
-	// and phase C merges the u- and n-sweeps. Set before the first
-	// Iterate; workers observe it through the cmd handshake.
+	// same two sync points per iteration, but phase A fuses the m-message
+	// into the interior z gather, phase B gathers remote x+u (via the
+	// exchanger's materialized m-blocks on a message transport), and
+	// phase C merges the u- and n-sweeps. Set before the first Iterate;
+	// workers observe it through the cmd handshake.
 	Fused bool
 
 	// Refine runs a Fiduccia–Mattheyses boundary-refinement pass
@@ -89,18 +38,26 @@ type Backend struct {
 	// before the first Iterate.
 	Refine bool
 
-	cmd     chan struct{}
-	done    chan struct{}
-	barrier *spinBarrier
-	closed  bool
+	// Transport selects the exchanger: "" or admm.TransportLocal for the
+	// shared-memory spin barriers, admm.TransportSockets for the framed
+	// message protocol over in-process loopback streams (every boundary
+	// byte serialized and decoded exactly as between processes). Set
+	// before the first Iterate.
+	Transport string
+
+	cmd    chan struct{}
+	done   chan struct{}
+	closed bool
 
 	// Iterate inputs, published to workers via cmd sends.
 	g          *graph.Graph
 	iters      int
 	phaseNanos *[admm.NumPhases]int64
 
-	plan  *plan
-	stats Stats
+	plan    *plan
+	ex      exchange.Exchanger
+	localEx *exchange.Local
+	stats   Stats
 }
 
 // Stats reports the partition shape and synchronization cost of the
@@ -109,6 +66,9 @@ type Backend struct {
 type Stats struct {
 	Shards   int
 	Strategy graph.PartitionStrategy
+	// Transport names the boundary-exchange implementation ("local"
+	// shared memory, "sockets" message transport).
+	Transport string
 	// BoundaryVars / BoundaryEdges are the cross-shard footprint: only
 	// these variables' z-state synchronizes shards each iteration, and
 	// their incident edges' m-blocks are what the combine step gathers.
@@ -129,10 +89,25 @@ type Stats struct {
 	// Iterations executed by this backend so far.
 	Iterations int64
 	// SyncWaitNanos is shard 0's cumulative time blocked at the two
-	// per-iteration barriers; BoundaryZNanos its time combining boundary
-	// z. Together they bound what boundary synchronization costs.
+	// per-iteration sync points; BoundaryZNanos its time combining
+	// boundary z. Together they bound what boundary synchronization
+	// costs.
 	SyncWaitNanos  int64
 	BoundaryZNanos int64
+	// BytesPerIter is the boundary-state payload a message transport
+	// moves per iteration, each byte counted once at its sender (0 on
+	// the local transport). It is priced by the same word model as
+	// CutCost — predicted bytes = CutCost x 8 — so measured-vs-model is
+	// an exact comparison: any gap means the manifest moved state the
+	// model does not price (or vice versa).
+	BytesPerIter float64
+	// WireBytesPerIter is what actually crossed the streams per
+	// iteration: BytesPerIter plus per-frame header overhead. Thin
+	// boundaries (a chain's handful of cut points) keep the framing
+	// share visible; wide ones amortize it away.
+	WireBytesPerIter float64
+	// ExchangeFrames counts data-plane frames sent so far.
+	ExchangeFrames int64
 }
 
 // New returns a sharded backend with the given shard count and
@@ -152,28 +127,11 @@ func New(shards int, strategy graph.PartitionStrategy) (*Backend, error) {
 		strategy: strat,
 		cmd:      make(chan struct{}),
 		done:     make(chan struct{}),
-		barrier:  newSpinBarrier(shards),
 	}
 	for s := 0; s < shards; s++ {
 		go b.worker(s)
 	}
 	return b, nil
-}
-
-func init() {
-	admm.RegisterExecutor(admm.ExecSharded, func(s admm.ExecutorSpec, g *graph.Graph) (admm.Backend, error) {
-		shards := s.Shards
-		if shards == 0 {
-			shards = 4
-		}
-		sb, err := New(shards, graph.PartitionStrategy(s.Partition))
-		if err != nil {
-			return nil, err
-		}
-		sb.Fused = s.FusedEnabled()
-		sb.Refine = s.Refine
-		return sb, nil
-	})
 }
 
 // PartitionLabel names the effective partitioning of a strategy plus
@@ -196,7 +154,10 @@ func (s Stats) PartitionLabel() string { return PartitionLabel(s.Strategy, s.Ref
 func (b *Backend) Name() string {
 	strat := PartitionLabel(b.strategy, b.Refine)
 	if b.Fused {
-		return fmt.Sprintf("sharded(%d,%s,fused)", b.shards, strat)
+		strat += ",fused"
+	}
+	if b.Transport == admm.TransportSockets {
+		strat += ",sockets"
 	}
 	return fmt.Sprintf("sharded(%d,%s)", b.shards, strat)
 }
@@ -218,9 +179,11 @@ func (b *Backend) Iterate(g *graph.Graph, iters int, phaseNanos *[admm.NumPhases
 			panic(fmt.Sprintf("shard: %v", err))
 		}
 		b.plan = p
+		b.bindExchanger(g, p)
 		b.stats = Stats{
 			Shards:         b.shards,
 			Strategy:       b.strategy,
+			Transport:      transportLabel(b.Transport),
 			BoundaryVars:   len(p.part.BoundaryVars),
 			BoundaryEdges:  p.part.BoundaryEdges,
 			InteriorVars:   p.part.InteriorVars(g),
@@ -241,6 +204,40 @@ func (b *Backend) Iterate(g *graph.Graph, iters int, phaseNanos *[admm.NumPhases
 		<-b.done
 	}
 	b.stats.Iterations += int64(iters)
+	ex := b.ex.Stats()
+	b.stats.BytesPerIter = ex.BytesPerRound()
+	b.stats.WireBytesPerIter = ex.WireBytesPerRound()
+	b.stats.ExchangeFrames = ex.Frames
+}
+
+// bindExchanger (re)builds the exchanger for a freshly planned graph.
+// The local barrier is graph-independent and persists; a messaged
+// exchanger embeds the graph's boundary manifest and is rebuilt (and
+// the old one closed) per plan.
+func (b *Backend) bindExchanger(g *graph.Graph, p *plan) {
+	switch b.Transport {
+	case "", admm.TransportLocal:
+		if b.localEx == nil {
+			b.localEx = exchange.NewLocal(b.shards)
+		}
+		b.ex = b.localEx
+	case admm.TransportSockets:
+		if old, ok := b.ex.(*exchange.Messaged); ok {
+			old.Close()
+		}
+		man := exchange.NewManifest(g, &p.part, b.shards)
+		b.ex = exchange.NewLoopback(g, man, b.Fused)
+	default:
+		panic(fmt.Sprintf("shard: unknown transport %q", b.Transport))
+	}
+}
+
+// transportLabel canonicalizes the Transport knob for Stats.
+func transportLabel(t string) string {
+	if t == "" {
+		return admm.TransportLocal
+	}
+	return t
 }
 
 // Close implements admm.Backend: terminates the shard workers.
@@ -250,113 +247,149 @@ func (b *Backend) Close() {
 	}
 	b.closed = true
 	close(b.cmd)
+	if b.ex != nil {
+		b.ex.Close()
+	}
 }
 
-// worker is one persistent shard. Per iteration on the reference
-// schedule it runs:
+// worker is one persistent shard: it executes runShardIters for its
+// local plan on every Iterate command. Worker 0 is the lead and owns
+// the timing accounting.
+func (b *Backend) worker(id int) {
+	for range b.cmd {
+		var tm *workerTimings
+		var lead workerTimings
+		if id == 0 {
+			lead = workerTimings{
+				phaseNanos: b.phaseNanos,
+				syncWait:   &b.stats.SyncWaitNanos,
+				boundaryZ:  &b.stats.BoundaryZNanos,
+			}
+			tm = &lead
+		}
+		runShardIters(b.g, &b.plan.local[id], b.ex, id, b.iters, b.Fused, tm)
+		b.done <- struct{}{}
+	}
+}
+
+// workerTimings is the lead worker's accounting: per-phase time,
+// cumulative sync-point wait, and boundary-z combine time.
+type workerTimings struct {
+	phaseNanos *[admm.NumPhases]int64
+	syncWait   *int64
+	boundaryZ  *int64
+}
+
+// runShardIters executes iters iterations of the two-sync-point shard
+// schedule for one worker over its local plan — the shared core of the
+// in-process Backend and the cross-process worker loop (worker.go).
+// Per iteration on the reference schedule:
 //
 //	A (local):    x over owned functions, m over owned edges,
 //	              z over interior variables
-//	-- barrier 1 --  (all m-blocks of this iteration are published)
-//	B (boundary): z for owned boundary variables, gathering remote
-//	              m-blocks in CSR order (bit-identical to serial)
-//	-- barrier 2 --  (all z-blocks of this iteration are published)
+//	-- GatherM --    (all m-contributions for owned boundary variables
+//	                  are available: shared memory, or materialized
+//	                  into M from the wire)
+//	B (boundary): z for owned boundary variables, gathering m-blocks
+//	              in CSR order (bit-identical to serial)
+//	-- ScatterZ --   (all boundary z-blocks of this iteration are
+//	                  available)
 //	C (local):    u and n over owned edges
 //
 // Phase C and the next iteration's phase A read only shard-local state
-// plus z published before barrier 2, so no further barrier is needed:
-// a shard racing ahead parks at barrier 1 before it can touch anything
-// another shard still reads.
+// plus z delivered by ScatterZ, so no further synchronization is
+// needed: a shard racing ahead blocks in GatherM before it can touch
+// anything another shard still reads (on a message transport, shards
+// with no shared boundary state need no mutual ordering at all).
 //
 // The fused schedule keeps the same two sync points but fuses phase
-// contents: phase A skips the m sweep and gathers m = x + u in registers
-// inside the interior z-update; phase B gathers remote x+u directly (X
-// is published by barrier 1, and remote U — last written in the previous
-// iteration's phase C — is ordered by the same crossing); phase C merges
-// the u- and n-sweeps. No phase between the barriers writes X or U, so
-// the fused reads see exactly the values the reference m-blocks froze.
-func (b *Backend) worker(id int) {
-	for range b.cmd {
-		g, iters, plan, fused := b.g, b.iters, b.plan, b.Fused
-		lp := &plan.local[id]
-		lead := id == 0
-		var t time.Time
-		for it := 0; it < iters; it++ {
-			if lead {
-				t = time.Now()
+// contents: phase A skips the m sweep and gathers m = x + u in
+// registers inside the interior z-update; phase B gathers remote x+u
+// (directly from shared memory, or via the exchanger's materialized
+// m-blocks — identical bits either way, see internal/exchange); phase C
+// merges the u- and n-sweeps. No phase between the sync points writes X
+// or U, so the fused reads see exactly the values the reference
+// m-blocks froze.
+func runShardIters(g *graph.Graph, lp *localPlan, ex exchange.Exchanger, id, iters int, fused bool, tm *workerTimings) {
+	lead := tm != nil
+	materialized := ex.Materialized()
+	var t time.Time
+	for it := 0; it < iters; it++ {
+		if lead {
+			t = time.Now()
+		}
+		for _, r := range lp.funcRuns {
+			admm.UpdateXRange(g, r.Lo, r.Hi)
+		}
+		if lead {
+			tm.phaseNanos[admm.PhaseX] += time.Since(t).Nanoseconds()
+			t = time.Now()
+		}
+		if fused {
+			for _, r := range lp.interiorRuns {
+				admm.UpdateZFusedRange(g, r.Lo, r.Hi)
 			}
-			for _, r := range lp.funcRuns {
-				admm.UpdateXRange(g, r.Lo, r.Hi)
-			}
-			if lead {
-				b.phaseNanos[admm.PhaseX] += time.Since(t).Nanoseconds()
-				t = time.Now()
-			}
-			if fused {
-				for _, r := range lp.interiorRuns {
-					admm.UpdateZFusedRange(g, r.Lo, r.Hi)
-				}
-			} else {
-				for _, r := range lp.edgeRuns {
-					admm.UpdateMRange(g, r.Lo, r.Hi)
-				}
-				if lead {
-					b.phaseNanos[admm.PhaseM] += time.Since(t).Nanoseconds()
-					t = time.Now()
-				}
-				for _, r := range lp.interiorRuns {
-					admm.UpdateZRange(g, r.Lo, r.Hi)
-				}
-			}
-			if lead {
-				b.phaseNanos[admm.PhaseZ] += time.Since(t).Nanoseconds()
-				t = time.Now()
-			}
-			b.barrier.Await()
-			if lead {
-				b.stats.SyncWaitNanos += time.Since(t).Nanoseconds()
-				t = time.Now()
-			}
-			if fused {
-				admm.UpdateZFusedVars(g, lp.boundary)
-			} else {
-				admm.UpdateZVars(g, lp.boundary)
-			}
-			if lead {
-				dt := time.Since(t).Nanoseconds()
-				b.phaseNanos[admm.PhaseZ] += dt
-				b.stats.BoundaryZNanos += dt
-				t = time.Now()
-			}
-			b.barrier.Await()
-			if lead {
-				b.stats.SyncWaitNanos += time.Since(t).Nanoseconds()
-				t = time.Now()
-			}
-			if fused {
-				for _, r := range lp.edgeRuns {
-					admm.UpdateUNRange(g, r.Lo, r.Hi)
-				}
-				if lead {
-					b.phaseNanos[admm.PhaseU] += time.Since(t).Nanoseconds()
-				}
-				continue
-			}
+		} else {
 			for _, r := range lp.edgeRuns {
-				admm.UpdateURange(g, r.Lo, r.Hi)
+				admm.UpdateMRange(g, r.Lo, r.Hi)
 			}
 			if lead {
-				b.phaseNanos[admm.PhaseU] += time.Since(t).Nanoseconds()
+				tm.phaseNanos[admm.PhaseM] += time.Since(t).Nanoseconds()
 				t = time.Now()
 			}
-			for _, r := range lp.edgeRuns {
-				admm.UpdateNRange(g, r.Lo, r.Hi)
-			}
-			if lead {
-				b.phaseNanos[admm.PhaseN] += time.Since(t).Nanoseconds()
+			for _, r := range lp.interiorRuns {
+				admm.UpdateZRange(g, r.Lo, r.Hi)
 			}
 		}
-		b.done <- struct{}{}
+		if lead {
+			tm.phaseNanos[admm.PhaseZ] += time.Since(t).Nanoseconds()
+			t = time.Now()
+		}
+		ex.GatherM(id)
+		if lead {
+			*tm.syncWait += time.Since(t).Nanoseconds()
+			t = time.Now()
+		}
+		if fused && !materialized {
+			admm.UpdateZFusedVars(g, lp.boundary)
+		} else {
+			// Reference gather over M — which a messaged exchanger has
+			// materialized with bit-identical blocks on either schedule.
+			admm.UpdateZVars(g, lp.boundary)
+		}
+		if lead {
+			dt := time.Since(t).Nanoseconds()
+			tm.phaseNanos[admm.PhaseZ] += dt
+			*tm.boundaryZ += dt
+			t = time.Now()
+		}
+		ex.ScatterZ(id)
+		if lead {
+			*tm.syncWait += time.Since(t).Nanoseconds()
+			t = time.Now()
+		}
+		if fused {
+			for _, r := range lp.edgeRuns {
+				admm.UpdateUNRange(g, r.Lo, r.Hi)
+			}
+			if lead {
+				tm.phaseNanos[admm.PhaseU] += time.Since(t).Nanoseconds()
+			}
+			continue
+		}
+		for _, r := range lp.edgeRuns {
+			admm.UpdateURange(g, r.Lo, r.Hi)
+		}
+		if lead {
+			tm.phaseNanos[admm.PhaseU] += time.Since(t).Nanoseconds()
+			t = time.Now()
+		}
+		for _, r := range lp.edgeRuns {
+			admm.UpdateNRange(g, r.Lo, r.Hi)
+		}
+		if lead {
+			tm.phaseNanos[admm.PhaseN] += time.Since(t).Nanoseconds()
+		}
 	}
 }
 
@@ -381,9 +414,51 @@ type localPlan struct {
 	boundary     []int
 }
 
+// ownedEdgeCount is the number of edges this shard owns.
+func (lp *localPlan) ownedEdgeCount() int {
+	n := 0
+	for _, r := range lp.edgeRuns {
+		n += r.Hi - r.Lo
+	}
+	return n
+}
+
+// ownedVarCount is the number of variables whose z this shard computes
+// (interior plus owned boundary).
+func (lp *localPlan) ownedVarCount() int {
+	n := len(lp.boundary)
+	for _, r := range lp.interiorRuns {
+		n += r.Hi - r.Lo
+	}
+	return n
+}
+
+// appendOwnedVars appends, ascending, the variables whose z this shard
+// computes — the merge of its interior runs and its owned boundary
+// list. The order is the canonical layout of the cross-process
+// state-upload payload, derived identically on both ends.
+func (lp *localPlan) appendOwnedVars(dst []int) []int {
+	bi := 0
+	emitBoundaryBelow := func(limit int) {
+		for bi < len(lp.boundary) && lp.boundary[bi] < limit {
+			dst = append(dst, lp.boundary[bi])
+			bi++
+		}
+	}
+	for _, r := range lp.interiorRuns {
+		emitBoundaryBelow(r.Lo)
+		for v := r.Lo; v < r.Hi; v++ {
+			dst = append(dst, v)
+		}
+	}
+	emitBoundaryBelow(int(^uint(0) >> 1))
+	return dst
+}
+
 // newPlan partitions g (optionally FM-refining the split) and derives
 // per-shard index sets. Workers beyond the partition's effective part
-// count (tiny graphs) get empty plans and only participate in barriers.
+// count (tiny graphs) get empty plans and only participate in the
+// per-iteration sync points.
 func newPlan(g *graph.Graph, shards int, strategy graph.PartitionStrategy, refine bool) (*plan, error) {
 	part, err := graph.NewPartition(g, shards, strategy)
 	if err != nil {

@@ -1,0 +1,390 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/exchange"
+	"repro/internal/graph"
+)
+
+// BuilderFunc rebuilds one workload's factor graph from its raw spec
+// JSON — the worker-process side of admm.ProblemRef. The canonical
+// registry lives in internal/workload; tests may supply their own.
+type BuilderFunc func(spec []byte) (*graph.Graph, error)
+
+// WorkerOptions configures ServeWorker.
+type WorkerOptions struct {
+	// Builders maps workload names to graph builders; a session naming
+	// an unknown workload is refused with FrameErr.
+	Builders map[string]BuilderFunc
+	// Logf, when non-nil, receives session lifecycle messages.
+	Logf func(format string, args ...any)
+	// MaxSessions, when > 0, returns from ServeWorker after that many
+	// sessions complete (successfully or not) — used by tests and CI.
+	MaxSessions int
+}
+
+func (o *WorkerOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// meshWait bounds how long a session waits for its mesh to complete
+// (peers dialing in and peers being dialed).
+const meshWait = 30 * time.Second
+
+// ServeWorker runs one shard-worker endpoint on ln: it accepts
+// coordinator sessions (FrameCfg) and worker-to-worker mesh connections
+// (FramePeer) on the same listener, executing one session at a time.
+// Within a session the worker rebuilds the problem from the shipped
+// ProblemRef, derives the same partition and boundary manifest the
+// coordinator did (the Ready digest proves it), installs the pushed
+// state, and then runs iteration blocks with a socket-meshed
+// exchange.Messaged — the exact worker loop the in-process executor
+// runs, pointed at a different Exchanger. It returns when the listener
+// closes or MaxSessions is reached.
+func ServeWorker(ln net.Listener, opts WorkerOptions) error {
+	type accepted struct {
+		conn net.Conn
+		f    exchange.Frame
+	}
+	conns := make(chan accepted, 64)
+	acceptErr := make(chan error, 1)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			go func(conn net.Conn) {
+				// First frame classifies the connection; a malformed
+				// opener only poisons this connection, not the worker.
+				f, _, err := exchange.ReadFrame(conn, nil)
+				if err != nil {
+					conn.Close()
+					return
+				}
+				conns <- accepted{conn, f}
+			}(conn)
+		}
+	}()
+
+	type peerConn struct {
+		conn  net.Conn
+		hello wirePeer
+	}
+	type cfgConn struct {
+		conn net.Conn
+		cfg  wireConfig
+	}
+	var pendingPeers []peerConn
+	var pendingCfg *cfgConn
+	var sessPeers chan peerConn
+	var sessID uint64
+	sessEnd := make(chan error, 1)
+	sessions := 0
+	active := false
+
+	endSession := func(err error) (stop bool) {
+		if err != nil {
+			opts.logf("shard worker: session %d failed: %v", sessID, err)
+		} else {
+			opts.logf("shard worker: session %d done", sessID)
+		}
+		active = false
+		sessPeers = nil
+		sessions++
+		return opts.MaxSessions > 0 && sessions >= opts.MaxSessions
+	}
+
+	startSession := func(conn net.Conn, cfg wireConfig) {
+		active = true
+		sessID = cfg.Session
+		sessPeers = make(chan peerConn, cfg.Shards)
+		// Re-deliver mesh dials that raced ahead of our config; drop
+		// strays from dead sessions.
+		for _, p := range pendingPeers {
+			if p.hello.Session == cfg.Session {
+				sessPeers <- p
+			} else {
+				p.conn.Close()
+			}
+		}
+		pendingPeers = pendingPeers[:0]
+		opts.logf("shard worker: session %d: worker %d/%d, workload %s", cfg.Session, cfg.Worker, cfg.Shards, cfg.Workload)
+		go func(peers chan peerConn) {
+			// Higher-numbered peers dial in concurrently from separate
+			// processes, so their hellos arrive in any order; hold the
+			// ones a later waitPeer call will want.
+			held := map[int]net.Conn{}
+			err := runSession(conn, cfg, opts, func(from int) (net.Conn, error) {
+				if pc, ok := held[from]; ok {
+					delete(held, from)
+					return pc, nil
+				}
+				timeout := time.After(meshWait)
+				for {
+					select {
+					case p := <-peers:
+						if p.hello.From == from {
+							return p.conn, nil
+						}
+						if prev, dup := held[p.hello.From]; dup {
+							prev.Close()
+						}
+						held[p.hello.From] = p.conn
+					case <-timeout:
+						return nil, fmt.Errorf("timed out waiting for mesh peer %d", from)
+					}
+				}
+			})
+			for _, pc := range held {
+				pc.Close()
+			}
+			conn.Close()
+			sessEnd <- err
+		}(sessPeers)
+	}
+
+	for {
+		select {
+		case err := <-sessEnd:
+			if endSession(err) {
+				if pendingCfg != nil {
+					refuse(pendingCfg.conn, "worker session limit reached")
+				}
+				return nil
+			}
+			if pendingCfg != nil {
+				next := *pendingCfg
+				pendingCfg = nil
+				startSession(next.conn, next.cfg)
+			}
+		case err := <-acceptErr:
+			if active {
+				// Let the in-flight session finish; its connections
+				// are independent of the listener.
+				if serr := <-sessEnd; serr != nil {
+					opts.logf("shard worker: session %d failed: %v", sessID, serr)
+				}
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		case a := <-conns:
+			switch a.f.Kind {
+			case exchange.FrameCfg:
+				var cfg wireConfig
+				if err := decodeJSONFrame(a.f, &cfg); err != nil {
+					refuse(a.conn, fmt.Sprintf("bad config: %v", err))
+					continue
+				}
+				if active {
+					// The previous coordinator's Close does not wait for
+					// our teardown, so a back-to-back session's config
+					// legitimately races the Bye; queue one.
+					if pendingCfg != nil {
+						refuse(a.conn, "worker busy with another session")
+						continue
+					}
+					pendingCfg = &cfgConn{a.conn, cfg}
+					continue
+				}
+				startSession(a.conn, cfg)
+			case exchange.FramePeer:
+				var hello wirePeer
+				if err := decodeJSONFrame(a.f, &hello); err != nil {
+					a.conn.Close()
+					continue
+				}
+				if active && hello.Session == sessID {
+					sessPeers <- peerConn{a.conn, hello}
+				} else {
+					pendingPeers = append(pendingPeers, peerConn{a.conn, hello})
+				}
+			default:
+				refuse(a.conn, fmt.Sprintf("unexpected opening frame kind %d", a.f.Kind))
+			}
+		}
+	}
+}
+
+// refuse reports an error on a connection the worker will not serve.
+func refuse(conn net.Conn, msg string) {
+	exchange.WriteFrame(conn, exchange.FrameErr, 0, []byte(msg))
+	conn.Close()
+}
+
+// runSession executes one coordinator session on a worker process: the
+// handshake (rebuild, partition, mesh, Ready), then the control loop of
+// State/Params/Iter blocks until Bye. waitPeer delivers mesh
+// connections dialed in by higher-numbered workers.
+func runSession(conn net.Conn, cfg wireConfig, opts WorkerOptions, waitPeer func(from int) (net.Conn, error)) (err error) {
+	fail := func(err error) error {
+		exchange.WriteFrame(conn, exchange.FrameErr, 0, []byte(err.Error()))
+		return err
+	}
+	if cfg.Shards < 1 || cfg.Worker < 0 || cfg.Worker >= cfg.Shards {
+		return fail(fmt.Errorf("bad worker/shard config %d/%d", cfg.Worker, cfg.Shards))
+	}
+	if len(cfg.Peers) != cfg.Shards {
+		return fail(fmt.Errorf("%d peer addrs for %d shards", len(cfg.Peers), cfg.Shards))
+	}
+	builder, ok := opts.Builders[cfg.Workload]
+	if !ok {
+		return fail(fmt.Errorf("unknown workload %q", cfg.Workload))
+	}
+	g, err := builder(cfg.Spec)
+	if err != nil {
+		return fail(fmt.Errorf("build %s: %w", cfg.Workload, err))
+	}
+	strategy, err := graph.ParseStrategy(cfg.Strategy)
+	if err != nil {
+		return fail(err)
+	}
+	plan, err := newPlan(g, cfg.Shards, strategy, cfg.Refine)
+	if err != nil {
+		return fail(err)
+	}
+	man := exchange.NewManifest(g, &plan.part, cfg.Shards)
+	id := cfg.Worker
+
+	// Mesh: dial every lower-numbered peer we share boundary state
+	// with; higher-numbered ones dial us.
+	peers := make([]io.ReadWriteCloser, cfg.Shards)
+	closePeers := func() {
+		for _, p := range peers {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}
+	for j := 0; j < id; j++ {
+		if !meshNeeded(man, id, j) {
+			continue
+		}
+		pc, err := DialAddr(cfg.Peers[j])
+		if err != nil {
+			closePeers()
+			return fail(fmt.Errorf("dial mesh peer %d (%s): %w", j, cfg.Peers[j], err))
+		}
+		if err := writeJSONFrame(pc, exchange.FramePeer, wirePeer{Session: cfg.Session, From: id}); err != nil {
+			pc.Close()
+			closePeers()
+			return fail(fmt.Errorf("mesh hello to peer %d: %w", j, err))
+		}
+		peers[j] = pc
+	}
+	for j := id + 1; j < cfg.Shards; j++ {
+		if !meshNeeded(man, id, j) {
+			continue
+		}
+		pc, err := waitPeer(j)
+		if err != nil {
+			closePeers()
+			return fail(err)
+		}
+		peers[j] = pc
+	}
+
+	ex, err := exchange.NewPeer(g, man, cfg.Fused, id, peers)
+	if err != nil {
+		closePeers()
+		return fail(err)
+	}
+	defer ex.Close()
+
+	st := g.Stats()
+	ready := wireReady{
+		Functions:      st.Functions,
+		Variables:      st.Variables,
+		Edges:          st.Edges,
+		D:              st.D,
+		ManifestDigest: fmt.Sprintf("%016x", man.Digest()),
+	}
+	if err := writeJSONFrame(conn, exchange.FrameReady, ready); err != nil {
+		return err
+	}
+
+	lp := &plan.local[id]
+	ownedVars := lp.appendOwnedVars(nil)
+	var buf, out []byte
+	stateInstalled := false
+	for {
+		var f exchange.Frame
+		f, buf, err = exchange.ReadFrame(conn, buf)
+		if err != nil {
+			if err == io.EOF {
+				// Coordinator went away without Bye — treat as session end.
+				return nil
+			}
+			return err
+		}
+		switch f.Kind {
+		case exchange.FrameState:
+			if err := installState(g, f.Payload); err != nil {
+				return fail(err)
+			}
+			stateInstalled = true
+		case exchange.FrameParams:
+			if err := installParams(g, f.Payload); err != nil {
+				return fail(err)
+			}
+		case exchange.FrameIter:
+			var cmd wireIter
+			if err := decodeJSONFrame(f, &cmd); err != nil {
+				return fail(fmt.Errorf("iterate command: %w", err))
+			}
+			if !stateInstalled {
+				return fail(fmt.Errorf("iterate before state push"))
+			}
+			if cmd.Iters <= 0 {
+				return fail(fmt.Errorf("iterate %d", cmd.Iters))
+			}
+			done, iterErr := runWorkerBlock(g, lp, ex, id, cmd.Iters, cfg.Fused)
+			if iterErr != nil {
+				return fail(iterErr)
+			}
+			if err := writeJSONFrame(conn, exchange.FrameDone, done); err != nil {
+				return err
+			}
+			out = appendOwned(out[:0], g, lp, ownedVars)
+			if err := exchange.WriteFrame(conn, exchange.FrameUp, 0, out); err != nil {
+				return err
+			}
+		case exchange.FrameBye:
+			return nil
+		default:
+			return fail(fmt.Errorf("unexpected frame kind %d mid-session", f.Kind))
+		}
+	}
+}
+
+// runWorkerBlock executes one iteration block on a worker process,
+// converting the exchanger's fail-stop panics into session errors (the
+// worker must survive a dead peer and serve the next session).
+func runWorkerBlock(g *graph.Graph, lp *localPlan, ex *exchange.Messaged, id, iters int, fused bool) (done wireDone, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("iteration block: %v", r)
+		}
+	}()
+	tm := workerTimings{
+		phaseNanos: &done.PhaseNanos,
+		syncWait:   &done.SyncWaitNanos,
+		boundaryZ:  &done.BoundaryZNanos,
+	}
+	runShardIters(g, lp, ex, id, iters, fused, &tm)
+	st := ex.Stats()
+	done.BytesMoved = st.BytesMoved
+	done.WireBytes = st.WireBytes
+	done.Frames = st.Frames
+	return done, nil
+}

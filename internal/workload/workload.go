@@ -1,0 +1,107 @@
+// Package workload is the canonical registry of rebuildable problem
+// domains: it maps an admm.ProblemRef (workload name + raw spec JSON)
+// to a finalized factor graph, built through the same FromSpec
+// constructors the serving layer admits requests with. Shard-worker
+// processes (cmd/paradmm-shardworker) use it to reconstruct the
+// coordinator's graph deterministically — proximal operators cannot
+// cross a process boundary, so the spec travels instead, and the
+// operators are rebuilt from the same seeded draw on both sides.
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/lasso"
+	"repro/internal/mpc"
+	"repro/internal/packing"
+	"repro/internal/shard"
+	"repro/internal/svm"
+)
+
+// builders maps workload names to spec-driven graph constructors. The
+// graphs come back finalized with builder-default parameters; ADMM
+// state is left for the coordinator's state push to overwrite.
+var builders = map[string]shard.BuilderFunc{
+	"lasso": func(raw []byte) (*graph.Graph, error) {
+		var s lasso.Spec
+		if err := decodeSpec(raw, &s); err != nil {
+			return nil, err
+		}
+		p, err := lasso.FromSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		return p.Graph, nil
+	},
+	"svm": func(raw []byte) (*graph.Graph, error) {
+		var s svm.Spec
+		if err := decodeSpec(raw, &s); err != nil {
+			return nil, err
+		}
+		p, err := svm.FromSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		return p.Graph, nil
+	},
+	"mpc": func(raw []byte) (*graph.Graph, error) {
+		var s mpc.Spec
+		if err := decodeSpec(raw, &s); err != nil {
+			return nil, err
+		}
+		p, err := mpc.FromSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		return p.Graph, nil
+	},
+	"packing": func(raw []byte) (*graph.Graph, error) {
+		var s packing.Spec
+		if err := decodeSpec(raw, &s); err != nil {
+			return nil, err
+		}
+		p, err := packing.FromSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		return p.Graph, nil
+	},
+}
+
+// decodeSpec decodes strictly, like the serving layer: unknown fields
+// are errors, so a typo fails the handshake instead of silently
+// rebuilding a different instance.
+func decodeSpec(raw []byte, into any) error {
+	if len(raw) == 0 {
+		return fmt.Errorf("workload: missing spec")
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(into)
+}
+
+// Builders returns the registry for shard.ServeWorker.
+func Builders() map[string]shard.BuilderFunc { return builders }
+
+// Build constructs the factor graph one ProblemRef describes.
+func Build(name string, spec []byte) (*graph.Graph, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (want one of %v)", name, Names())
+	}
+	return b(spec)
+}
+
+// Names lists the registered workloads, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
