@@ -1,0 +1,52 @@
+// Gate on the committed bulk-throughput baseline: BENCH_bulk.json must
+// show batching actually amortizing — batch-100 specs/sec at least 3x
+// batch-1 on the two ladder workloads. This reads the committed file
+// (the artifact CI trends against), not a fresh measurement, so it
+// fails when someone regenerates the baseline on a configuration where
+// graph reuse and warm starts stopped paying for themselves.
+package repro_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestCommittedBulkBaselineBatchingWins(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_bulk.json")
+	if err != nil {
+		t.Fatalf("committed bulk baseline missing: %v", err)
+	}
+	var rep bench.ShardBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("BENCH_bulk.json: %v", err)
+	}
+	if rep.Schema != bench.ShardBenchSchema {
+		t.Fatalf("BENCH_bulk.json schema = %q, want %q", rep.Schema, bench.ShardBenchSchema)
+	}
+
+	cells := map[string]map[string]float64{}
+	for _, e := range rep.Entries {
+		if e.ItersPerSec <= 0 {
+			t.Fatalf("%s/%s: non-positive specs/sec %v", e.Workload, e.Executor, e.ItersPerSec)
+		}
+		if cells[e.Workload] == nil {
+			cells[e.Workload] = map[string]float64{}
+		}
+		cells[e.Workload][e.Executor] = e.ItersPerSec
+	}
+
+	for _, workload := range []string{"lasso", "svm"} {
+		single := cells[workload]["bulk-1"]
+		batched := cells[workload]["bulk-100"]
+		if single == 0 || batched == 0 {
+			t.Fatalf("%s: baseline missing bulk-1/bulk-100 cells: %v", workload, cells[workload])
+		}
+		if ratio := batched / single; ratio < 3 {
+			t.Errorf("%s: batch-100 is only %.2fx batch-1 (%.1f vs %.1f specs/sec), want >= 3x",
+				workload, ratio, batched, single)
+		}
+	}
+}

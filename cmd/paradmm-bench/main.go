@@ -10,6 +10,7 @@
 //	paradmm-bench -shard-json BENCH_shard.json   # machine-readable executor baseline
 //	paradmm-bench -fused-json BENCH_fused.json   # fused-vs-unfused schedule sweep
 //	paradmm-bench -partition-sweep BENCH_partition.json  # per-strategy partition quality
+//	paradmm-bench -bulk-json BENCH_bulk.json     # bulk pipeline specs/sec ladder
 //
 // Each experiment id matches the per-experiment index in DESIGN.md;
 // EXPERIMENTS.md records the paper-vs-reproduced comparison for each.
@@ -19,7 +20,9 @@
 // -fused-json writes the fused-vs-unfused pairing of every CPU executor
 // family in the same schema; -partition-sweep writes the 4-shard
 // executor under every partitioning strategy with per-cell cut cost
-// and load imbalance. All three baselines are gated by cmd/benchtrend.
+// and load imbalance; -bulk-json writes the bulk pipeline's specs/sec
+// at batch sizes 1/100/10k (graph reuse + warm starts vs per-request
+// cost). All four baselines are gated by cmd/benchtrend.
 package main
 
 import (
@@ -38,15 +41,16 @@ func main() {
 	shardJSON := flag.String("shard-json", "", "write the executor x workload throughput sweep to this file and exit")
 	fusedJSON := flag.String("fused-json", "", "write the fused-vs-unfused schedule sweep to this file and exit")
 	partitionSweep := flag.String("partition-sweep", "", "write the per-strategy partition-quality sweep (cut cost, imbalance, iters/sec) to this file and exit")
+	bulkJSON := flag.String("bulk-json", "", "write the bulk pipeline specs/sec ladder (batch 1/100/10k) to this file and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: paradmm-bench [-full] [-seed N] [-csv] [-shard-json FILE] [-fused-json FILE] [-partition-sweep FILE] <experiment-id>... | all | list\n\n")
+		fmt.Fprintf(os.Stderr, "usage: paradmm-bench [-full] [-seed N] [-csv] [-shard-json FILE] [-fused-json FILE] [-partition-sweep FILE] [-bulk-json FILE] <experiment-id>... | all | list\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	args := flag.Args()
-	if *shardJSON != "" || *fusedJSON != "" || *partitionSweep != "" {
+	if *shardJSON != "" || *fusedJSON != "" || *partitionSweep != "" || *bulkJSON != "" {
 		if len(args) > 0 {
-			fatal(fmt.Errorf("-shard-json/-fused-json/-partition-sweep run their own sweeps and take no experiment ids (got %q)", args))
+			fatal(fmt.Errorf("-shard-json/-fused-json/-partition-sweep/-bulk-json run their own sweeps and take no experiment ids (got %q)", args))
 		}
 		scale := bench.Scale{Full: *full, Seed: *seed}
 		if *shardJSON != "" {
@@ -69,6 +73,13 @@ func main() {
 				fatal(err)
 			}
 			writeReport(*partitionSweep, rep)
+		}
+		if *bulkJSON != "" {
+			rep, err := bench.RunBulkBench(scale)
+			if err != nil {
+				fatal(err)
+			}
+			writeReport(*bulkJSON, rep)
 		}
 		return
 	}

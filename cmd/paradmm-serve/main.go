@@ -21,6 +21,11 @@
 //	curl -s localhost:8080/v1/solve -d '{"workload":"mpc","spec":{"k":20},"wait":false}'
 //	curl -s localhost:8080/v1/jobs/job-1
 //
+// Stream a JSONL batch through the bulk pipeline (results stream back
+// in input order; same-shape specs warm-start off each other):
+//
+//	paradmm-bulk -gen 1000 | curl -sN localhost:8080/v1/bulk --data-binary @-
+//
 // Observe:
 //
 //	curl -s localhost:8080/healthz
@@ -48,6 +53,8 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth")
 	cachePerKey := flag.Int("cache-per-key", 2, "pooled graphs per shape key")
 	maxIter := flag.Int("max-iter-limit", 200000, "reject requests asking for more iterations")
+	bulkStreams := flag.Int("bulk-streams", 2, "max concurrent POST /v1/bulk streams")
+	bulkWorkers := flag.Int("bulk-workers", 0, "solve workers per bulk stream (0 = -workers)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: paradmm-serve [-addr :8080] [-workers N] [-queue N] [flags]\n\n")
 		flag.PrintDefaults()
@@ -59,6 +66,8 @@ func main() {
 		QueueDepth:   *queue,
 		CachePerKey:  *cachePerKey,
 		MaxIterLimit: *maxIter,
+		BulkStreams:  *bulkStreams,
+		BulkWorkers:  *bulkWorkers,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -283,6 +283,12 @@ type SolveOptions struct {
 	// OnIteration, if non-nil, observes residual checks; return false to
 	// stop early.
 	OnIteration func(iter int, primal, dual float64) bool
+	// Warm, if non-nil and captured, is applied to the graph before the
+	// solve: x/u/z restored from a previous same-shape solution, derived
+	// messages recomputed. The caller remains responsible for resetting
+	// state when Warm is nil (cold start) — Solve never implicitly
+	// zeroes a graph.
+	Warm *WarmState
 }
 
 // Solve is the reusable one-call entrypoint over Run: it builds the
@@ -290,6 +296,11 @@ type SolveOptions struct {
 // Callers that manage backend lifetimes themselves (reuse across solves,
 // simulated devices) keep using Run with an explicit Options.Backend.
 func Solve(g *graph.Graph, opts SolveOptions) (Result, error) {
+	if opts.Warm != nil && opts.Warm.Captured() {
+		if err := opts.Warm.Apply(g); err != nil {
+			return Result{}, err
+		}
+	}
 	backend, err := opts.Executor.NewBackend(g)
 	if err != nil {
 		return Result{}, err

@@ -1,0 +1,135 @@
+package admm_test
+
+import (
+	"testing"
+
+	"repro/internal/admm"
+	"repro/internal/lasso"
+)
+
+// TestWarmStateRoundTrip pins the seam's core contract: capture after a
+// solve, apply to a zeroed same-shape graph, and continuing the solve on
+// the copy produces bit-identical iterates to continuing the original —
+// x/u/z restored exactly, the derived n recomputed to the value the
+// n-update left (it runs last, over the final z and u), and M free to
+// differ because every schedule overwrites or ignores it before reading.
+func TestWarmStateRoundTrip(t *testing.T) {
+	build := func() *lasso.Problem {
+		p, err := lasso.FromSpec(lasso.Spec{M: 32, Lambda: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Graph.InitZero()
+		return p
+	}
+	src := build()
+	if _, err := admm.Solve(src.Graph, admm.SolveOptions{MaxIter: 200}); err != nil {
+		t.Fatal(err)
+	}
+
+	var ws admm.WarmState
+	ws.Capture(src.Graph)
+	if !ws.Captured() {
+		t.Fatal("Capture left state empty")
+	}
+
+	dst := build()
+	if err := ws.Apply(dst.Graph); err != nil {
+		t.Fatal(err)
+	}
+	for name, pair := range map[string][2][]float64{
+		"X": {src.Graph.X, dst.Graph.X},
+		"U": {src.Graph.U, dst.Graph.U},
+		"Z": {src.Graph.Z, dst.Graph.Z},
+		"N": {src.Graph.N, dst.Graph.N},
+	} {
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s[%d] = %g after Apply, want %g", name, i, pair[1][i], pair[0][i])
+			}
+		}
+	}
+
+	// Continuing both graphs must now walk the same trajectory exactly.
+	for _, g := range []*lasso.Problem{src, dst} {
+		if _, err := admm.Solve(g.Graph, admm.SolveOptions{MaxIter: 50}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range src.Graph.Z {
+		if src.Graph.Z[i] != dst.Graph.Z[i] {
+			t.Fatalf("trajectories diverged after warm apply: Z[%d] %g vs %g",
+				i, dst.Graph.Z[i], src.Graph.Z[i])
+		}
+	}
+}
+
+// TestWarmStartConvergesFaster pins the point of the seam: a solve
+// warm-started from a converged same-shape solution stops in strictly
+// fewer iterations than the cold solve that produced it.
+func TestWarmStartConvergesFaster(t *testing.T) {
+	build := func() *lasso.Problem {
+		p, err := lasso.FromSpec(lasso.Spec{M: 48, Lambda: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Graph.InitZero()
+		return p
+	}
+	opts := admm.SolveOptions{MaxIter: 5000, AbsTol: 1e-6, RelTol: 1e-6}
+
+	cold := build()
+	coldRes, err := admm.Solve(cold.Graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coldRes.Converged {
+		t.Fatalf("cold solve did not converge in %d iterations", coldRes.Iterations)
+	}
+	if coldRes.Iterations <= 10 {
+		t.Fatalf("cold solve converged in %d iterations — too easy to pin the warm-start win", coldRes.Iterations)
+	}
+
+	var ws admm.WarmState
+	ws.Capture(cold.Graph)
+
+	warm := build()
+	warmOpts := opts
+	warmOpts.Warm = &ws
+	warmRes, err := admm.Solve(warm.Graph, warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warmRes.Converged {
+		t.Fatalf("warm solve did not converge in %d iterations", warmRes.Iterations)
+	}
+	if warmRes.Iterations >= coldRes.Iterations {
+		t.Fatalf("warm solve took %d iterations, cold took %d — warm start bought nothing",
+			warmRes.Iterations, coldRes.Iterations)
+	}
+}
+
+// TestWarmStateShapeMismatch pins the guard: applying a snapshot to a
+// different shape must fail loudly, and applying an empty state must
+// fail too.
+func TestWarmStateShapeMismatch(t *testing.T) {
+	small, err := lasso.FromSpec(lasso.Spec{M: 16, Lambda: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := lasso.FromSpec(lasso.Spec{M: 32, Lambda: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws admm.WarmState
+	if err := ws.Apply(small.Graph); err == nil {
+		t.Fatal("Apply of an empty WarmState succeeded")
+	}
+	ws.Capture(small.Graph)
+	if err := ws.Apply(big.Graph); err == nil {
+		t.Fatal("Apply across mismatched shapes succeeded")
+	}
+	if err := ws.Apply(small.Graph); err != nil {
+		t.Fatalf("Apply to the captured shape failed: %v", err)
+	}
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/bulk"
+)
+
+// bulkBenchCase is one workload's bulk-throughput measurement: a fixed
+// small spec (the bulk sweep prices pipeline overhead and the
+// warm-start win, not kernel scale — the executor sweeps own that) and
+// the batch sizes to run it at.
+type bulkBenchCase struct {
+	workload string
+	spec     string
+	batches  []int
+}
+
+func bulkBenchCases(s Scale) []bulkBenchCase {
+	// svm and lasso get the full 1/100/10k ladder; mpc and packing stop
+	// at 100 (their cells exist to keep all four admission+solve paths
+	// priced, not to re-measure the ladder).
+	big := 10000
+	if s.Full {
+		big = 100000
+	}
+	return []bulkBenchCase{
+		{"lasso", `{"m":32,"lambda":0.3}`, []int{1, 100, big}},
+		{"svm", `{"n":24,"dim":2}`, []int{1, 100, big}},
+		{"mpc", `{"k":8}`, []int{1, 100}},
+		{"packing", `{"n":4,"seed":3}`, []int{1, 100}},
+	}
+}
+
+// bulkBenchLine is the request every bulk-bench record carries: the
+// generator's solve controls (tolerances tight enough that warm starts
+// show up as fewer iterations, budget high enough that cold solves
+// converge).
+func bulkBenchLine(workload, spec string) string {
+	return fmt.Sprintf(`{"workload":%q,"spec":%s,"max_iter":2000,"abs_tol":1e-4,"rel_tol":1e-4}`, workload, spec)
+}
+
+// singlesPerRep is how many fresh one-record pipelines a batch-1 rep
+// averages over: each pays the full cold cost (pipeline spin-up, graph
+// build, cold solve), which is exactly what the batch-1 cell prices.
+const singlesPerRep = 20
+
+// RunBulkBench measures the bulk pipeline's specs/sec ladder: batch-1
+// (a fresh single-record pipeline per spec — no warm starts, no graph
+// reuse; the per-request floor) against batch-100 and batch-10k (one
+// stream, where same-shape records share the built graph and
+// warm-start off each other). Entries reuse the ShardBenchReport
+// schema with Executor "bulk-<batch>" and ItersPerSec meaning
+// specs/sec, so cmd/benchtrend gates the ladder unchanged.
+func RunBulkBench(s Scale) (*ShardBenchReport, error) {
+	scale := "quick"
+	if s.Full {
+		scale = "full"
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rep := &ShardBenchReport{
+		Schema:     ShardBenchSchema,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Scale:      scale,
+		Seed:       seed,
+	}
+	ctx := context.Background()
+	for _, c := range bulkBenchCases(s) {
+		line := bulkBenchLine(c.workload, c.spec)
+		for _, batch := range c.batches {
+			reps := 3
+			if batch >= 1000 {
+				reps = 1
+			}
+			var best time.Duration
+			for r := 0; r < reps; r++ {
+				var elapsed time.Duration
+				if batch == 1 {
+					// Fresh pipeline per record: every spec is a cold,
+					// cache-less solve.
+					in := line + "\n"
+					start := time.Now()
+					for i := 0; i < singlesPerRep; i++ {
+						if _, err := bulk.Run(ctx, strings.NewReader(in), io.Discard, bulk.Options{}); err != nil {
+							return nil, fmt.Errorf("bench: bulk %s batch 1: %w", c.workload, err)
+						}
+					}
+					elapsed = time.Since(start) / singlesPerRep
+				} else {
+					in := strings.Repeat(line+"\n", batch)
+					start := time.Now()
+					stats, err := bulk.Run(ctx, strings.NewReader(in), io.Discard, bulk.Options{})
+					if err != nil {
+						return nil, fmt.Errorf("bench: bulk %s batch %d: %w", c.workload, batch, err)
+					}
+					elapsed = time.Since(start)
+					if stats.Errors > 0 || stats.Solved != uint64(batch) {
+						return nil, fmt.Errorf("bench: bulk %s batch %d: stats %+v", c.workload, batch, stats)
+					}
+				}
+				if r == 0 || elapsed < best {
+					best = elapsed
+				}
+			}
+			perSpec := best
+			if batch > 1 {
+				perSpec = best / time.Duration(batch)
+			}
+			rep.Entries = append(rep.Entries, ShardBenchEntry{
+				Workload:    c.workload,
+				Executor:    fmt.Sprintf("bulk-%d", batch),
+				Iters:       batch,
+				ElapsedNS:   best.Nanoseconds(),
+				ItersPerSec: float64(time.Second) / float64(perSpec),
+				PhaseNanos:  map[string]int64{},
+			})
+		}
+	}
+	return rep, nil
+}
+
+// BulkTables renders the bulk ladder, one table per workload.
+func (r *ShardBenchReport) BulkTables() []*Table {
+	byWorkload := map[string]*Table{}
+	order := []*Table{}
+	for _, e := range r.Entries {
+		t, ok := byWorkload[e.Workload]
+		if !ok {
+			t = NewTable(fmt.Sprintf("bulk throughput — %s", e.Workload),
+				"batch", "specs/s")
+			byWorkload[e.Workload] = t
+			order = append(order, t)
+		}
+		t.AddRow(e.Executor, fmt.Sprintf("%.1f", e.ItersPerSec))
+	}
+	return order
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ext-bulk",
+		Paper: "extension: streaming bulk solves — batching + warm starts vs per-request cost",
+		Desc:  "Bulk pipeline specs/sec at batch 1 / 100 / 10k: graph reuse and warm starts amortized across a stream.",
+		Run: func(s Scale) ([]*Table, error) {
+			rep, err := RunBulkBench(s)
+			if err != nil {
+				return nil, err
+			}
+			return rep.BulkTables(), nil
+		},
+	})
+}

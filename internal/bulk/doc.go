@@ -1,0 +1,35 @@
+// Package bulk implements the streaming bulk solve pipeline: a stream
+// of JSONL problem specs in, a stream of JSONL results out, with
+// everything the per-request path pays per spec — parse, factor-graph
+// construction, cold ADMM iterations, encode scratch — amortized across
+// the stream.
+//
+// The pipeline is staged, each stage a bounded worker pool connected by
+// bounded channels (backpressure propagates from the writer back to the
+// reader; a slow consumer slows admission instead of ballooning memory):
+//
+//	read    one goroutine splits the input into length-capped lines
+//	decode  strict JSONL envelope decode + workload admission
+//	        (internal/workload.Parse: spec validation and size caps)
+//	group   a resequencer/dispatcher routes records to solve workers
+//	        by shape key, so same-shape specs land on the same worker
+//	        in input order
+//	solve   shape-affine workers hold one graph.Cache entry per shape
+//	        and a warm-start snapshot (admm.WarmState): the first record
+//	        of a shape solves cold, later records warm-start from the
+//	        previous solution of that shape
+//	encode  workers render result records with pooled scratch buffers
+//	write   one goroutine restores input order and streams results out
+//
+// Per-record failures — malformed or over-long lines, unknown
+// workloads, spec violations, solve errors, even a sharded transport
+// panic — are isolated into error records on the output stream; the
+// pipeline keeps going. Output order always matches input order, and
+// records carry no wall-clock fields, so two runs over the same stream
+// (or the CLI and the serving endpoint fed the same body) produce
+// byte-identical output.
+//
+// The pipeline is exposed two ways: cmd/paradmm-bulk (stdin → stdout)
+// and POST /v1/bulk in internal/serve (chunked JSONL response). See
+// docs/bulk.md for the record schema and warm-start semantics.
+package bulk

@@ -1,0 +1,67 @@
+package bulk
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// FuzzBulkLineDecode drives the bulk stream's per-line admission path —
+// strict envelope decode, per-record control validation, workload spec
+// admission — with arbitrary bytes: no input may panic, any accepted
+// line must re-encode to an envelope that decodes back to the same
+// request, and any admitted spec must carry a usable shape key.
+//
+// Run as a regression suite by plain `go test` over the seed corpus;
+// run `go test -fuzz=FuzzBulkLineDecode ./internal/bulk` to explore.
+func FuzzBulkLineDecode(f *testing.F) {
+	for _, seed := range []string{
+		`{"workload":"lasso","spec":{"m":64,"lambda":0.3}}`,
+		`{"id":"r1","workload":"svm","spec":{"n":24,"dim":2},"max_iter":500,"abs_tol":1e-4,"rel_tol":1e-4}`,
+		`{"workload":"mpc","spec":{"k":8},"executor":{"kind":"parallel-for","workers":2}}`,
+		`{"workload":"packing","spec":{"n":4,"seed":3},"executor":{"kind":"sharded","shards":2,"transport":"sockets"}}`,
+		`{"workload":"lasso","spec":{"m":32},"max_iter":-5}`,
+		`{"workload":"lasso","spec":{"m":32},"abs_tol":-1}`,
+		`{"workload":"lasso","spec":{"m":32},"bogus":true}`,
+		`{"workload":"qp","spec":{"n":4}}`,
+		`{"workload":"lasso","spec":{"m":32}} trailing`,
+		`{broken`,
+		``,
+		`null`,
+		`[1,2]`,
+		`"just a string"`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		req, err := DecodeLine(line)
+		if err != nil {
+			return
+		}
+		// Round-trip: an accepted envelope re-encodes losslessly.
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-encode: %v", err)
+		}
+		again, err := DecodeLine(enc)
+		if err != nil {
+			t.Fatalf("re-encoded request %s does not decode: %v", enc, err)
+		}
+		if again.ID != req.ID || again.Workload != req.Workload ||
+			again.MaxIter != req.MaxIter || again.AbsTol != req.AbsTol || again.RelTol != req.RelTol {
+			t.Fatalf("round trip changed the request: %+v vs %+v", again, req)
+		}
+		// Control validation and spec admission must classify, not panic.
+		if err := req.validate(200000); err != nil {
+			return
+		}
+		adm, err := workload.Parse(req.Workload, req.Spec)
+		if err != nil {
+			return
+		}
+		if adm.Key == "" || adm.Build == nil {
+			t.Fatalf("admitted line %q with key %q, nil build %t", line, adm.Key, adm.Build == nil)
+		}
+	})
+}

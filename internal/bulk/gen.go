@@ -1,0 +1,55 @@
+package bulk
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// genShapes is the mixed-workload shape set the generator cycles
+// through: small instances of all four problem families so a generated
+// stream exercises every admission parser, convex and nonconvex
+// solves, and several distinct warm-start chains.
+var genShapes = []struct {
+	workload string
+	spec     string
+}{
+	{"lasso", `{"m":32,"lambda":0.3}`},
+	{"svm", `{"n":24,"dim":2}`},
+	{"lasso", `{"m":48,"lambda":0.3}`},
+	{"mpc", `{"k":8}`},
+	{"svm", `{"n":40,"dim":2}`},
+	{"packing", `{"n":4,"seed":3}`},
+}
+
+// Generate writes a deterministic n-record JSONL request stream: the
+// shape mix above in seeded-shuffled order, with a sprinkling of
+// malformed lines (roughly 1 in 250) to exercise per-record error
+// isolation. The same (n, seed) always produces the same bytes, so a
+// generated stream can be replayed against the CLI and the serving
+// endpoint and the outputs diffed.
+func Generate(w io.Writer, n int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		if rng.Intn(250) == 0 {
+			// Malformed on purpose: truncated JSON, unknown workload,
+			// or an oversize spec — each a different admission failure.
+			bad := [...]string{
+				`{"workload":"lasso","spec":{"m":32`,
+				`{"workload":"qp","spec":{"n":4}}`,
+				`{"workload":"svm","spec":{"n":999999}}`,
+			}[rng.Intn(3)]
+			if _, err := fmt.Fprintln(w, bad); err != nil {
+				return err
+			}
+			continue
+		}
+		s := genShapes[rng.Intn(len(genShapes))]
+		line := fmt.Sprintf(`{"id":"r%06d","workload":"%s","spec":%s,"max_iter":2000,"abs_tol":1e-4,"rel_tol":1e-4}`,
+			i, s.workload, s.spec)
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

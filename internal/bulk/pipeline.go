@@ -1,0 +1,604 @@
+package bulk
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/admm"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// Options configures one bulk pipeline run. The zero value is usable:
+// GOMAXPROCS solve workers, serial executor, 1000-iteration budget.
+type Options struct {
+	// Workers is the solve-stage worker count (default GOMAXPROCS).
+	// Records are routed to workers by shape key, so same-shape records
+	// always solve sequentially in input order on one worker — that is
+	// what makes warm-start chains deterministic.
+	Workers int
+	// DecodeWorkers/EncodeWorkers size the decode and encode pools
+	// (default min(Workers, 4)).
+	DecodeWorkers int
+	EncodeWorkers int
+	// Executor is the stream-level executor spec; a record's own
+	// executor field replaces it wholesale for that record.
+	Executor admm.ExecutorSpec
+	// MaxIter is the default iteration budget for records that do not
+	// set max_iter (default 1000). MaxIterLimit caps per-record
+	// overrides (default 200000).
+	MaxIter      int
+	MaxIterLimit int
+	// AbsTol/RelTol are the default stopping tolerances; a record's own
+	// non-zero values override them.
+	AbsTol, RelTol float64
+	// Cache, when non-nil, is a shared graph cache (e.g. the serving
+	// layer's); nil uses a private per-run cache. Built graphs are
+	// returned to it when the run ends.
+	Cache *graph.Cache
+	// MaxLineBytes bounds one input line (default 1 MiB). Longer lines
+	// become error records without buffering the excess.
+	MaxLineBytes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.DecodeWorkers <= 0 {
+		o.DecodeWorkers = min(o.Workers, 4)
+	}
+	if o.EncodeWorkers <= 0 {
+		o.EncodeWorkers = min(o.Workers, 4)
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1000
+	}
+	if o.MaxIterLimit <= 0 {
+		o.MaxIterLimit = 200000
+	}
+	if o.Cache == nil {
+		o.Cache = graph.NewCache(1)
+	}
+	if o.MaxLineBytes <= 0 {
+		o.MaxLineBytes = 1 << 20
+	}
+	return o
+}
+
+// Stats summarizes one pipeline run. Results/Errors count records
+// actually written to the output; the solve counters count work
+// performed, so on cancellation they can exceed the written records.
+type Stats struct {
+	// Lines is the number of non-blank input lines admitted.
+	Lines uint64 `json:"lines"`
+	// Results is the number of output records written; Errors of those
+	// carried an error field.
+	Results uint64 `json:"results"`
+	Errors  uint64 `json:"errors"`
+	// Solved counts successful solves; WarmStarts of those started from
+	// a previous same-shape solution; Iterations is their total ADMM
+	// iteration count.
+	Solved     uint64 `json:"solved"`
+	WarmStarts uint64 `json:"warm_starts"`
+	Iterations uint64 `json:"iterations"`
+	// CacheHits counts shapes bound from the graph cache instead of
+	// built; Shapes is the number of distinct shape keys seen.
+	CacheHits uint64 `json:"cache_hits"`
+	Shapes    int    `json:"shapes"`
+}
+
+// rawLine is one length-capped input line with its record index.
+type rawLine struct {
+	seq    int
+	data   []byte
+	errMsg string // set for over-long lines; data is empty then
+}
+
+// task is a decoded record on its way to a solve worker (or, when
+// errMsg is set, straight to the output as an error record).
+type task struct {
+	seq    int
+	req    Request
+	adm    workload.Admission
+	errMsg string
+}
+
+// encoded is one rendered output record awaiting its turn at the
+// writer. The scratch buffer returns to the pool after the write.
+type encoded struct {
+	seq   int
+	isErr bool
+	s     *encodeScratch
+}
+
+type encodeScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// shapeState is the per-shape solve state a worker carries across the
+// stream: the built problem (one graph.Cache entry) and the warm-start
+// snapshot of its last solution. Shape-affine routing guarantees a
+// single worker touches it.
+type shapeState struct {
+	prob workload.Problem
+	warm admm.WarmState
+}
+
+type pipeline struct {
+	ctx  context.Context
+	opts Options
+
+	mu     sync.Mutex
+	shapes map[string]*shapeState
+
+	scratch sync.Pool
+
+	lines      atomic.Uint64
+	results    atomic.Uint64
+	errs       atomic.Uint64
+	solved     atomic.Uint64
+	warmStarts atomic.Uint64
+	iterations atomic.Uint64
+	cacheHits  atomic.Uint64
+}
+
+// send delivers v unless the context is done first.
+func send[T any](ctx context.Context, ch chan<- T, v T) bool {
+	select {
+	case ch <- v:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Run streams JSONL requests from r through the staged pipeline and
+// writes JSONL results to w in input order. Per-record failures become
+// error records on the stream; Run itself only fails on input read
+// errors, output write errors, or context cancellation. On
+// cancellation all stages drain and every goroutine exits before Run
+// returns.
+func Run(ctx context.Context, r io.Reader, w io.Writer, opts Options) (Stats, error) {
+	p := &pipeline{ctx: ctx, opts: opts.withDefaults(), shapes: map[string]*shapeState{}}
+	p.scratch.New = func() any {
+		s := &encodeScratch{}
+		s.enc = json.NewEncoder(&s.buf)
+		return s
+	}
+
+	linesCh := make(chan rawLine, 16)
+	decodedCh := make(chan *task, 16)
+	solveChs := make([]chan *task, p.opts.Workers)
+	for i := range solveChs {
+		solveChs[i] = make(chan *task, 4)
+	}
+	resultsCh := make(chan Result, 16)
+	encodedCh := make(chan encoded, 16)
+
+	// The reader may still be blocked in r.Read when a canceled run
+	// returns, so its error travels over a channel instead of a shared
+	// variable; Run collects it without blocking.
+	readErrCh := make(chan error, 1)
+	go func() {
+		readErrCh <- p.read(r, linesCh)
+		close(linesCh)
+	}()
+
+	var decWG sync.WaitGroup
+	for i := 0; i < p.opts.DecodeWorkers; i++ {
+		decWG.Add(1)
+		go func() {
+			defer decWG.Done()
+			p.decode(linesCh, decodedCh)
+		}()
+	}
+	go func() {
+		decWG.Wait()
+		close(decodedCh)
+	}()
+
+	// resultsCh is fed by the dispatcher (error records) and every
+	// solve worker; it closes when all of them are done.
+	var resWG sync.WaitGroup
+	resWG.Add(1 + p.opts.Workers)
+	go func() {
+		defer resWG.Done()
+		p.dispatch(decodedCh, solveChs, resultsCh)
+		for _, ch := range solveChs {
+			close(ch)
+		}
+	}()
+	for i := 0; i < p.opts.Workers; i++ {
+		go func(ch <-chan *task) {
+			defer resWG.Done()
+			p.solve(ch, resultsCh)
+		}(solveChs[i])
+	}
+	go func() {
+		resWG.Wait()
+		close(resultsCh)
+	}()
+
+	var encWG sync.WaitGroup
+	for i := 0; i < p.opts.EncodeWorkers; i++ {
+		encWG.Add(1)
+		go func() {
+			defer encWG.Done()
+			p.encode(resultsCh, encodedCh)
+		}()
+	}
+	go func() {
+		encWG.Wait()
+		close(encodedCh)
+	}()
+
+	writeErr := p.write(w, encodedCh)
+
+	// All stages have unwound; return built graphs to the cache for the
+	// next stream (or the serving layer's other handlers).
+	for key, st := range p.shapes {
+		if st.prob != nil {
+			p.opts.Cache.Put(key, st.prob)
+		}
+	}
+
+	stats := Stats{
+		Lines:      p.lines.Load(),
+		Results:    p.results.Load(),
+		Errors:     p.errs.Load(),
+		Solved:     p.solved.Load(),
+		WarmStarts: p.warmStarts.Load(),
+		Iterations: p.iterations.Load(),
+		CacheHits:  p.cacheHits.Load(),
+		Shapes:     len(p.shapes),
+	}
+	var readErr error
+	select {
+	case readErr = <-readErrCh:
+	default:
+	}
+	switch {
+	case writeErr != nil:
+		return stats, fmt.Errorf("bulk: write output: %w", writeErr)
+	case readErr != nil:
+		return stats, fmt.Errorf("bulk: read input: %w", readErr)
+	default:
+		return stats, ctx.Err()
+	}
+}
+
+// read splits the input into length-capped lines, assigning each
+// non-blank line its record index. Over-long lines are consumed (not
+// buffered) and forwarded as error records.
+func (p *pipeline) read(r io.Reader, out chan<- rawLine) error {
+	br := bufio.NewReaderSize(r, 64<<10)
+	seq := 0
+	for {
+		if p.ctx.Err() != nil {
+			return nil
+		}
+		line, tooLong, err := readLine(br, p.opts.MaxLineBytes)
+		switch {
+		case tooLong:
+			p.lines.Add(1)
+			if !send(p.ctx, out, rawLine{seq: seq, errMsg: fmt.Sprintf("line exceeds %d bytes", p.opts.MaxLineBytes)}) {
+				return nil
+			}
+			seq++
+		case len(bytes.TrimSpace(line)) > 0:
+			p.lines.Add(1)
+			if !send(p.ctx, out, rawLine{seq: seq, data: line}) {
+				return nil
+			}
+			seq++
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// readLine reads up to and including the next newline, accumulating at
+// most max bytes. Past the cap it keeps consuming (so the stream stays
+// framed) but stops buffering and reports tooLong.
+func readLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
+	var buf []byte
+	for {
+		frag, e := br.ReadSlice('\n')
+		if !tooLong {
+			if len(buf)+len(frag) > max {
+				tooLong = true
+				buf = nil
+			} else {
+				buf = append(buf, frag...)
+			}
+		}
+		if e == bufio.ErrBufferFull {
+			continue
+		}
+		return buf, tooLong, e
+	}
+}
+
+// decode turns raw lines into validated tasks: strict envelope decode,
+// workload admission (spec validation + shape key), per-record control
+// validation. Failures ride along as error tasks.
+func (p *pipeline) decode(in <-chan rawLine, out chan<- *task) {
+	for {
+		var l rawLine
+		var ok bool
+		select {
+		case l, ok = <-in:
+			if !ok {
+				return
+			}
+		case <-p.ctx.Done():
+			return
+		}
+		t := &task{seq: l.seq, errMsg: l.errMsg}
+		if t.errMsg == "" {
+			req, err := DecodeLine(l.data)
+			if err != nil {
+				t.errMsg = err.Error()
+			} else {
+				t.req = req
+				adm, err := workload.Parse(req.Workload, req.Spec)
+				t.adm = adm
+				if err != nil {
+					t.errMsg = err.Error()
+				} else if err := req.validate(p.opts.MaxIterLimit); err != nil {
+					t.errMsg = err.Error()
+				}
+			}
+		}
+		if !send(p.ctx, out, t) {
+			return
+		}
+	}
+}
+
+// shapeWorker routes a shape key to a solve worker (FNV-1a). All
+// records of one shape land on one worker, in input order.
+func shapeWorker(key string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// dispatch restores input order on the decoded stream (decode workers
+// race), then routes each task: error tasks straight to the results
+// stage, solvable tasks to their shape's worker. In-order dispatch is
+// what makes warm-start chains follow input order.
+func (p *pipeline) dispatch(in <-chan *task, solveChs []chan *task, results chan<- Result) {
+	pending := map[int]*task{}
+	next := 0
+	handle := func(t *task) bool {
+		if t.errMsg != "" {
+			return send(p.ctx, results, Result{Seq: t.seq, ID: t.req.ID, Workload: t.adm.Workload, Error: t.errMsg})
+		}
+		return send(p.ctx, solveChs[shapeWorker(t.adm.Key, len(solveChs))], t)
+	}
+	for {
+		select {
+		case t, ok := <-in:
+			if !ok {
+				return
+			}
+			pending[t.seq] = t
+			for {
+				t2, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				if !handle(t2) {
+					return
+				}
+				next++
+			}
+		case <-p.ctx.Done():
+			return
+		}
+	}
+}
+
+// shape returns the state entry for a key, creating it on first sight.
+// The map is shared (hence the lock) but each entry is only ever
+// touched by its shape's worker.
+func (p *pipeline) shape(key string) *shapeState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.shapes[key]
+	if !ok {
+		st = &shapeState{}
+		p.shapes[key] = st
+	}
+	return st
+}
+
+// solve runs one worker's share of the stream: bind the shape's
+// problem (cache hit or build), warm-start from the shape's previous
+// solution when one exists, solve, capture the new solution.
+func (p *pipeline) solve(in <-chan *task, results chan<- Result) {
+	for {
+		var t *task
+		var ok bool
+		select {
+		case t, ok = <-in:
+			if !ok {
+				return
+			}
+		case <-p.ctx.Done():
+			return
+		}
+		if !send(p.ctx, results, p.solveOne(t)) {
+			return
+		}
+	}
+}
+
+func (p *pipeline) solveOne(t *task) (res Result) {
+	res = Result{Seq: t.seq, ID: t.req.ID, Workload: t.adm.Workload, Shape: t.adm.Key}
+	defer func() {
+		// The sockets transport is fail-stop by panic; a record using it
+		// must not take the stream down.
+		if r := recover(); r != nil {
+			res = Result{Seq: t.seq, ID: t.req.ID, Workload: t.adm.Workload, Shape: t.adm.Key,
+				Error: fmt.Sprintf("solve panic: %v", r)}
+		}
+	}()
+
+	st := p.shape(t.adm.Key)
+	if st.prob == nil {
+		if pooled, hit := p.opts.Cache.Get(t.adm.Key); hit {
+			if prob, isProb := pooled.(workload.Problem); isProb {
+				st.prob = prob
+				p.cacheHits.Add(1)
+			} else {
+				p.opts.Cache.Put(t.adm.Key, pooled)
+			}
+		}
+		if st.prob == nil {
+			prob, err := t.adm.Build()
+			if err != nil {
+				res.Error = err.Error()
+				return res
+			}
+			st.prob = prob
+		}
+	}
+
+	spec := p.opts.Executor
+	if t.req.Executor != nil {
+		spec = *t.req.Executor
+	}
+	if spec.Kind == admm.ExecSharded && spec.Transport == admm.TransportSockets {
+		spec.Problem = &admm.ProblemRef{Workload: t.adm.Workload, Spec: append([]byte(nil), t.req.Spec...)}
+	}
+	sopts := admm.SolveOptions{
+		Executor: spec,
+		MaxIter:  p.opts.MaxIter,
+		AbsTol:   p.opts.AbsTol,
+		RelTol:   p.opts.RelTol,
+		OnIteration: func(int, float64, float64) bool {
+			return p.ctx.Err() == nil
+		},
+	}
+	if t.req.MaxIter > 0 {
+		sopts.MaxIter = t.req.MaxIter
+	}
+	if t.req.AbsTol > 0 {
+		sopts.AbsTol = t.req.AbsTol
+	}
+	if t.req.RelTol > 0 {
+		sopts.RelTol = t.req.RelTol
+	}
+
+	warm := st.warm.Captured()
+	if warm {
+		sopts.Warm = &st.warm
+	} else {
+		st.prob.Reset()
+	}
+
+	g := st.prob.FactorGraph()
+	r, err := admm.Solve(g, sopts)
+	if err != nil {
+		// The graph's state is suspect after a failed solve; drop the
+		// warm snapshot so the next record of this shape starts cold.
+		st.warm = admm.WarmState{}
+		res.Error = err.Error()
+		return res
+	}
+	st.warm.Capture(g)
+
+	res.Warm = warm
+	res.Iterations = r.Iterations
+	res.Converged = r.Converged
+	res.Metrics = cleanMetrics(st.prob.Metrics())
+	p.solved.Add(1)
+	if warm {
+		p.warmStarts.Add(1)
+	}
+	p.iterations.Add(uint64(r.Iterations))
+	return res
+}
+
+// encode renders result records into pooled scratch buffers.
+func (p *pipeline) encode(in <-chan Result, out chan<- encoded) {
+	for {
+		var res Result
+		var ok bool
+		select {
+		case res, ok = <-in:
+			if !ok {
+				return
+			}
+		case <-p.ctx.Done():
+			return
+		}
+		s := p.scratch.Get().(*encodeScratch)
+		s.buf.Reset()
+		if err := s.enc.Encode(res); err != nil {
+			// Results are plain structs over finite floats; this is
+			// unreachable short of memory corruption, but keep the
+			// record rather than dropping a seq.
+			s.buf.Reset()
+			fmt.Fprintf(&s.buf, `{"seq":%d,"error":"encode: %s"}`+"\n", res.Seq, err)
+		}
+		if !send(p.ctx, out, encoded{seq: res.Seq, isErr: res.Error != "", s: s}) {
+			p.scratch.Put(s)
+			return
+		}
+	}
+}
+
+// write restores input order and streams records out. On a write
+// error (client gone) it keeps draining so upstream stages unwind, but
+// writes nothing further.
+func (p *pipeline) write(w io.Writer, in <-chan encoded) error {
+	pending := map[int]encoded{}
+	next := 0
+	var writeErr error
+	for e := range in {
+		pending[e.seq] = e
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if writeErr == nil {
+				if _, err := w.Write(cur.s.buf.Bytes()); err != nil {
+					writeErr = err
+				} else {
+					p.results.Add(1)
+					if cur.isErr {
+						p.errs.Add(1)
+					}
+				}
+			}
+			p.scratch.Put(cur.s)
+			next++
+		}
+	}
+	// On cancellation seq gaps can strand later records; release them.
+	for _, e := range pending {
+		p.scratch.Put(e.s)
+	}
+	return writeErr
+}

@@ -1,0 +1,280 @@
+package bulk
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func decodeResults(t *testing.T, out []byte) []Result {
+	t.Helper()
+	var results []Result
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		var res Result
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("bad output line %q: %v", sc.Text(), err)
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// TestPipelineWarmChains pins the tentpole semantics on a small mixed
+// stream: output order matches input order, the first record of each
+// shape is cold, every later same-shape record is warm and converges
+// in fewer iterations, and a malformed line in the middle becomes an
+// error record without disturbing its neighbors.
+func TestPipelineWarmChains(t *testing.T) {
+	var in strings.Builder
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&in, `{"id":"a%d","workload":"lasso","spec":{"m":32,"lambda":0.3},"max_iter":5000,"abs_tol":1e-6,"rel_tol":1e-6}`+"\n", i)
+		fmt.Fprintf(&in, `{"id":"b%d","workload":"svm","spec":{"n":24,"dim":2},"max_iter":5000,"abs_tol":1e-6,"rel_tol":1e-6}`+"\n", i)
+	}
+	in.WriteString("{broken\n")
+	in.WriteString(`{"id":"a4","workload":"lasso","spec":{"m":32,"lambda":0.3},"max_iter":5000,"abs_tol":1e-6,"rel_tol":1e-6}` + "\n")
+
+	var out bytes.Buffer
+	stats, err := Run(context.Background(), strings.NewReader(in.String()), &out, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := decodeResults(t, out.Bytes())
+	if len(results) != 10 {
+		t.Fatalf("got %d results, want 10", len(results))
+	}
+
+	coldIters := map[string]int{}
+	for i, res := range results {
+		if res.Seq != i {
+			t.Fatalf("result %d has seq %d — output order broken", i, res.Seq)
+		}
+		if i == 8 {
+			if res.Error == "" {
+				t.Fatalf("malformed line produced a non-error record: %+v", res)
+			}
+			continue
+		}
+		if res.Error != "" {
+			t.Fatalf("record %d failed: %s", i, res.Error)
+		}
+		if !res.Converged {
+			t.Fatalf("record %d did not converge in %d iterations", i, res.Iterations)
+		}
+		prev, seen := coldIters[res.Shape]
+		if !seen {
+			if res.Warm {
+				t.Fatalf("first record of shape %q marked warm", res.Shape)
+			}
+			coldIters[res.Shape] = res.Iterations
+			continue
+		}
+		if !res.Warm {
+			t.Fatalf("repeat record %d of shape %q not warm-started", i, res.Shape)
+		}
+		if res.Iterations >= prev {
+			t.Fatalf("warm record %d took %d iterations, cold took %d", i, res.Iterations, prev)
+		}
+	}
+
+	if stats.Lines != 10 || stats.Results != 10 || stats.Errors != 1 {
+		t.Fatalf("stats = %+v, want 10 lines, 10 results, 1 error", stats)
+	}
+	if stats.Solved != 9 || stats.WarmStarts != 7 || stats.Shapes != 2 {
+		t.Fatalf("stats = %+v, want 9 solved, 7 warm, 2 shapes", stats)
+	}
+}
+
+// TestPipelineDeterministicAcrossWorkers pins the byte-determinism
+// contract: the same stream through 1, 3, and more-workers-than-shapes
+// pipelines yields identical output bytes (this is what lets CI diff
+// the CLI against the serving endpoint).
+func TestPipelineDeterministicAcrossWorkers(t *testing.T) {
+	var in bytes.Buffer
+	if err := Generate(&in, 120, 7); err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for _, workers := range []int{1, 3, 16} {
+		var out bytes.Buffer
+		if _, err := Run(context.Background(), bytes.NewReader(in.Bytes()), &out,
+			Options{Workers: workers, DecodeWorkers: 3, EncodeWorkers: 3}); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = out.Bytes()
+			continue
+		}
+		if !bytes.Equal(want, out.Bytes()) {
+			t.Fatalf("output with %d workers differs from 1-worker output", workers)
+		}
+	}
+}
+
+// TestPipelineSharedCacheConcurrent runs two pipelines concurrently
+// over one shared graph cache — the serving layer's deployment shape —
+// under more workers than shapes. The race detector owns the
+// correctness half; the assertions pin that both streams complete with
+// every record accounted for.
+func TestPipelineSharedCacheConcurrent(t *testing.T) {
+	cache := graph.NewCache(2)
+	var in bytes.Buffer
+	if err := Generate(&in, 80, 11); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			var out bytes.Buffer
+			stats, err := Run(context.Background(), bytes.NewReader(in.Bytes()), &out,
+				Options{Workers: 12, Cache: cache})
+			if err == nil && stats.Results != stats.Lines {
+				err = fmt.Errorf("wrote %d results for %d lines", stats.Results, stats.Lines)
+			}
+			errCh <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cache.Stats(); st.Size == 0 {
+		t.Fatal("no graphs returned to the shared cache after the runs")
+	}
+}
+
+// slowWriter blocks each write until released, then fails — forcing
+// records to pile up against backpressure while cancellation lands.
+type slowWriter struct {
+	firstWrite chan struct{}
+	release    chan struct{}
+	wrote      bool
+}
+
+func (w *slowWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.wrote = true
+		close(w.firstWrite)
+	}
+	<-w.release
+	return len(b), nil
+}
+
+// TestPipelineCancellation cancels mid-stream against a stalled writer
+// and requires Run to drain and return promptly with the context error,
+// leaking no goroutines.
+func TestPipelineCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	var in bytes.Buffer
+	if err := Generate(&in, 5000, 3); err != nil {
+		t.Fatal(err)
+	}
+	// An unbounded reader after the generated prefix: cancellation must
+	// win even though input never runs out.
+	input := io.MultiReader(bytes.NewReader(in.Bytes()), neverEnding{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &slowWriter{firstWrite: make(chan struct{}), release: make(chan struct{})}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, input, w, Options{Workers: 8})
+		done <- err
+	}()
+
+	<-w.firstWrite
+	cancel()
+	close(w.release)
+
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+
+	// Give exiting goroutines a beat, then require the count back near
+	// the baseline (other tests' leftovers make exact equality brittle).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// neverEnding yields blank lines forever.
+type neverEnding struct{}
+
+func (neverEnding) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = '\n'
+	}
+	return len(p), nil
+}
+
+// TestPipelineLineCap pins over-long line handling: the line becomes an
+// error record (without buffering the payload) and framing recovers on
+// the next line.
+func TestPipelineLineCap(t *testing.T) {
+	long := `{"workload":"lasso","spec":{"m":32,"pad":"` + strings.Repeat("x", 4096) + `"}}`
+	in := long + "\n" + `{"workload":"lasso","spec":{"m":16,"lambda":0.3},"max_iter":50}` + "\n"
+	var out bytes.Buffer
+	_, err := Run(context.Background(), strings.NewReader(in), &out, Options{Workers: 1, MaxLineBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := decodeResults(t, out.Bytes())
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if !strings.Contains(results[0].Error, "exceeds") {
+		t.Fatalf("over-long line produced %+v, want a line-cap error", results[0])
+	}
+	if results[1].Error != "" || results[1].Iterations != 50 {
+		t.Fatalf("record after the over-long line broken: %+v", results[1])
+	}
+}
+
+// TestPipelinePerRecordExecutor pins that a record-level executor
+// override is honored and an invalid one fails only that record.
+func TestPipelinePerRecordExecutor(t *testing.T) {
+	in := `{"workload":"lasso","spec":{"m":32,"lambda":0.3},"max_iter":60,"executor":{"kind":"parallel-for","workers":2}}
+{"workload":"lasso","spec":{"m":32,"lambda":0.3},"max_iter":60,"executor":{"kind":"warp-drive"}}
+{"workload":"lasso","spec":{"m":32,"lambda":0.3},"max_iter":60}
+`
+	var out bytes.Buffer
+	if _, err := Run(context.Background(), strings.NewReader(in), &out, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	results := decodeResults(t, out.Bytes())
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	if results[0].Error != "" || results[0].Iterations != 60 {
+		t.Fatalf("parallel-for record broken: %+v", results[0])
+	}
+	if !strings.Contains(results[1].Error, "warp-drive") {
+		t.Fatalf("invalid executor record produced %+v", results[1])
+	}
+	if results[2].Error != "" {
+		t.Fatalf("record after executor failure broken: %+v", results[2])
+	}
+}

@@ -1,0 +1,38 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+)
+
+// nopResponseWriter is the cheapest possible ResponseWriter: the test
+// measures writeJSON's own allocations, not the recorder's.
+type nopResponseWriter struct{ h http.Header }
+
+func (w nopResponseWriter) Header() http.Header         { return w.h }
+func (w nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w nopResponseWriter) WriteHeader(int)             {}
+
+// TestWriteJSONSteadyStateAllocs pins the pooled response-encoder
+// scratch: after warm-up, writeJSON must not rebuild its encoder or
+// regrow its buffer per response. The bound leaves room for
+// encoding/json's own per-Encode bookkeeping but fails if anyone
+// reverts to json.MarshalIndent-per-request (which costs the full
+// buffer plus indent copies every call).
+func TestWriteJSONSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode makes sync.Pool drop items at random; steady-state alloc counts are meaningless")
+	}
+	w := nopResponseWriter{h: make(http.Header)}
+	body := errorBody{Error: "steady-state probe"}
+	// Warm the pool and the reflect type cache.
+	for i := 0; i < 4; i++ {
+		writeJSON(w, http.StatusOK, body)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		writeJSON(w, http.StatusOK, body)
+	})
+	if allocs > 4 {
+		t.Fatalf("writeJSON allocates %.1f objects per response in steady state, want <= 4", allocs)
+	}
+}

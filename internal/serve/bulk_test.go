@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/bulk"
+)
+
+// TestBulkEndpointMatchesPipeline pins the endpoint's determinism
+// contract: POSTing a generated mixed-workload stream (including
+// malformed lines) returns byte-for-byte the output of running the
+// pipeline directly with the server's options.
+func TestBulkEndpointMatchesPipeline(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, BulkWorkers: 4})
+
+	var in bytes.Buffer
+	if err := bulk.Generate(&in, 150, 5); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := bulk.Run(context.Background(), bytes.NewReader(in.Bytes()), &want,
+		bulk.Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/bulk", "application/x-ndjson", bytes.NewReader(in.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/bulk = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("endpoint stream differs from direct pipeline run:\ngot  %d bytes\nwant %d bytes", len(got), want.Len())
+	}
+
+	// The stream's counters must have landed in /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mtext, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		`paradmm_bulk_streams_total{outcome="ok"} 1`,
+		"paradmm_bulk_records_total 150",
+		"paradmm_bulk_inflight 0",
+	} {
+		if !strings.Contains(string(mtext), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, mtext)
+		}
+	}
+}
+
+// TestBulkEndpointBackpressure pins the 429 contract: with one allowed
+// stream held open, a second POST is rejected immediately and counted.
+func TestBulkEndpointBackpressure(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, BulkStreams: 1, BulkWorkers: 1})
+
+	// Hold the single slot open with a request whose body never ends
+	// until we close it; reading the first streamed result proves the
+	// slot is taken before the probe fires.
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/bulk", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	held, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pw.Write([]byte(`{"workload":"lasso","spec":{"m":16,"lambda":0.3},"max_iter":20}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	firstLine := make([]byte, 1)
+	if _, err := held.Body.Read(firstLine); err != nil {
+		t.Fatalf("read first streamed byte: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		io.Copy(io.Discard, held.Body)
+		held.Body.Close()
+	}()
+
+	resp, err := http.Post(ts.URL+"/v1/bulk", "application/x-ndjson",
+		strings.NewReader(`{"workload":"lasso","spec":{"m":16,"lambda":0.3},"max_iter":20}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second stream got %d, want 429", resp.StatusCode)
+	}
+
+	pw.Close()
+	wg.Wait()
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mtext, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(mtext), `paradmm_bulk_streams_total{outcome="rejected"} 1`) {
+		t.Fatalf("rejected stream not counted:\n%s", mtext)
+	}
+}

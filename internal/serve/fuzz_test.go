@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/admm"
+	"repro/internal/workload"
 )
 
 // FuzzParseSpec drives the admission parsers (strict JSON decoding of
@@ -35,19 +36,15 @@ func FuzzParseSpec(f *testing.F) {
 	} {
 		f.Add(seed[0], []byte(seed[1]))
 	}
-	f.Fuzz(func(t *testing.T, workload string, raw []byte) {
-		parser, ok := parsers[workload]
-		if !ok {
-			t.Skip()
-		}
-		adm, err := parser(json.RawMessage(raw))
+	f.Fuzz(func(t *testing.T, name string, raw []byte) {
+		adm, err := workload.Parse(name, json.RawMessage(raw))
 		if err != nil {
 			return
 		}
-		if adm.key == "" {
+		if adm.Key == "" {
 			t.Fatalf("accepted spec %q with empty cache key", raw)
 		}
-		if adm.build == nil {
+		if adm.Build == nil {
 			t.Fatalf("accepted spec %q with nil builder", raw)
 		}
 	})

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/admm"
+	"repro/internal/bulk"
 	"repro/internal/shard"
 )
 
@@ -33,11 +34,22 @@ type metrics struct {
 	shardBoundaryNanos int64
 	shardLast          shard.Stats
 
-	inflight atomic.Int64
+	// Bulk-stream aggregates: stream count by outcome ("ok", "aborted",
+	// "rejected") plus cumulative record/solve counters reported by
+	// finished pipelines (internal/bulk.Stats).
+	bulkStreams    map[string]uint64
+	bulkRecords    uint64
+	bulkErrors     uint64
+	bulkSolved     uint64
+	bulkWarmStarts uint64
+	bulkIterations uint64
+
+	inflight     atomic.Int64
+	bulkInflight atomic.Int64
 }
 
 func newMetrics() *metrics {
-	return &metrics{requests: map[string]uint64{}}
+	return &metrics{requests: map[string]uint64{}, bulkStreams: map[string]uint64{}}
 }
 
 func (m *metrics) countRequest(workload, outcome string) {
@@ -65,6 +77,25 @@ func (m *metrics) recordShard(s shard.Stats) {
 	m.shardSyncNanos += s.SyncWaitNanos
 	m.shardBoundaryNanos += s.BoundaryZNanos
 	m.shardLast = s
+	m.mu.Unlock()
+}
+
+func (m *metrics) countBulk(outcome string) {
+	m.mu.Lock()
+	m.bulkStreams[outcome]++
+	m.mu.Unlock()
+}
+
+// recordBulk folds one finished bulk stream's pipeline statistics into
+// the aggregates.
+func (m *metrics) recordBulk(st bulk.Stats, outcome string) {
+	m.mu.Lock()
+	m.bulkStreams[outcome]++
+	m.bulkRecords += st.Results
+	m.bulkErrors += st.Errors
+	m.bulkSolved += st.Solved
+	m.bulkWarmStarts += st.WarmStarts
+	m.bulkIterations += st.Iterations
 	m.mu.Unlock()
 }
 
@@ -138,6 +169,35 @@ func (m *metrics) render(b *strings.Builder, queueDepth int, cacheHits, cacheMis
 	fmt.Fprintf(b, "# HELP paradmm_shard_cut_cost_words Degree-weighted cut cost of the last sharded solve's partition (predicted cross-shard words per iteration).\n")
 	fmt.Fprintf(b, "# TYPE paradmm_shard_cut_cost_words gauge\n")
 	fmt.Fprintf(b, "paradmm_shard_cut_cost_words %g\n", m.shardLast.CutCost)
+
+	fmt.Fprintf(b, "# HELP paradmm_bulk_streams_total Bulk streams by outcome.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_bulk_streams_total counter\n")
+	bulkKeys := make([]string, 0, len(m.bulkStreams))
+	for k := range m.bulkStreams {
+		bulkKeys = append(bulkKeys, k)
+	}
+	sort.Strings(bulkKeys)
+	for _, k := range bulkKeys {
+		fmt.Fprintf(b, "paradmm_bulk_streams_total{outcome=%q} %d\n", k, m.bulkStreams[k])
+	}
+	fmt.Fprintf(b, "# HELP paradmm_bulk_records_total Bulk result records written.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_bulk_records_total counter\n")
+	fmt.Fprintf(b, "paradmm_bulk_records_total %d\n", m.bulkRecords)
+	fmt.Fprintf(b, "# HELP paradmm_bulk_errors_total Bulk records that failed (decode, admission, or solve).\n")
+	fmt.Fprintf(b, "# TYPE paradmm_bulk_errors_total counter\n")
+	fmt.Fprintf(b, "paradmm_bulk_errors_total %d\n", m.bulkErrors)
+	fmt.Fprintf(b, "# HELP paradmm_bulk_solved_total Bulk solves completed.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_bulk_solved_total counter\n")
+	fmt.Fprintf(b, "paradmm_bulk_solved_total %d\n", m.bulkSolved)
+	fmt.Fprintf(b, "# HELP paradmm_bulk_warm_starts_total Bulk solves warm-started from a previous same-shape solution.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_bulk_warm_starts_total counter\n")
+	fmt.Fprintf(b, "paradmm_bulk_warm_starts_total %d\n", m.bulkWarmStarts)
+	fmt.Fprintf(b, "# HELP paradmm_bulk_iterations_total ADMM iterations executed by bulk solves.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_bulk_iterations_total counter\n")
+	fmt.Fprintf(b, "paradmm_bulk_iterations_total %d\n", m.bulkIterations)
+	fmt.Fprintf(b, "# HELP paradmm_bulk_inflight Bulk streams currently open.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_bulk_inflight gauge\n")
+	fmt.Fprintf(b, "paradmm_bulk_inflight %d\n", m.bulkInflight.Load())
 
 	fmt.Fprintf(b, "# HELP paradmm_jobs_inflight Jobs currently executing.\n")
 	fmt.Fprintf(b, "# TYPE paradmm_jobs_inflight gauge\n")

@@ -7,6 +7,10 @@
 //
 //	POST /v1/solve     submit a spec; waits for the result by default,
 //	                   or returns 202 + a job id with {"wait": false}
+//	POST /v1/bulk      stream JSONL specs in, JSONL results out (chunked,
+//	                   input order, per-record error isolation); same-
+//	                   shape specs share a cached graph and warm-start
+//	                   from the previous solution (internal/bulk)
 //	GET  /v1/jobs/{id} poll an async job
 //	GET  /healthz      liveness + accepted workloads
 //	GET  /metrics      Prometheus text: requests, iterations, per-phase
@@ -31,6 +35,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -43,6 +48,7 @@ import (
 	"repro/internal/admm"
 	"repro/internal/graph"
 	"repro/internal/shard"
+	"repro/internal/workload"
 )
 
 // Config tunes the service.
@@ -59,6 +65,11 @@ type Config struct {
 	MaxIterLimit int
 	// JobHistory bounds the finished-job registry (default 1024).
 	JobHistory int
+	// BulkStreams caps concurrent POST /v1/bulk streams (default 2);
+	// streams beyond it get 429. BulkWorkers sets each stream's
+	// solve-stage worker count (default Workers).
+	BulkStreams int
+	BulkWorkers int
 }
 
 func (c *Config) defaults() {
@@ -73,6 +84,12 @@ func (c *Config) defaults() {
 	}
 	if c.JobHistory <= 0 {
 		c.JobHistory = 1024
+	}
+	if c.BulkStreams <= 0 {
+		c.BulkStreams = 2
+	}
+	if c.BulkWorkers <= 0 {
+		c.BulkWorkers = c.Workers
 	}
 }
 
@@ -165,10 +182,11 @@ func (j *Job) view() JobView {
 // Server is the batched solve service. Create with New, mount Handler,
 // Close on shutdown.
 type Server struct {
-	cfg   Config
-	pool  *pool
-	cache *graph.Cache
-	met   *metrics
+	cfg     Config
+	pool    *pool
+	cache   *graph.Cache
+	met     *metrics
+	bulkSem chan struct{}
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -180,10 +198,11 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.defaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: graph.NewCache(cfg.CachePerKey),
-		met:   newMetrics(),
-		jobs:  map[string]*Job{},
+		cfg:     cfg,
+		cache:   graph.NewCache(cfg.CachePerKey),
+		met:     newMetrics(),
+		jobs:    map[string]*Job{},
+		bulkSem: make(chan struct{}, cfg.BulkStreams),
 	}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.runJob)
 	return s
@@ -199,18 +218,41 @@ func (s *Server) CacheStats() graph.CacheStats { return s.cache.Stats() }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/bulk", s.handleBulk)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
+// jsonScratch pools response-encoding state: the buffer and its bound
+// encoder live together, so steady-state responses reuse both instead
+// of rebuilding an encoder (and growing a fresh buffer) per request.
+var jsonScratch = sync.Pool{New: func() any {
+	s := &respScratch{}
+	s.enc = json.NewEncoder(&s.buf)
+	s.enc.SetIndent("", "  ")
+	return s
+}}
+
+type respScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	s := jsonScratch.Get().(*respScratch)
+	defer jsonScratch.Put(s)
+	s.buf.Reset()
+	if err := s.enc.Encode(v); err != nil {
+		// Response payloads are fixed structs with sanitized floats;
+		// fall back to a minimal body rather than a broken one.
+		s.buf.Reset()
+		fmt.Fprintf(&s.buf, "{\n  \"error\": \"encode failure\"\n}\n")
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	w.Write(s.buf.Bytes())
 }
 
 type errorBody struct {
@@ -226,23 +268,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
-	workload := strings.ToLower(strings.TrimSpace(req.Workload))
-	parser, ok := parsers[workload]
-	if !ok {
-		s.met.countRequest("unknown", "bad_request")
-		writeJSON(w, http.StatusBadRequest, errorBody{
-			Error: fmt.Sprintf("unknown workload %q (want one of %s)", req.Workload, strings.Join(Workloads(), " | ")),
-		})
-		return
-	}
-	adm, err := parser(req.Spec)
+	adm, err := workload.Parse(req.Workload, req.Spec)
 	if err != nil {
-		s.met.countRequest(workload, "bad_request")
+		name := adm.Workload
+		if name == "" {
+			name = "unknown"
+		}
+		s.met.countRequest(name, "bad_request")
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad spec: " + err.Error()})
 		return
 	}
+	wl := adm.Workload
 	if err := req.Executor.Validate(); err != nil {
-		s.met.countRequest(workload, "bad_request")
+		s.met.countRequest(wl, "bad_request")
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad executor: " + err.Error()})
 		return
 	}
@@ -250,7 +288,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		req.MaxIter = 1000
 	}
 	if req.MaxIter < 0 || req.MaxIter > s.cfg.MaxIterLimit {
-		s.met.countRequest(workload, "bad_request")
+		s.met.countRequest(wl, "bad_request")
 		writeJSON(w, http.StatusBadRequest, errorBody{
 			Error: fmt.Sprintf("max_iter = %d out of range (1..%d)", req.MaxIter, s.cfg.MaxIterLimit),
 		})
@@ -258,10 +296,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	job := &Job{
-		workload: workload,
-		key:      adm.key,
+		workload: wl,
+		key:      adm.Key,
 		rawSpec:  req.Spec,
-		build:    adm.build,
+		build:    adm.Build,
 		executor: req.Executor,
 		maxIter:  req.MaxIter,
 		absTol:   req.AbsTol,
@@ -272,7 +310,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.register(job)
 	if err := s.pool.Submit(job); err != nil {
 		s.unregister(job.id)
-		s.met.countRequest(workload, "queue_full")
+		s.met.countRequest(wl, "queue_full")
 		code := http.StatusTooManyRequests
 		if err == ErrClosed {
 			code = http.StatusServiceUnavailable
@@ -282,7 +320,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if req.Wait != nil && !*req.Wait {
-		s.met.countRequest(workload, "accepted")
+		s.met.countRequest(wl, "accepted")
 		writeJSON(w, http.StatusAccepted, job.view())
 		return
 	}
@@ -290,17 +328,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case <-job.done:
 	case <-r.Context().Done():
 		// Client went away; the job keeps running and stays pollable.
-		s.met.countRequest(workload, "abandoned")
+		s.met.countRequest(wl, "abandoned")
 		writeJSON(w, http.StatusAccepted, job.view())
 		return
 	}
 	v := job.view()
 	if v.Status == StatusFailed {
-		s.met.countRequest(workload, "failed")
+		s.met.countRequest(wl, "failed")
 		writeJSON(w, http.StatusBadRequest, v)
 		return
 	}
-	s.met.countRequest(workload, "ok")
+	s.met.countRequest(wl, "ok")
 	writeJSON(w, http.StatusOK, v)
 }
 

@@ -1,208 +1,13 @@
 package serve
 
 import (
-	"bytes"
-	"encoding/json"
-	"fmt"
-	"math/rand"
-	"sort"
-
-	"repro/internal/graph"
-	"repro/internal/lasso"
-	"repro/internal/mpc"
-	"repro/internal/packing"
-	"repro/internal/svm"
+	"repro/internal/workload"
 )
 
-// problem is the uniform server-side view of a built workload: the
-// cacheable graph owner plus reset and quality-metric hooks.
-type problem interface {
-	graph.Pooled
-	// Reset reinitializes ADMM state so a (possibly cache-reused) graph
-	// starts a fresh solve.
-	Reset()
-	// Metrics reports domain-specific quality numbers after a solve.
-	Metrics() map[string]float64
-}
-
-// admission is a validated solve admission: the shape key for the graph
-// cache plus a deferred builder run on a pool worker on cache miss.
-type admission struct {
-	key   string
-	build func() (problem, error)
-}
-
-// parseSpec decodes raw strictly (unknown fields are errors, so typos in
-// specs fail at admission instead of silently using defaults).
-func parseSpec(raw json.RawMessage, into any) error {
-	if len(raw) == 0 {
-		return fmt.Errorf("missing spec")
-	}
-	dec := json.NewDecoder(bytes.NewReader(raw))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(into); err != nil {
-		return err
-	}
-	return nil
-}
-
-// Per-workload size caps. The queue-depth and worker-count knobs bound
-// how many problems run, and MaxIterLimit bounds how long each runs —
-// these bound how *large* each is, so a single request cannot demand an
-// arbitrarily large factor graph (packing's node count is quadratic in
-// N; lasso's design matrix is M x P) and OOM the process at build time.
-const (
-	maxLassoM     = 8192
-	maxLassoP     = 512
-	maxSVMN       = 8192
-	maxSVMDim     = 256
-	maxMPCHorizon = 100000 // the paper's own sweep ceiling
-	maxPackingN   = 512
-)
-
-// parsers maps workload names to spec parsers. Each parser validates
-// the raw spec's required fields and size caps at admission time;
-// instance construction itself is deferred to the worker pool.
-var parsers = map[string]func(json.RawMessage) (admission, error){
-	"lasso": func(raw json.RawMessage) (admission, error) {
-		var s lasso.Spec
-		if err := parseSpec(raw, &s); err != nil {
-			return admission{}, err
-		}
-		if s.M < 2 || s.M > maxLassoM {
-			return admission{}, fmt.Errorf("lasso: m = %d, need 2..%d", s.M, maxLassoM)
-		}
-		if s.P > maxLassoP {
-			return admission{}, fmt.Errorf("lasso: p = %d, max %d", s.P, maxLassoP)
-		}
-		return admission{key: s.Key(), build: func() (problem, error) {
-			p, err := lasso.FromSpec(s)
-			if err != nil {
-				return nil, err
-			}
-			return lassoProblem{p}, nil
-		}}, nil
-	},
-	"svm": func(raw json.RawMessage) (admission, error) {
-		var s svm.Spec
-		if err := parseSpec(raw, &s); err != nil {
-			return admission{}, err
-		}
-		if s.N < 2 || s.N > maxSVMN {
-			return admission{}, fmt.Errorf("svm: n = %d, need 2..%d", s.N, maxSVMN)
-		}
-		if s.Dim > maxSVMDim {
-			return admission{}, fmt.Errorf("svm: dim = %d, max %d", s.Dim, maxSVMDim)
-		}
-		return admission{key: s.Key(), build: func() (problem, error) {
-			p, err := svm.FromSpec(s)
-			if err != nil {
-				return nil, err
-			}
-			return svmProblem{p}, nil
-		}}, nil
-	},
-	"mpc": func(raw json.RawMessage) (admission, error) {
-		var s mpc.Spec
-		if err := parseSpec(raw, &s); err != nil {
-			return admission{}, err
-		}
-		if s.K < 1 || s.K > maxMPCHorizon {
-			return admission{}, fmt.Errorf("mpc: k = %d, need 1..%d", s.K, maxMPCHorizon)
-		}
-		if s.Q0 != nil && len(s.Q0) != mpc.StateDim {
-			return admission{}, fmt.Errorf("mpc: q0 must have length %d", mpc.StateDim)
-		}
-		return admission{key: s.Key(), build: func() (problem, error) {
-			p, err := mpc.FromSpec(s)
-			if err != nil {
-				return nil, err
-			}
-			return mpcProblem{p}, nil
-		}}, nil
-	},
-	"packing": func(raw json.RawMessage) (admission, error) {
-		var s packing.Spec
-		if err := parseSpec(raw, &s); err != nil {
-			return admission{}, err
-		}
-		if s.N < 1 || s.N > maxPackingN {
-			return admission{}, fmt.Errorf("packing: n = %d, need 1..%d", s.N, maxPackingN)
-		}
-		return admission{key: s.Key(), build: func() (problem, error) {
-			p, err := packing.FromSpec(s)
-			if err != nil {
-				return nil, err
-			}
-			return packingProblem{p, s}, nil
-		}}, nil
-	},
-}
+// problem is the server-side view of a built workload; it is the shared
+// workload.Problem admission surface (the bulk pipeline admits through
+// the same registry, so a spec means the same thing on both paths).
+type problem = workload.Problem
 
 // Workloads lists the problem domains the server accepts, sorted.
-func Workloads() []string {
-	names := make([]string, 0, len(parsers))
-	for n := range parsers {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
-
-type lassoProblem struct{ *lasso.Problem }
-
-func (p lassoProblem) Reset() { p.Graph.InitZero() }
-func (p lassoProblem) Metrics() map[string]float64 {
-	x := p.Coefficients()
-	return map[string]float64{
-		"objective":      p.Objective(x),
-		"optimality_gap": p.OptimalityGap(x),
-	}
-}
-
-type svmProblem struct{ *svm.Problem }
-
-func (p svmProblem) Reset() { p.Graph.InitZero() }
-func (p svmProblem) Metrics() map[string]float64 {
-	return map[string]float64{
-		"accuracy":        p.Accuracy(p.Cfg.Data),
-		"hinge_objective": p.HingeObjective(),
-		"plane_spread":    p.PlaneSpread(),
-	}
-}
-
-type mpcProblem struct{ *mpc.Problem }
-
-func (p mpcProblem) Reset() { p.Graph.InitZero() }
-func (p mpcProblem) Metrics() map[string]float64 {
-	return map[string]float64{
-		"cost":              p.Cost(),
-		"dynamics_residual": p.DynamicsResidual(),
-		"u0":                p.Input(0),
-	}
-}
-
-type packingProblem struct {
-	*packing.Problem
-	spec packing.Spec
-}
-
-// Reset re-randomizes from the spec's seed: packing is nonconvex, and a
-// deterministic init keeps identical requests byte-reproducible.
-func (p packingProblem) Reset() {
-	seed := p.spec.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	p.InitRandom(rand.New(rand.NewSource(seed)))
-}
-
-func (p packingProblem) Metrics() map[string]float64 {
-	v := p.CheckValidity()
-	return map[string]float64{
-		"coverage":    p.Coverage(),
-		"max_overlap": v.MaxOverlap,
-		"max_wall":    v.MaxWall,
-		"min_radius":  v.MinRadius,
-	}
-}
+func Workloads() []string { return workload.Names() }
