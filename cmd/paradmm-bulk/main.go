@@ -99,6 +99,14 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go func() {
+		// A canceled Run still joins its reader, which can sit in a
+		// blocked stdin read (e.g. an idle terminal). Dropping the
+		// signal handler here restores default disposition, so a second
+		// interrupt exits the process instead of being swallowed.
+		<-ctx.Done()
+		stop()
+	}()
 
 	stats, err := bulk.Run(ctx, os.Stdin, out, bulk.Options{
 		Workers:      *workers,

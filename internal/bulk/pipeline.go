@@ -43,8 +43,9 @@ type Options struct {
 	// layer's); nil uses a private per-run cache. Built graphs are
 	// returned to it when the run ends.
 	Cache *graph.Cache
-	// MaxLineBytes bounds one input line (default 1 MiB). Longer lines
-	// become error records without buffering the excess.
+	// MaxLineBytes bounds one input line's payload, excluding the line
+	// terminator (default 1 MiB). Longer lines become error records
+	// without buffering the excess.
 	MaxLineBytes int
 }
 
@@ -166,7 +167,11 @@ func send[T any](ctx context.Context, ch chan<- T, v T) bool {
 // error records on the stream; Run itself only fails on input read
 // errors, output write errors, or context cancellation. On
 // cancellation all stages drain and every goroutine exits before Run
-// returns.
+// returns — including the reader, so a canceled Run blocks until the
+// in-flight r.Read returns. Callers whose cancellation does not also
+// unblock r (net/http request bodies unblock on the connection
+// teardown that cancels the request context; files and pipes with
+// data never block) must arrange that themselves.
 func Run(ctx context.Context, r io.Reader, w io.Writer, opts Options) (Stats, error) {
 	p := &pipeline{ctx: ctx, opts: opts.withDefaults(), shapes: map[string]*shapeState{}}
 	p.scratch.New = func() any {
@@ -184,9 +189,9 @@ func Run(ctx context.Context, r io.Reader, w io.Writer, opts Options) (Stats, er
 	resultsCh := make(chan Result, 16)
 	encodedCh := make(chan encoded, 16)
 
-	// The reader may still be blocked in r.Read when a canceled run
-	// returns, so its error travels over a channel instead of a shared
-	// variable; Run collects it without blocking.
+	// The reader's error travels over a buffered channel so the
+	// goroutine can deposit it and exit unconditionally; Run joins it
+	// with a blocking receive once the downstream stages have unwound.
 	readErrCh := make(chan error, 1)
 	go func() {
 		readErrCh <- p.read(r, linesCh)
@@ -243,8 +248,22 @@ func Run(ctx context.Context, r io.Reader, w io.Writer, opts Options) (Stats, er
 
 	writeErr := p.write(w, encodedCh)
 
-	// All stages have unwound; return built graphs to the cache for the
-	// next stream (or the serving layer's other handlers).
+	// write returning means the encode stage closed encodedCh, but on
+	// cancellation the solve stage can still be mid-record (encode
+	// workers exit on ctx.Done without draining resultsCh). Join every
+	// stage before touching p.shapes: solve workers create entries via
+	// p.shape and mutate shapeState, and a graph still being solved
+	// must not be published into a shared cache. All of these waits
+	// terminate — once the context is done every stage's receives and
+	// sends fall through to ctx.Done, and the reader deposits its error
+	// as soon as the in-flight r.Read returns.
+	resWG.Wait()
+	decWG.Wait()
+	encWG.Wait()
+	readErr := <-readErrCh
+
+	// Return built graphs to the cache for the next stream (or the
+	// serving layer's other handlers).
 	for key, st := range p.shapes {
 		if st.prob != nil {
 			p.opts.Cache.Put(key, st.prob)
@@ -260,11 +279,6 @@ func Run(ctx context.Context, r io.Reader, w io.Writer, opts Options) (Stats, er
 		Iterations: p.iterations.Load(),
 		CacheHits:  p.cacheHits.Load(),
 		Shapes:     len(p.shapes),
-	}
-	var readErr error
-	select {
-	case readErr = <-readErrCh:
-	default:
 	}
 	switch {
 	case writeErr != nil:
@@ -310,15 +324,21 @@ func (p *pipeline) read(r io.Reader, out chan<- rawLine) error {
 	}
 }
 
-// readLine reads up to and including the next newline, accumulating at
-// most max bytes. Past the cap it keeps consuming (so the stream stays
-// framed) but stops buffering and reports tooLong.
+// readLine reads up to and including the next newline, accumulating a
+// payload of at most max bytes — the line terminator is not counted
+// against the cap, so a payload of exactly max bytes is accepted. Past
+// the cap it keeps consuming (so the stream stays framed) but stops
+// buffering and reports tooLong.
 func readLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
 	var buf []byte
 	for {
 		frag, e := br.ReadSlice('\n')
 		if !tooLong {
-			if len(buf)+len(frag) > max {
+			n := len(buf) + len(frag)
+			if len(frag) > 0 && frag[len(frag)-1] == '\n' {
+				n--
+			}
+			if n > max {
 				tooLong = true
 				buf = nil
 			} else {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -228,6 +229,77 @@ func (neverEnding) Read(p []byte) (int, error) {
 		p[i] = '\n'
 	}
 	return len(p), nil
+}
+
+// gateReader signals when a Read is in flight and blocks it until
+// released, then reports EOF.
+type gateReader struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (g *gateReader) Read(p []byte) (int, error) {
+	g.once.Do(func() { close(g.entered) })
+	<-g.release
+	return 0, io.EOF
+}
+
+// TestRunJoinsReader pins that a canceled Run does not return while its
+// reader goroutine is still inside r.Read — the contract that lets the
+// serving handler hand Run the request body without the body being
+// read after the handler returns.
+func TestRunJoinsReader(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g := &gateReader{entered: make(chan struct{}), release: make(chan struct{})}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, g, io.Discard, Options{Workers: 1})
+		done <- err
+	}()
+
+	<-g.entered
+	cancel()
+	select {
+	case <-done:
+		t.Fatal("Run returned while its reader was still blocked in Read")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(g.release)
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after the reader unblocked")
+	}
+}
+
+// TestReadLineCapBoundary pins that MaxLineBytes bounds the payload,
+// not payload plus terminator: a line of exactly the cap is accepted,
+// one byte more is rejected, and framing survives both — with and
+// without a trailing newline at EOF.
+func TestReadLineCapBoundary(t *testing.T) {
+	const max = 64
+	exact := strings.Repeat("a", max)
+	over := strings.Repeat("b", max+1)
+	br := bufio.NewReaderSize(strings.NewReader(exact+"\n"+over+"\n"+exact), 16)
+
+	line, tooLong, err := readLine(br, max)
+	if err != nil || tooLong || string(line) != exact+"\n" {
+		t.Fatalf("exact-cap line: tooLong=%v err=%v len=%d", tooLong, err, len(line))
+	}
+	line, tooLong, err = readLine(br, max)
+	if err != nil || !tooLong || len(line) != 0 {
+		t.Fatalf("cap+1 line: tooLong=%v err=%v len=%d", tooLong, err, len(line))
+	}
+	line, tooLong, err = readLine(br, max)
+	if err != io.EOF || tooLong || string(line) != exact {
+		t.Fatalf("unterminated exact-cap line: tooLong=%v err=%v len=%d", tooLong, err, len(line))
+	}
 }
 
 // TestPipelineLineCap pins over-long line handling: the line becomes an
