@@ -11,6 +11,7 @@
 //	paradmm-bench -fused-json BENCH_fused.json   # fused-vs-unfused schedule sweep
 //	paradmm-bench -partition-sweep BENCH_partition.json  # per-strategy partition quality
 //	paradmm-bench -bulk-json BENCH_bulk.json     # bulk pipeline specs/sec ladder
+//	paradmm-bench -store-json BENCH_store.json   # persistent-store cold vs seeded iterations
 //
 // Each experiment id matches the per-experiment index in DESIGN.md;
 // EXPERIMENTS.md records the paper-vs-reproduced comparison for each.
@@ -22,7 +23,10 @@
 // executor under every partitioning strategy with per-cell cut cost
 // and load imbalance; -bulk-json writes the bulk pipeline's specs/sec
 // at batch sizes 1/100/10k (graph reuse + warm starts vs per-request
-// cost). All four baselines are gated by cmd/benchtrend.
+// cost); -store-json writes the persistent warm-start store's
+// cold/seeded iteration ratio and hit rate (machine-independent — gate
+// it with benchtrend -raw). All five baselines are gated by
+// cmd/benchtrend.
 package main
 
 import (
@@ -42,15 +46,16 @@ func main() {
 	fusedJSON := flag.String("fused-json", "", "write the fused-vs-unfused schedule sweep to this file and exit")
 	partitionSweep := flag.String("partition-sweep", "", "write the per-strategy partition-quality sweep (cut cost, imbalance, iters/sec) to this file and exit")
 	bulkJSON := flag.String("bulk-json", "", "write the bulk pipeline specs/sec ladder (batch 1/100/10k) to this file and exit")
+	storeJSON := flag.String("store-json", "", "write the persistent-store cold vs seeded iteration sweep to this file and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: paradmm-bench [-full] [-seed N] [-csv] [-shard-json FILE] [-fused-json FILE] [-partition-sweep FILE] [-bulk-json FILE] <experiment-id>... | all | list\n\n")
+		fmt.Fprintf(os.Stderr, "usage: paradmm-bench [-full] [-seed N] [-csv] [-shard-json FILE] [-fused-json FILE] [-partition-sweep FILE] [-bulk-json FILE] [-store-json FILE] <experiment-id>... | all | list\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	args := flag.Args()
-	if *shardJSON != "" || *fusedJSON != "" || *partitionSweep != "" || *bulkJSON != "" {
+	if *shardJSON != "" || *fusedJSON != "" || *partitionSweep != "" || *bulkJSON != "" || *storeJSON != "" {
 		if len(args) > 0 {
-			fatal(fmt.Errorf("-shard-json/-fused-json/-partition-sweep/-bulk-json run their own sweeps and take no experiment ids (got %q)", args))
+			fatal(fmt.Errorf("-shard-json/-fused-json/-partition-sweep/-bulk-json/-store-json run their own sweeps and take no experiment ids (got %q)", args))
 		}
 		scale := bench.Scale{Full: *full, Seed: *seed}
 		if *shardJSON != "" {
@@ -80,6 +85,13 @@ func main() {
 				fatal(err)
 			}
 			writeReport(*bulkJSON, rep)
+		}
+		if *storeJSON != "" {
+			rep, err := bench.RunStoreBench(scale)
+			if err != nil {
+				fatal(err)
+			}
+			writeReport(*storeJSON, rep)
 		}
 		return
 	}

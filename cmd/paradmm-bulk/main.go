@@ -9,6 +9,7 @@
 //	paradmm-bulk < requests.jsonl > results.jsonl
 //	paradmm-bulk -workers 8 -executor parallel-for -exec-workers 2 < requests.jsonl
 //	paradmm-bulk -gen 10000 -seed 7 > requests.jsonl   # deterministic test stream
+//	paradmm-bulk -store ./solutions < requests.jsonl   # persist warm-start chains across runs (docs/store.md)
 //
 // Each input line is one request:
 //
@@ -38,6 +39,7 @@ import (
 	"repro/internal/admm"
 	"repro/internal/bulk"
 	_ "repro/internal/shard" // register the sharded executor
+	"repro/internal/store"
 )
 
 func main() {
@@ -54,6 +56,8 @@ func main() {
 	absTol := flag.Float64("abs-tol", 0, "default absolute stopping tolerance (0 = none)")
 	relTol := flag.Float64("rel-tol", 0, "default relative stopping tolerance (0 = none)")
 	maxLine := flag.Int("max-line-bytes", 1<<20, "longest accepted input line; longer lines become error records")
+	storeDir := flag.String("store", "", "persistent warm-start store directory (empty = disabled); chains seed from and persist to it across runs")
+	storeMaxBytes := flag.Int64("store-max-bytes", 256<<20, "solution store log size cap before compaction")
 	gen := flag.Int("gen", 0, "generate an N-record deterministic request stream to stdout and exit")
 	seed := flag.Int64("seed", 1, "seed for -gen")
 	flag.Usage = func() {
@@ -108,19 +112,33 @@ func main() {
 		stop()
 	}()
 
-	stats, err := bulk.Run(ctx, os.Stdin, out, bulk.Options{
+	opts := bulk.Options{
 		Workers:      *workers,
 		Executor:     spec,
 		MaxIter:      *maxIter,
 		AbsTol:       *absTol,
 		RelTol:       *relTol,
 		MaxLineBytes: *maxLine,
-	})
+	}
+	if *storeDir != "" {
+		st, err := store.Open(store.Options{Dir: *storeDir, MaxBytes: *storeMaxBytes})
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		opts.Store = st
+	}
+
+	stats, err := bulk.Run(ctx, os.Stdin, out, opts)
 	if ferr := out.Flush(); err == nil {
 		err = ferr
 	}
 	fmt.Fprintf(os.Stderr, "paradmm-bulk: %d records in, %d results out (%d errors), %d solved (%d warm-started, %d cache hits) across %d shapes, %d total iterations\n",
 		stats.Lines, stats.Results, stats.Errors, stats.Solved, stats.WarmStarts, stats.CacheHits, stats.Shapes, stats.Iterations)
+	if *storeDir != "" {
+		fmt.Fprintf(os.Stderr, "paradmm-bulk: store: %d hits, %d misses, %d saved\n",
+			stats.StoreHits, stats.StoreMisses, stats.StoreSaves)
+	}
 	if err != nil {
 		fatal(err)
 	}

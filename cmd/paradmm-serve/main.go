@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -55,21 +56,36 @@ func main() {
 	maxIter := flag.Int("max-iter-limit", 200000, "reject requests asking for more iterations")
 	bulkStreams := flag.Int("bulk-streams", 2, "max concurrent POST /v1/bulk streams")
 	bulkWorkers := flag.Int("bulk-workers", 0, "solve workers per bulk stream (0 = -workers)")
+	maxBodyBytes := flag.Int64("max-body-bytes", 1<<20, "max POST /v1/solve body size in bytes")
+	readHeaderTimeout := flag.Duration("read-header-timeout", serve.DefaultReadHeaderTimeout, "drop connections that stall delivering request headers")
+	idleTimeout := flag.Duration("idle-timeout", serve.DefaultIdleTimeout, "drop keep-alive connections idle this long between requests")
+	storeDir := flag.String("store", "", "persistent warm-start store directory (empty = disabled); bulk streams seed from and persist to it across restarts")
+	storeMaxBytes := flag.Int64("store-max-bytes", 256<<20, "solution store log size cap before compaction")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: paradmm-serve [-addr :8080] [-workers N] [-queue N] [flags]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CachePerKey:  *cachePerKey,
 		MaxIterLimit: *maxIter,
 		BulkStreams:  *bulkStreams,
 		BulkWorkers:  *bulkWorkers,
-	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+		MaxBodyBytes: *maxBodyBytes,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(store.Options{Dir: *storeDir, MaxBytes: *storeMaxBytes})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		cfg.Store = st
+	}
+	srv := serve.New(cfg)
+	httpSrv := serve.NewHTTPServer(*addr, srv.Handler(), *readHeaderTimeout, *idleTimeout)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

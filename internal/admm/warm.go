@@ -1,7 +1,9 @@
 package admm
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"repro/internal/graph"
 )
@@ -58,4 +60,83 @@ func (ws *WarmState) Apply(g *graph.Graph) error {
 	UpdateMRange(g, 0, g.NumEdges())
 	UpdateNRange(g, 0, g.NumEdges())
 	return nil
+}
+
+// Shape returns the graph shape the snapshot was captured from
+// (all zero when nothing is captured).
+func (ws *WarmState) Shape() (edges, vars, d int) { return ws.edges, ws.vars, ws.d }
+
+// warmStateVersion tags the binary layout of a marshaled WarmState so a
+// future format change is detected instead of misdecoded.
+const warmStateVersion = 1
+
+// warmStateMaxDim bounds each marshaled shape dimension. The serving
+// layer's workload caps keep real graphs far below this; the bound
+// exists so a corrupted length prefix cannot demand a giant allocation
+// before the payload-length check rejects it.
+const warmStateMaxDim = 1 << 28
+
+// MarshalBinary encodes the snapshot as a self-describing little-endian
+// blob: version u8, edges/vars/d u32, then the x, u, z doubles. It
+// implements encoding.BinaryMarshaler for the persistent solution store
+// (internal/store).
+func (ws *WarmState) MarshalBinary() ([]byte, error) {
+	if !ws.Captured() {
+		return nil, fmt.Errorf("admm: cannot marshal an empty warm state")
+	}
+	if len(ws.X) != ws.edges*ws.d || len(ws.U) != ws.edges*ws.d || len(ws.Z) != ws.vars*ws.d {
+		return nil, fmt.Errorf("admm: warm state arrays (x %d, u %d, z %d) do not match shape (%d edges, %d vars, d=%d)",
+			len(ws.X), len(ws.U), len(ws.Z), ws.edges, ws.vars, ws.d)
+	}
+	buf := make([]byte, 0, 13+8*(len(ws.X)+len(ws.U)+len(ws.Z)))
+	buf = append(buf, warmStateVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ws.edges))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ws.vars))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ws.d))
+	for _, arr := range [][]float64{ws.X, ws.U, ws.Z} {
+		for _, v := range arr {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a MarshalBinary blob. It never panics on
+// malformed input: the shape header must be internally consistent and
+// the payload length must match it exactly, so a truncated or corrupted
+// blob is rejected before any allocation it could inflate.
+func (ws *WarmState) UnmarshalBinary(data []byte) error {
+	if len(data) < 13 {
+		return fmt.Errorf("admm: warm state blob too short (%d bytes)", len(data))
+	}
+	if data[0] != warmStateVersion {
+		return fmt.Errorf("admm: warm state version %d, want %d", data[0], warmStateVersion)
+	}
+	edges := int(binary.LittleEndian.Uint32(data[1:]))
+	vars := int(binary.LittleEndian.Uint32(data[5:]))
+	d := int(binary.LittleEndian.Uint32(data[9:]))
+	if d <= 0 || edges <= 0 || vars <= 0 || edges > warmStateMaxDim || vars > warmStateMaxDim || d > warmStateMaxDim {
+		return fmt.Errorf("admm: warm state shape (%d edges, %d vars, d=%d) out of range", edges, vars, d)
+	}
+	xn := int64(edges) * int64(d)
+	zn := int64(vars) * int64(d)
+	want := 13 + 8*(2*xn+zn)
+	if int64(len(data)) != want {
+		return fmt.Errorf("admm: warm state blob is %d bytes, shape needs %d", len(data), want)
+	}
+	ws.edges, ws.vars, ws.d = edges, vars, d
+	ws.X = decodeFloats(ws.X, data[13:], int(xn))
+	ws.U = decodeFloats(ws.U, data[13+8*xn:], int(xn))
+	ws.Z = decodeFloats(ws.Z, data[13+16*xn:], int(zn))
+	return nil
+}
+
+// decodeFloats fills dst (reusing its capacity) with n little-endian
+// doubles from src.
+func decodeFloats(dst []float64, src []byte, n int) []float64 {
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:])))
+	}
+	return dst
 }

@@ -109,6 +109,98 @@ func TestWarmStartConvergesFaster(t *testing.T) {
 	}
 }
 
+// TestWarmStateBinaryRoundTrip pins the (de)serialization seam the
+// persistent solution store builds on: marshal, unmarshal into a fresh
+// state, and the decoded snapshot must apply to a same-shape graph and
+// continue the trajectory bit-identically to the original.
+func TestWarmStateBinaryRoundTrip(t *testing.T) {
+	build := func() *lasso.Problem {
+		p, err := lasso.FromSpec(lasso.Spec{M: 24, Lambda: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Graph.InitZero()
+		return p
+	}
+	src := build()
+	if _, err := admm.Solve(src.Graph, admm.SolveOptions{MaxIter: 150}); err != nil {
+		t.Fatal(err)
+	}
+	var ws admm.WarmState
+	ws.Capture(src.Graph)
+
+	blob, err := ws.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec admm.WarmState
+	if err := dec.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if e1, v1, d1 := ws.Shape(); true {
+		if e2, v2, d2 := dec.Shape(); e1 != e2 || v1 != v2 || d1 != d2 {
+			t.Fatalf("decoded shape (%d,%d,%d), want (%d,%d,%d)", e2, v2, d2, e1, v1, d1)
+		}
+	}
+	dst := build()
+	if err := dec.Apply(dst.Graph); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*lasso.Problem{src, dst} {
+		if _, err := admm.Solve(g.Graph, admm.SolveOptions{MaxIter: 40}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range src.Graph.Z {
+		if src.Graph.Z[i] != dst.Graph.Z[i] {
+			t.Fatalf("trajectories diverged after binary round trip: Z[%d] %g vs %g",
+				i, dst.Graph.Z[i], src.Graph.Z[i])
+		}
+	}
+}
+
+// TestWarmStateUnmarshalRejects pins the decoder's defenses: empty
+// state marshal fails, and truncated, version-bumped, or
+// length-inconsistent blobs are errors, never panics.
+func TestWarmStateUnmarshalRejects(t *testing.T) {
+	var empty admm.WarmState
+	if _, err := empty.MarshalBinary(); err == nil {
+		t.Fatal("marshal of an empty WarmState succeeded")
+	}
+
+	p, err := lasso.FromSpec(lasso.Spec{M: 16, Lambda: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Graph.InitZero()
+	var ws admm.WarmState
+	ws.Capture(p.Graph)
+	blob, err := ws.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var dec admm.WarmState
+	for name, bad := range map[string][]byte{
+		"empty":       {},
+		"short":       blob[:5],
+		"truncated":   blob[:len(blob)-1],
+		"extended":    append(append([]byte(nil), blob...), 0),
+		"bad version": append([]byte{99}, blob[1:]...),
+	} {
+		if err := dec.UnmarshalBinary(bad); err == nil {
+			t.Fatalf("%s blob decoded without error", name)
+		}
+	}
+	// A shape header demanding more floats than the payload holds must
+	// be rejected by the exact-length check.
+	huge := append([]byte(nil), blob...)
+	huge[1], huge[2], huge[3], huge[4] = 0xff, 0xff, 0xff, 0x0f
+	if err := dec.UnmarshalBinary(huge); err == nil {
+		t.Fatal("inflated shape header decoded without error")
+	}
+}
+
 // TestWarmStateShapeMismatch pins the guard: applying a snapshot to a
 // different shape must fail loudly, and applying an empty state must
 // fail too.

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/bulk"
+	"repro/internal/store"
+)
+
+// storeBenchBatch is the repeated-spec stream length each store-bench
+// cell runs (twice: once cold against an empty store, once seeded from
+// what the cold run persisted).
+func storeBenchBatch(s Scale) int {
+	if s.Full {
+		return 200
+	}
+	return 20
+}
+
+// RunStoreBench measures what the persistent solution store is worth:
+// for each workload, one repeated-spec stream is run twice against the
+// same store directory. The first run opens cold and persists its
+// chain; the second seeds from the store, so every record — including
+// the first — is warm. Entries reuse the ShardBenchReport schema with
+// two cells per workload, both machine-independent (iteration counts,
+// not wall time — gate them with benchtrend -raw):
+//
+//   - "store-warm": ItersPerSec is the cold/warm total-iteration ratio
+//     (how many times fewer iterations the seeded run needed; falls
+//     toward 1 if the store stops helping), Iters the seeded run's
+//     total iteration count.
+//   - "store-hit-rate": ItersPerSec is the seeded run's store hit rate
+//     (1.0 when every shape seeds; falls if snapshots stop applying).
+func RunStoreBench(s Scale) (*ShardBenchReport, error) {
+	scale := "quick"
+	if s.Full {
+		scale = "full"
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rep := &ShardBenchReport{
+		Schema:     ShardBenchSchema,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Scale:      scale,
+		Seed:       seed,
+	}
+	ctx := context.Background()
+	batch := storeBenchBatch(s)
+	for _, c := range bulkBenchCases(s) {
+		in := strings.Repeat(bulkBenchLine(c.workload, c.spec)+"\n", batch)
+		dir, err := os.MkdirTemp("", "paradmm-storebench-")
+		if err != nil {
+			return nil, fmt.Errorf("bench: store: %w", err)
+		}
+		defer os.RemoveAll(dir)
+
+		runOnce := func() (bulk.Stats, time.Duration, error) {
+			st, err := store.Open(store.Options{Dir: dir})
+			if err != nil {
+				return bulk.Stats{}, 0, err
+			}
+			defer st.Close()
+			start := time.Now()
+			stats, err := bulk.Run(ctx, strings.NewReader(in), io.Discard, bulk.Options{Store: st})
+			return stats, time.Since(start), err
+		}
+
+		cold, _, err := runOnce()
+		if err != nil {
+			return nil, fmt.Errorf("bench: store %s cold run: %w", c.workload, err)
+		}
+		if cold.Errors > 0 || cold.StoreSaves == 0 {
+			return nil, fmt.Errorf("bench: store %s cold run persisted nothing: stats %+v", c.workload, cold)
+		}
+		warm, warmElapsed, err := runOnce()
+		if err != nil {
+			return nil, fmt.Errorf("bench: store %s warm run: %w", c.workload, err)
+		}
+		if warm.Errors > 0 || warm.Iterations == 0 {
+			return nil, fmt.Errorf("bench: store %s warm run: stats %+v", c.workload, warm)
+		}
+
+		rep.Entries = append(rep.Entries,
+			ShardBenchEntry{
+				Workload:    c.workload,
+				Executor:    "store-warm",
+				Iters:       int(warm.Iterations),
+				ElapsedNS:   warmElapsed.Nanoseconds(),
+				ItersPerSec: float64(cold.Iterations) / float64(warm.Iterations),
+				PhaseNanos:  map[string]int64{},
+			},
+			ShardBenchEntry{
+				Workload:    c.workload,
+				Executor:    "store-hit-rate",
+				Iters:       int(warm.StoreHits),
+				ItersPerSec: float64(warm.StoreHits) / float64(warm.StoreHits+warm.StoreMisses),
+				PhaseNanos:  map[string]int64{},
+			},
+		)
+	}
+	return rep, nil
+}
+
+// StoreTables renders the cold-vs-seeded iteration ladder.
+func (r *ShardBenchReport) StoreTables() []*Table {
+	t := NewTable("persistent store — cold vs seeded iteration cost",
+		"workload", "cell", "value", "iters")
+	for _, e := range r.Entries {
+		t.AddRow(e.Workload, e.Executor, fmt.Sprintf("%.2f", e.ItersPerSec), fmt.Sprintf("%d", e.Iters))
+	}
+	return []*Table{t}
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ext-store",
+		Paper: "extension: persistent warm-start store — restart reuse vs cold convergence",
+		Desc:  "Repeated-spec stream run twice against one store directory: cold/warm total-iteration ratio and store hit rate per workload.",
+		Run: func(s Scale) ([]*Table, error) {
+			rep, err := RunStoreBench(s)
+			if err != nil {
+				return nil, err
+			}
+			return rep.StoreTables(), nil
+		},
+	})
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/admm"
 	"repro/internal/graph"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -47,6 +48,21 @@ type Options struct {
 	// terminator (default 1 MiB). Longer lines become error records
 	// without buffering the excess.
 	MaxLineBytes int
+	// Store, when non-nil, extends warm-start chains across runs: each
+	// shape's chain is seeded from the store on first sight (a snapshot
+	// whose shape does not match the built graph is rejected and the
+	// solve runs cold), and each chain's final state is persisted when
+	// the run ends. Chains that ended on a failed or panicked solve are
+	// never persisted.
+	Store SolutionStore
+}
+
+// SolutionStore is the persistence seam for warm-start chains; it is
+// satisfied by *store.Store. Implementations must be safe for
+// concurrent use — every solve worker calls Get.
+type SolutionStore interface {
+	Get(key string) (store.Snapshot, bool)
+	Put(key string, snap store.Snapshot) error
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +110,13 @@ type Stats struct {
 	// built; Shapes is the number of distinct shape keys seen.
 	CacheHits uint64 `json:"cache_hits"`
 	Shapes    int    `json:"shapes"`
+	// StoreHits counts shapes whose chain was seeded from the solution
+	// store; StoreMisses counts first-sight lookups that found nothing
+	// usable (absent, corrupt, or shape-mismatched); StoreSaves counts
+	// chains persisted at stream end. All zero when Options.Store is nil.
+	StoreHits   uint64 `json:"store_hits,omitempty"`
+	StoreMisses uint64 `json:"store_misses,omitempty"`
+	StoreSaves  uint64 `json:"store_saves,omitempty"`
 }
 
 // rawLine is one length-capped input line with its record index.
@@ -132,6 +155,14 @@ type encodeScratch struct {
 type shapeState struct {
 	prob workload.Problem
 	warm admm.WarmState
+	// storeChecked marks that the one-per-shape store lookup happened;
+	// dirty marks that warm holds a snapshot from a successful solve
+	// that the store does not have yet (cleared whenever a failed or
+	// panicked solve resets the chain); iterations is the iteration
+	// count of the solve that produced the snapshot.
+	storeChecked bool
+	dirty        bool
+	iterations   int
 }
 
 type pipeline struct {
@@ -150,6 +181,10 @@ type pipeline struct {
 	warmStarts atomic.Uint64
 	iterations atomic.Uint64
 	cacheHits  atomic.Uint64
+
+	storeHits   atomic.Uint64
+	storeMisses atomic.Uint64
+	storeSaves  atomic.Uint64
 }
 
 // send delivers v unless the context is done first.
@@ -262,9 +297,16 @@ func Run(ctx context.Context, r io.Reader, w io.Writer, opts Options) (Stats, er
 	encWG.Wait()
 	readErr := <-readErrCh
 
-	// Return built graphs to the cache for the next stream (or the
-	// serving layer's other handlers).
+	// Persist each chain's final snapshot, then return built graphs to
+	// the cache for the next stream (or the serving layer's other
+	// handlers). Only dirty chains are written: a chain whose last solve
+	// failed or panicked was reset and must not poison the store.
 	for key, st := range p.shapes {
+		if p.opts.Store != nil && st.dirty && st.warm.Captured() {
+			if err := p.opts.Store.Put(key, store.Snapshot{Warm: st.warm, Iterations: st.iterations}); err == nil {
+				p.storeSaves.Add(1)
+			}
+		}
 		if st.prob != nil {
 			p.opts.Cache.Put(key, st.prob)
 		}
@@ -279,6 +321,10 @@ func Run(ctx context.Context, r io.Reader, w io.Writer, opts Options) (Stats, er
 		Iterations: p.iterations.Load(),
 		CacheHits:  p.cacheHits.Load(),
 		Shapes:     len(p.shapes),
+
+		StoreHits:   p.storeHits.Load(),
+		StoreMisses: p.storeMisses.Load(),
+		StoreSaves:  p.storeSaves.Load(),
 	}
 	switch {
 	case writeErr != nil:
@@ -473,16 +519,25 @@ func (p *pipeline) solve(in <-chan *task, results chan<- Result) {
 
 func (p *pipeline) solveOne(t *task) (res Result) {
 	res = Result{Seq: t.seq, ID: t.req.ID, Workload: t.adm.Workload, Shape: t.adm.Key}
+	var st *shapeState
 	defer func() {
 		// The sockets transport is fail-stop by panic; a record using it
 		// must not take the stream down.
 		if r := recover(); r != nil {
+			if st != nil {
+				// A panic mid-solve leaves the graph in an unknown state:
+				// the chain's snapshot can no longer be trusted, so the
+				// next record of this shape starts cold and the poisoned
+				// chain is never persisted.
+				st.warm = admm.WarmState{}
+				st.dirty = false
+			}
 			res = Result{Seq: t.seq, ID: t.req.ID, Workload: t.adm.Workload, Shape: t.adm.Key,
 				Error: fmt.Sprintf("solve panic: %v", r)}
 		}
 	}()
 
-	st := p.shape(t.adm.Key)
+	st = p.shape(t.adm.Key)
 	if st.prob == nil {
 		if pooled, hit := p.opts.Cache.Get(t.adm.Key); hit {
 			if prob, isProb := pooled.(workload.Problem); isProb {
@@ -528,6 +583,25 @@ func (p *pipeline) solveOne(t *task) (res Result) {
 		sopts.RelTol = t.req.RelTol
 	}
 
+	g := st.prob.FactorGraph()
+
+	// First record of a shape: try to seed the chain from the solution
+	// store. Apply's shape guard vets the snapshot against the built
+	// graph, so a stale or corrupt entry (wrong shape for its key) is
+	// rejected and the record solves cold — the store can cost
+	// iterations, never correctness.
+	if p.opts.Store != nil && !st.storeChecked {
+		st.storeChecked = true
+		if !st.warm.Captured() {
+			if snap, ok := p.opts.Store.Get(t.adm.Key); ok && snap.Warm.Apply(g) == nil {
+				st.warm = snap.Warm
+				p.storeHits.Add(1)
+			} else {
+				p.storeMisses.Add(1)
+			}
+		}
+	}
+
 	warm := st.warm.Captured()
 	if warm {
 		sopts.Warm = &st.warm
@@ -535,16 +609,19 @@ func (p *pipeline) solveOne(t *task) (res Result) {
 		st.prob.Reset()
 	}
 
-	g := st.prob.FactorGraph()
 	r, err := admm.Solve(g, sopts)
 	if err != nil {
 		// The graph's state is suspect after a failed solve; drop the
-		// warm snapshot so the next record of this shape starts cold.
+		// warm snapshot so the next record of this shape starts cold,
+		// and never persist the poisoned chain.
 		st.warm = admm.WarmState{}
+		st.dirty = false
 		res.Error = err.Error()
 		return res
 	}
 	st.warm.Capture(g)
+	st.dirty = true
+	st.iterations = r.Iterations
 
 	res.Warm = warm
 	res.Iterations = r.Iterations

@@ -42,11 +42,17 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 	// never read after this handler returns. The join cannot hang: the
 	// only thing that cancels r.Context() is the connection going away,
 	// which also unblocks the in-flight Body.Read.
-	stats, err := bulk.Run(r.Context(), r.Body, flushWriter{w, rc}, bulk.Options{
+	opts := bulk.Options{
 		Workers:      s.cfg.BulkWorkers,
 		Cache:        s.cache,
 		MaxIterLimit: s.cfg.MaxIterLimit,
-	})
+	}
+	// Assign only when non-nil: a nil *store.Store stuffed into the
+	// interface field would read as "store configured" to the pipeline.
+	if s.cfg.Store != nil {
+		opts.Store = s.cfg.Store
+	}
+	stats, err := bulk.Run(r.Context(), r.Body, flushWriter{w, rc}, opts)
 	outcome := "ok"
 	if err != nil {
 		// Client gone or body unreadable mid-stream; whatever was

@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// Default edge timeouts for NewHTTPServer.
+const (
+	// DefaultReadHeaderTimeout bounds how long a connection may take to
+	// deliver its request headers. Without it a client that trickles
+	// header bytes (slowloris) pins a connection — and, on /v1/bulk, one
+	// of the BulkStreams slots — indefinitely.
+	DefaultReadHeaderTimeout = 10 * time.Second
+	// DefaultIdleTimeout bounds how long a keep-alive connection may sit
+	// between requests.
+	DefaultIdleTimeout = 120 * time.Second
+)
+
+// NewHTTPServer wraps a handler in an http.Server with the serving-edge
+// timeouts this service needs: ReadHeaderTimeout against stalled-header
+// connections and IdleTimeout against idle keep-alives. It deliberately
+// sets NO WriteTimeout and NO whole-request ReadTimeout — a bulk stream
+// legitimately reads its request body and writes results for as long as
+// the solves take, and either timeout would kill long streams mid-
+// flight. Non-positive arguments take the defaults above.
+func NewHTTPServer(addr string, h http.Handler, readHeaderTimeout, idleTimeout time.Duration) *http.Server {
+	if readHeaderTimeout <= 0 {
+		readHeaderTimeout = DefaultReadHeaderTimeout
+	}
+	if idleTimeout <= 0 {
+		idleTimeout = DefaultIdleTimeout
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/admm"
 	"repro/internal/bulk"
 	"repro/internal/shard"
+	"repro/internal/store"
 )
 
 // metrics aggregates service counters for the /metrics endpoint. The
@@ -206,4 +207,28 @@ func (m *metrics) render(b *strings.Builder, queueDepth int, cacheHits, cacheMis
 	fmt.Fprintf(b, "# HELP paradmm_queue_depth Accepted jobs waiting for a worker.\n")
 	fmt.Fprintf(b, "# TYPE paradmm_queue_depth gauge\n")
 	fmt.Fprintf(b, "paradmm_queue_depth %d\n", queueDepth)
+}
+
+// renderStoreMetrics writes the solution store's counters. Rendered
+// only when the server was configured with a store, so a scrape of a
+// storeless deployment carries no dead series.
+func renderStoreMetrics(b *strings.Builder, st store.Stats) {
+	fmt.Fprintf(b, "# HELP paradmm_store_hits_total Warm-start chains seeded from the solution store.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_store_hits_total counter\n")
+	fmt.Fprintf(b, "paradmm_store_hits_total %d\n", st.Hits)
+	fmt.Fprintf(b, "# HELP paradmm_store_misses_total Store lookups that found nothing usable (absent, corrupt, or rejected).\n")
+	fmt.Fprintf(b, "# TYPE paradmm_store_misses_total counter\n")
+	fmt.Fprintf(b, "paradmm_store_misses_total %d\n", st.Misses)
+	fmt.Fprintf(b, "# HELP paradmm_store_puts_total Snapshots persisted to the solution store.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_store_puts_total counter\n")
+	fmt.Fprintf(b, "paradmm_store_puts_total %d\n", st.Puts)
+	fmt.Fprintf(b, "# HELP paradmm_store_evictions_total Keys evicted by size-capped compaction.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_store_evictions_total counter\n")
+	fmt.Fprintf(b, "paradmm_store_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(b, "# HELP paradmm_store_keys Distinct shape keys currently stored.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_store_keys gauge\n")
+	fmt.Fprintf(b, "paradmm_store_keys %d\n", st.Keys)
+	fmt.Fprintf(b, "# HELP paradmm_store_bytes Solution log size on disk.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_store_bytes gauge\n")
+	fmt.Fprintf(b, "paradmm_store_bytes %d\n", st.Bytes)
 }

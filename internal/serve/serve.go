@@ -45,9 +45,12 @@ import (
 	"sync"
 	"time"
 
+	"errors"
+
 	"repro/internal/admm"
 	"repro/internal/graph"
 	"repro/internal/shard"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -70,6 +73,14 @@ type Config struct {
 	// solve-stage worker count (default Workers).
 	BulkStreams int
 	BulkWorkers int
+	// MaxBodyBytes caps the POST /v1/solve request body (default 1 MiB);
+	// larger bodies get 413. Bulk streams are exempt — they are bounded
+	// per line by the pipeline's MaxLineBytes instead.
+	MaxBodyBytes int64
+	// Store, when non-nil, is the persistent warm-start solution store
+	// shared by every bulk stream (and across restarts, by whoever opens
+	// the same directory next). See internal/store.
+	Store *store.Store
 }
 
 func (c *Config) defaults() {
@@ -90,6 +101,9 @@ func (c *Config) defaults() {
 	}
 	if c.BulkWorkers <= 0 {
 		c.BulkWorkers = c.Workers
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
 	}
 }
 
@@ -261,9 +275,19 @@ type errorBody struct {
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
-	dec := json.NewDecoder(r.Body)
+	// Cap the body before touching it: an unbounded decode would let one
+	// client buffer arbitrary bytes into the process.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.met.countRequest("unknown", "too_large")
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+				Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
+			})
+			return
+		}
 		s.met.countRequest("unknown", "bad_request")
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
@@ -365,6 +389,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	cs := s.cache.Stats()
 	s.met.render(&b, s.pool.Depth(), cs.Hits, cs.Misses, uint64(cs.Size))
+	if s.cfg.Store != nil {
+		renderStoreMetrics(&b, s.cfg.Store.Stats())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.Write([]byte(b.String()))
 }

@@ -1,0 +1,43 @@
+// Package store is the persistent warm-start solution store: a
+// crash-safe on-disk map from problem shape keys (the canonical spec
+// serializations of internal/workload.Admission.Key) to the
+// admm.WarmState snapshot a solve chain ended with.
+//
+// The bulk pipeline (internal/bulk) proved that same-shape solves
+// warm-started off each other converge in a fraction of the cold
+// iteration count — but its chains lived only inside one stream. This
+// package extends the chains across streams, processes, and restarts:
+// a pipeline seeds each shape's chain from the store on first sight and
+// persists the chain's final state at stream end, so a restarted server
+// (or a second CLI run over related traffic) starts where the last one
+// finished instead of solving everything cold.
+//
+// # Design
+//
+// The store is an append-only log of checksummed records with an
+// in-memory index over the newest generation of each key — the
+// log-structured end of the LevelDB-style design the ROADMAP names,
+// kept deliberately simple because the working set (one snapshot per
+// distinct problem shape) is small and the access pattern is
+// point-lookup only.
+//
+//   - Append-only writes: a Put never touches existing bytes, so a
+//     crash cannot corrupt previously stored solutions.
+//   - Checksummed records: each record carries a CRC32 of its payload;
+//     reopen scans the log and truncates at the first torn or
+//     corrupted record (a crash mid-append loses at most that append).
+//   - Generations: each key's records carry a monotonically increasing
+//     generation; the index (and compaction) keep only the newest.
+//   - Size-capped compaction with LRU eviction: when the log outgrows
+//     Options.MaxBytes it is rewritten keeping the newest generation
+//     per key, evicting least-recently-used keys if that still does
+//     not fit; the rewrite goes to a temp file renamed over the log,
+//     so either the old or the new log survives a crash, never a mix.
+//
+// Corrupt or stale data can never produce a wrong answer downstream:
+// records are re-verified on Get, and the consumer applies snapshots
+// through admm.WarmState.Apply, whose shape guard rejects any snapshot
+// that does not match the graph it is applied to — the failure mode is
+// always "solve cold", not "solve wrong". See docs/store.md for the
+// record format and the measured warm-vs-cold ladder.
+package store

@@ -1,0 +1,121 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/admm"
+)
+
+// On-disk record framing. Every record is
+//
+//	| magic u32 | payloadLen u32 | crc32(payload) u32 | payload |
+//
+// (all little-endian), and the payload is
+//
+//	| version u8 | keyLen u16 | key | generation u64 | iterations u32 |
+//	| warmLen u32 | warm state blob (admm.WarmState.MarshalBinary) |
+//
+// The CRC is over the payload only: a torn header is caught by the
+// magic/length checks, a torn payload by the checksum, and in either
+// case the log is truncated back to the last intact record on reopen.
+const (
+	recordMagic   = 0x50535631 // "PSV1"
+	headerSize    = 12
+	recordVersion = 1
+	// maxPayloadBytes bounds a single record so a corrupted length
+	// prefix cannot demand a giant allocation during the reopen scan.
+	// The serving layer's workload size caps keep real snapshots far
+	// below this.
+	maxPayloadBytes = 1 << 30
+)
+
+// Snapshot is one stored solution: the warm-start state a solve chain
+// ended with, the iteration count of the solve that produced it, and
+// the per-key generation the store assigned when it was written.
+type Snapshot struct {
+	Warm       admm.WarmState
+	Iterations int
+	Generation uint64
+}
+
+// encodeRecord renders a full framed record (header + payload).
+func encodeRecord(key string, snap Snapshot) ([]byte, error) {
+	if key == "" {
+		return nil, fmt.Errorf("store: empty key")
+	}
+	if len(key) > 0xffff {
+		return nil, fmt.Errorf("store: key is %d bytes, max %d", len(key), 0xffff)
+	}
+	if snap.Iterations < 0 {
+		return nil, fmt.Errorf("store: negative iteration count %d", snap.Iterations)
+	}
+	warm, err := snap.Warm.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	payloadLen := 1 + 2 + len(key) + 8 + 4 + 4 + len(warm)
+	if payloadLen > maxPayloadBytes {
+		return nil, fmt.Errorf("store: record payload is %d bytes, max %d", payloadLen, maxPayloadBytes)
+	}
+	buf := make([]byte, 0, headerSize+payloadLen)
+	buf = binary.LittleEndian.AppendUint32(buf, recordMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payloadLen))
+	buf = buf[:headerSize] // crc patched below, once the payload exists
+	buf = append(buf, recordVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key)))
+	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint64(buf, snap.Generation)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(snap.Iterations))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(warm)))
+	buf = append(buf, warm...)
+	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(buf[headerSize:]))
+	return buf, nil
+}
+
+// decodePayload parses a checksummed payload back into its key and
+// snapshot. It never panics on malformed input; every length is checked
+// before it is trusted.
+func decodePayload(payload []byte) (key string, snap Snapshot, err error) {
+	if len(payload) < 1+2 {
+		return "", Snapshot{}, fmt.Errorf("store: payload too short (%d bytes)", len(payload))
+	}
+	if payload[0] != recordVersion {
+		return "", Snapshot{}, fmt.Errorf("store: record version %d, want %d", payload[0], recordVersion)
+	}
+	keyLen := int(binary.LittleEndian.Uint16(payload[1:]))
+	rest := payload[3:]
+	if keyLen == 0 || len(rest) < keyLen+8+4+4 {
+		return "", Snapshot{}, fmt.Errorf("store: payload truncated inside key/header")
+	}
+	key = string(rest[:keyLen])
+	rest = rest[keyLen:]
+	snap.Generation = binary.LittleEndian.Uint64(rest)
+	snap.Iterations = int(binary.LittleEndian.Uint32(rest[8:]))
+	warmLen := int(binary.LittleEndian.Uint32(rest[12:]))
+	rest = rest[16:]
+	if warmLen != len(rest) {
+		return "", Snapshot{}, fmt.Errorf("store: warm blob length %d, payload carries %d", warmLen, len(rest))
+	}
+	if err := snap.Warm.UnmarshalBinary(rest); err != nil {
+		return "", Snapshot{}, err
+	}
+	return key, snap, nil
+}
+
+// parseHeader validates a record header and returns the payload length
+// and expected checksum.
+func parseHeader(hdr []byte) (payloadLen int, crc uint32, err error) {
+	if len(hdr) < headerSize {
+		return 0, 0, fmt.Errorf("store: header truncated (%d bytes)", len(hdr))
+	}
+	if binary.LittleEndian.Uint32(hdr) != recordMagic {
+		return 0, 0, fmt.Errorf("store: bad record magic %#x", binary.LittleEndian.Uint32(hdr))
+	}
+	payloadLen = int(binary.LittleEndian.Uint32(hdr[4:]))
+	if payloadLen <= 0 || payloadLen > maxPayloadBytes {
+		return 0, 0, fmt.Errorf("store: record payload length %d out of range", payloadLen)
+	}
+	return payloadLen, binary.LittleEndian.Uint32(hdr[8:]), nil
+}

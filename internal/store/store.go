@@ -1,0 +1,358 @@
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Options tunes an on-disk store.
+type Options struct {
+	// Dir is the store directory (created if missing). The log lives at
+	// Dir/solutions.log.
+	Dir string
+	// MaxBytes caps the log size (default 256 MiB). When an append
+	// pushes the log past the cap the store compacts: old generations
+	// are dropped, and if the newest generation of every key still does
+	// not fit, least-recently-used keys are evicted until it does.
+	MaxBytes int64
+}
+
+// Stats is a snapshot of store effectiveness counters. Hits/Misses
+// count Get outcomes since the store was opened; Evictions counts keys
+// dropped by size-capped compaction; Bytes is the current log size.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Puts        uint64
+	Evictions   uint64
+	Compactions uint64
+	Keys        int
+	Bytes       int64
+}
+
+// entry is the in-memory index record for one key: where the newest
+// generation's payload lives in the log, plus the metadata needed to
+// serve Stats and drive LRU eviction without touching disk.
+type entry struct {
+	payloadOff int64
+	payloadLen int
+	crc        uint32
+	generation uint64
+	iterations int
+	recordLen  int64 // header + payload, for live-size accounting
+	lastUse    uint64
+}
+
+// Store is a crash-safe persistent solution store: an append-only log
+// of checksummed (shape key -> warm-start snapshot) records with an
+// in-memory index over the newest generation of each key.
+//
+// Crash safety is by construction rather than by fsync-per-write: every
+// record is checksummed, so a torn tail (a crash mid-append) is
+// detected on reopen and truncated away, losing at most the records
+// after the last intact one. Compaction writes a fresh log to a
+// temporary file and renames it over the old one, so a crash
+// mid-compaction leaves either the old log or the new one, never a mix.
+//
+// All methods are safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	size  int64
+	live  int64 // bytes occupied by the newest generation of each key
+	index map[string]*entry
+	tick  uint64
+	max   int64
+	stats Stats
+}
+
+const logName = "solutions.log"
+
+// Open opens (or creates) the store in opts.Dir, scanning the log to
+// rebuild the index. A torn or corrupted tail is truncated back to the
+// last intact record; a leftover temporary file from an interrupted
+// compaction is removed.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: no directory given")
+	}
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = 256 << 20
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(opts.Dir, logName)
+	os.Remove(path + ".tmp") // interrupted compaction leftovers
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{f: f, path: path, index: map[string]*entry{}, max: opts.MaxBytes}
+	if err := s.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// scan replays the log sequentially, indexing the newest generation of
+// each key and truncating at the first torn or corrupted record.
+func (s *Store) scan() error {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	total := fi.Size()
+	var off int64
+	hdr := make([]byte, headerSize)
+	var payload []byte
+	for off+headerSize <= total {
+		if _, err := s.f.ReadAt(hdr, off); err != nil {
+			return fmt.Errorf("store: read log header: %w", err)
+		}
+		payloadLen, crc, err := parseHeader(hdr)
+		if err != nil {
+			break // corrupted record: keep the intact prefix
+		}
+		if off+headerSize+int64(payloadLen) > total {
+			break // torn tail: the payload never fully landed
+		}
+		if cap(payload) < payloadLen {
+			payload = make([]byte, payloadLen)
+		}
+		payload = payload[:payloadLen]
+		if _, err := s.f.ReadAt(payload, off+headerSize); err != nil {
+			return fmt.Errorf("store: read log payload: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		key, snap, err := decodePayload(payload)
+		if err != nil {
+			break
+		}
+		recLen := int64(headerSize + payloadLen)
+		if old, ok := s.index[key]; ok {
+			s.live -= old.recordLen
+		}
+		s.tick++
+		s.index[key] = &entry{
+			payloadOff: off + headerSize,
+			payloadLen: payloadLen,
+			crc:        crc,
+			generation: snap.Generation,
+			iterations: snap.Iterations,
+			recordLen:  recLen,
+			lastUse:    s.tick,
+		}
+		s.live += recLen
+		off += recLen
+	}
+	if off < total {
+		if err := s.f.Truncate(off); err != nil {
+			return fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+	}
+	s.size = off
+	return nil
+}
+
+// Get returns the newest stored snapshot for key. A record that fails
+// its checksum or decode on the way back (disk corruption after the
+// open-time scan) is dropped from the index and reported as a miss —
+// the store never returns a snapshot it cannot fully verify.
+func (s *Store) Get(key string) (Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[key]
+	if !ok {
+		s.stats.Misses++
+		return Snapshot{}, false
+	}
+	payload := make([]byte, e.payloadLen)
+	if _, err := s.f.ReadAt(payload, e.payloadOff); err != nil {
+		s.drop(key, e)
+		return Snapshot{}, false
+	}
+	if crc32.ChecksumIEEE(payload) != e.crc {
+		s.drop(key, e)
+		return Snapshot{}, false
+	}
+	gotKey, snap, err := decodePayload(payload)
+	if err != nil || gotKey != key {
+		s.drop(key, e)
+		return Snapshot{}, false
+	}
+	s.tick++
+	e.lastUse = s.tick
+	s.stats.Hits++
+	return snap, true
+}
+
+// drop removes a key whose stored record turned out to be unreadable.
+func (s *Store) drop(key string, e *entry) {
+	s.live -= e.recordLen
+	delete(s.index, key)
+	s.stats.Misses++
+}
+
+// Put appends a new generation for key. The snapshot's Generation
+// field is assigned by the store (previous generation + 1). When the
+// append pushes the log past the size cap, the store compacts in place.
+func (s *Store) Put(key string, snap Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap.Generation = 1
+	if old, ok := s.index[key]; ok {
+		snap.Generation = old.generation + 1
+	}
+	rec, err := encodeRecord(key, snap)
+	if err != nil {
+		return err
+	}
+	if _, err := s.f.WriteAt(rec, s.size); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if old, ok := s.index[key]; ok {
+		s.live -= old.recordLen
+	}
+	s.tick++
+	s.index[key] = &entry{
+		payloadOff: s.size + headerSize,
+		payloadLen: len(rec) - headerSize,
+		crc:        crc32.ChecksumIEEE(rec[headerSize:]),
+		generation: snap.Generation,
+		iterations: snap.Iterations,
+		recordLen:  int64(len(rec)),
+		lastUse:    s.tick,
+	}
+	s.live += int64(len(rec))
+	s.size += int64(len(rec))
+	s.stats.Puts++
+	if s.size > s.max {
+		return s.compact()
+	}
+	return nil
+}
+
+// compact rewrites the log keeping only the newest generation of each
+// key, evicting least-recently-used keys while the survivors still
+// exceed the size cap (the most recently used key always survives).
+// The new log is written to a temporary file, synced, and renamed over
+// the old one, so a crash at any point leaves one intact log.
+func (s *Store) compact() error {
+	type keyed struct {
+		key string
+		e   *entry
+	}
+	keep := make([]keyed, 0, len(s.index))
+	for k, e := range s.index {
+		keep = append(keep, keyed{k, e})
+	}
+	// Most recently used first: eviction trims from the tail.
+	sort.Slice(keep, func(i, j int) bool { return keep[i].e.lastUse > keep[j].e.lastUse })
+	var kept int64
+	cut := len(keep)
+	for i, ke := range keep {
+		if i > 0 && kept+ke.e.recordLen > s.max {
+			cut = i
+			break
+		}
+		kept += ke.e.recordLen
+	}
+	s.stats.Evictions += uint64(len(keep) - cut)
+	keep = keep[:cut]
+	// Rewrite in log order so relative append order (and therefore a
+	// future scan's tick order) is preserved.
+	sort.Slice(keep, func(i, j int) bool { return keep[i].e.payloadOff < keep[j].e.payloadOff })
+
+	tmpPath := s.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	defer os.Remove(tmpPath) // no-op after a successful rename
+	var off int64
+	newIndex := make(map[string]*entry, len(keep))
+	buf := make([]byte, 0, 64<<10)
+	for _, ke := range keep {
+		rec := buf
+		if cap(rec) < int(ke.e.recordLen) {
+			rec = make([]byte, ke.e.recordLen)
+		}
+		rec = rec[:ke.e.recordLen]
+		if _, err := s.f.ReadAt(rec, ke.e.payloadOff-headerSize); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compact read: %w", err)
+		}
+		if _, err := tmp.WriteAt(rec, off); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compact write: %w", err)
+		}
+		ne := *ke.e
+		ne.payloadOff = off + headerSize
+		newIndex[ke.key] = &ne
+		off += ke.e.recordLen
+		buf = rec
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact sync: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	s.f.Close()
+	s.f = tmp
+	s.index = newIndex
+	s.size = off
+	s.live = off
+	s.stats.Compactions++
+	return nil
+}
+
+// Len reports the number of keys currently indexed.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Keys = len(s.index)
+	st.Bytes = s.size
+	return st
+}
+
+// Sync flushes the log to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// Close syncs and closes the log. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("store: close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/admm"
+	"repro/internal/graph"
+	"repro/internal/prox"
+)
+
+// testWarm builds a small captured WarmState with recognizable values:
+// a finalized d=1 graph of n pass-through nodes with seeded random
+// state, so snapshots of different seeds are distinguishable.
+func testWarm(t testing.TB, n int, seed int64) admm.WarmState {
+	t.Helper()
+	g := graph.New(1)
+	for i := 0; i < n; i++ {
+		g.AddNode(prox.Identity{}, i)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	g.InitRandom(-1, 1, rand.New(rand.NewSource(seed)))
+	var ws admm.WarmState
+	ws.Capture(g)
+	return ws
+}
+
+func logPath(dir string) string { return filepath.Join(dir, logName) }
+
+// TestStorePutGetAcrossReopen pins the basic durability contract: put,
+// close, reopen, get back an identical snapshot with its generation.
+func TestStorePutGetAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := testWarm(t, 4, 25)
+	if err := s.Put("shape-a", Snapshot{Warm: ws, Iterations: 123}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("shape-a", Snapshot{Warm: ws, Iterations: 45}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	snap, ok := s2.Get("shape-a")
+	if !ok {
+		t.Fatal("stored key missing after reopen")
+	}
+	if snap.Generation != 2 || snap.Iterations != 45 {
+		t.Fatalf("got generation %d, iterations %d; want 2, 45", snap.Generation, snap.Iterations)
+	}
+	if len(snap.Warm.X) != len(ws.X) {
+		t.Fatalf("warm X length %d, want %d", len(snap.Warm.X), len(ws.X))
+	}
+	for i := range ws.X {
+		if snap.Warm.X[i] != ws.X[i] {
+			t.Fatalf("warm X[%d] = %g, want %g", i, snap.Warm.X[i], ws.X[i])
+		}
+	}
+	if _, ok := s2.Get("shape-b"); ok {
+		t.Fatal("unknown key reported as hit")
+	}
+	st := s2.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Keys != 1 || st.Bytes <= 0 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 key, positive bytes", st)
+	}
+}
+
+// TestStoreCrashRecoveryEveryOffset is the torn-tail battery: append
+// three records, then truncate the log at every byte offset inside the
+// final record and reopen. The index must rebuild from the intact
+// prefix (two keys, correct snapshots) with no panic, and the torn
+// bytes must be gone after the reopen so subsequent appends are clean.
+func TestStoreCrashRecoveryEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warms := map[string]admm.WarmState{
+		"k1": testWarm(t, 3, 1),
+		"k2": testWarm(t, 5, 2),
+		"k3": testWarm(t, 4, 3),
+	}
+	var offsets []int64
+	for _, k := range []string{"k1", "k2", "k3"} {
+		offsets = append(offsets, s.Stats().Bytes)
+		if err := s.Put(k, Snapshot{Warm: warms[k], Iterations: 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(logPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStart := offsets[2]
+
+	for cut := lastStart; cut < int64(len(full)); cut++ {
+		cutDir := t.TempDir()
+		if err := os.WriteFile(logPath(cutDir), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sc, err := Open(Options{Dir: cutDir})
+		if err != nil {
+			t.Fatalf("cut at %d: reopen failed: %v", cut, err)
+		}
+		if got := sc.Len(); got != 2 {
+			t.Fatalf("cut at %d: index has %d keys, want 2 (the intact prefix)", cut, got)
+		}
+		for _, k := range []string{"k1", "k2"} {
+			snap, ok := sc.Get(k)
+			if !ok {
+				t.Fatalf("cut at %d: intact key %s missing", cut, k)
+			}
+			want := warms[k]
+			for i := range want.Z {
+				if snap.Warm.Z[i] != want.Z[i] {
+					t.Fatalf("cut at %d: %s Z[%d] = %g, want %g", cut, k, i, snap.Warm.Z[i], want.Z[i])
+				}
+			}
+		}
+		if _, ok := sc.Get("k3"); ok {
+			t.Fatalf("cut at %d: torn record served", cut)
+		}
+		// The truncated tail must be physically gone: a fresh append
+		// followed by reopen must index it.
+		if err := sc.Put("k4", Snapshot{Warm: warms["k1"], Iterations: 9}); err != nil {
+			t.Fatalf("cut at %d: append after recovery: %v", cut, err)
+		}
+		if err := sc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sc2, err := Open(Options{Dir: cutDir})
+		if err != nil {
+			t.Fatalf("cut at %d: second reopen: %v", cut, err)
+		}
+		if _, ok := sc2.Get("k4"); !ok {
+			t.Fatalf("cut at %d: append after recovery lost on reopen", cut)
+		}
+		sc2.Close()
+	}
+}
+
+// TestStoreCorruptMiddleRecord flips a payload byte of the middle
+// record: reopen must keep only the prefix before it (truncation back
+// to the last intact record — corruption is treated as a torn tail).
+func TestStoreCorruptMiddleRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := testWarm(t, 3, 5)
+	var off2 int64
+	for i, k := range []string{"k1", "k2", "k3"} {
+		if i == 1 {
+			off2 = s.Stats().Bytes
+		}
+		if err := s.Put(k, Snapshot{Warm: ws, Iterations: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	raw, err := os.ReadFile(logPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[off2+headerSize+5] ^= 0xff
+	if err := os.WriteFile(logPath(dir), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("index has %d keys after mid-log corruption, want 1", s2.Len())
+	}
+	if _, ok := s2.Get("k1"); !ok {
+		t.Fatal("intact first record missing")
+	}
+}
+
+// TestStoreCompactionAndLRU drives the log past its size cap and pins
+// the compaction contract: newest generation per key survives, the
+// least-recently-used keys are evicted first, the log shrinks under the
+// cap, and the surviving records are intact across a reopen.
+func TestStoreCompactionAndLRU(t *testing.T) {
+	dir := t.TempDir()
+	ws := testWarm(t, 6, 75)
+	rec, err := encodeRecord("key-0", Snapshot{Warm: ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cap sized for about 4 records, so 8 distinct keys must evict.
+	s, err := Open(Options{Dir: dir, MaxBytes: int64(4*len(rec) + len(rec)/2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), Snapshot{Warm: ws, Iterations: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Compactions == 0 || st.Evictions == 0 {
+		t.Fatalf("stats = %+v, want compactions and evictions", st)
+	}
+	if st.Bytes > 4*int64(len(rec))+int64(len(rec))/2 {
+		t.Fatalf("log is %d bytes after compaction, cap was %d", st.Bytes, 4*len(rec)+len(rec)/2)
+	}
+	// The most recently written keys survive; the earliest are gone.
+	if _, ok := s.Get("key-7"); !ok {
+		t.Fatal("most recent key evicted")
+	}
+	if _, ok := s.Get("key-0"); ok {
+		t.Fatal("least recently used key survived an over-cap compaction")
+	}
+	s.Close()
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	snap, ok := s2.Get("key-7")
+	if !ok {
+		t.Fatal("surviving key lost across reopen")
+	}
+	if snap.Iterations != 7 {
+		t.Fatalf("surviving key iterations = %d, want 7", snap.Iterations)
+	}
+}
+
+// TestStoreCompactionKeepsNewestGeneration re-puts one key many times
+// past the cap: compaction must dedup to the newest generation and the
+// generation counter must keep rising across it.
+func TestStoreCompactionKeepsNewestGeneration(t *testing.T) {
+	dir := t.TempDir()
+	ws := testWarm(t, 6, 15)
+	rec, err := encodeRecord("k", Snapshot{Warm: ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Options{Dir: dir, MaxBytes: int64(3 * len(rec))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if err := s.Put("k", Snapshot{Warm: ws, Iterations: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, ok := s.Get("k")
+	if !ok {
+		t.Fatal("key missing after repeated puts")
+	}
+	if snap.Generation != 10 || snap.Iterations != 9 {
+		t.Fatalf("got generation %d iterations %d, want 10 and 9", snap.Generation, snap.Iterations)
+	}
+	if st := s.Stats(); st.Evictions != 0 {
+		t.Fatalf("single-key compaction evicted %d keys", st.Evictions)
+	}
+}
