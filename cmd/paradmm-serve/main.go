@@ -61,6 +61,8 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", serve.DefaultIdleTimeout, "drop keep-alive connections idle this long between requests")
 	storeDir := flag.String("store", "", "persistent warm-start store directory (empty = disabled); bulk streams seed from and persist to it across restarts")
 	storeMaxBytes := flag.Int64("store-max-bytes", 256<<20, "solution store log size cap before compaction")
+	dialTimeout := flag.Duration("dial-timeout", 0, "default worker dial timeout for sharded sockets solves whose specs leave dial_timeout_ms unset (0 = 10s)")
+	handshakeTimeout := flag.Duration("handshake-timeout", 0, "default worker handshake timeout for sharded sockets solves whose specs leave handshake_timeout_ms unset (0 = 30s)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: paradmm-serve [-addr :8080] [-workers N] [-queue N] [flags]\n\n")
 		flag.PrintDefaults()
@@ -75,6 +77,9 @@ func main() {
 		BulkStreams:  *bulkStreams,
 		BulkWorkers:  *bulkWorkers,
 		MaxBodyBytes: *maxBodyBytes,
+
+		DialTimeout:      *dialTimeout,
+		HandshakeTimeout: *handshakeTimeout,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(store.Options{Dir: *storeDir, MaxBytes: *storeMaxBytes})

@@ -28,6 +28,9 @@ func main() {
 	listen := flag.String("listen", "", "control endpoint: unix:/path or tcp:host:port (required)")
 	sessions := flag.Int("sessions", 0, "exit after N coordinator sessions (0 = serve forever)")
 	quiet := flag.Bool("quiet", false, "suppress session lifecycle logging")
+	dialTimeout := flag.Duration("dial-timeout", 0, "bound on each mesh peer connection establishment (0 = 10s default)")
+	handshakeTimeout := flag.Duration("handshake-timeout", 0, "bound on waiting for inbound mesh peers during session setup (0 = 30s default)")
+	chaosKillBlock := flag.Int("chaos-kill-block", -1, "fault injection: exit(2) immediately before executing the Nth iteration block of the first session (-1 = disabled; for failover testing)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: paradmm-shardworker -listen ADDR [-sessions N] [-quiet]\n\n")
 		flag.PrintDefaults()
@@ -47,6 +50,17 @@ func main() {
 	opts := shard.WorkerOptions{
 		Builders:    workload.Builders(),
 		MaxSessions: *sessions,
+		DialTimeout: *dialTimeout,
+		MeshWait:    *handshakeTimeout,
+	}
+	if *chaosKillBlock >= 0 {
+		kill := *chaosKillBlock
+		opts.OnIterBlock = func(session uint64, block int) {
+			if block == kill {
+				fmt.Fprintf(os.Stderr, "paradmm-shardworker: chaos kill at block %d (session %d)\n", block, session)
+				os.Exit(2)
+			}
+		}
 	}
 	if !*quiet {
 		logger := log.New(os.Stderr, "", log.LstdFlags)

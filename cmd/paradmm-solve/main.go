@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/admm"
 	"repro/internal/gpusim"
@@ -51,6 +53,11 @@ func main() {
 	fused := flag.Bool("fused", true, "fused two-pass schedule for the CPU executors (false = five-phase reference)")
 	transport := flag.String("transport", "", "sharded boundary exchange: local (default) | sockets (in-process loopback, or remote workers with -addrs)")
 	addrs := flag.String("addrs", "", "comma-separated paradmm-shardworker endpoints (unix:/path | tcp:host:port), one per shard, for -transport sockets")
+	dialTimeout := flag.Duration("dial-timeout", 0, "sockets transport: bound on each worker connection establishment (0 = 10s default)")
+	handshakeTimeout := flag.Duration("handshake-timeout", 0, "sockets transport: bound on each handshake frame exchange (0 = 30s default)")
+	frameTimeout := flag.Duration("frame-timeout", 0, "sockets transport: bound on every mid-solve frame read/write; must exceed a block's compute time (0 = unbounded)")
+	dialAttempts := flag.Int("dial-attempts", 0, "sockets transport: dial+handshake retry budget with capped exponential backoff (0 = 3 attempts)")
+	failover := flag.String("failover", "", "sockets transport recovery on worker loss: none (default, fail the solve) | survivors (re-partition onto live workers, re-run cold) | local (survivors, then in-process fused fallback)")
 	seed := flag.Int64("seed", 1, "workload seed (0 selects the workload spec's default seed)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: paradmm-solve [-problem P] [-size N] [-iters N] [-backend B] [flags]\n\n")
@@ -66,34 +73,37 @@ func main() {
 		}
 	})
 	// The sharded executor partitions the factor graph up front, so the
-	// backend is built after the problem: solve* functions receive this
-	// factory and call it with the finalized graph (plus, for the
-	// cross-process transport, the rebuildable problem reference the
-	// worker processes reconstruct the graph from).
-	newBackend := func(g *graph.Graph, ref *admm.ProblemRef) (admm.Backend, error) {
-		return makeBackend(backendConfig{
-			name:      *backendName,
-			workers:   *workers,
-			shards:    *shards,
-			shardsSet: shardsSet,
-			partition: *partition,
-			refine:    *refine,
-			fused:     *fused,
-			transport: *transport,
-			addrs:     workerAddrs,
-		}, ref, g)
+	// backend is built after the problem: solve* functions carry this
+	// config to run(), which builds the backend against the finalized
+	// graph (plus, for the cross-process transport, the rebuildable
+	// problem reference the worker processes reconstruct the graph from).
+	cfg := backendConfig{
+		name:             *backendName,
+		workers:          *workers,
+		shards:           *shards,
+		shardsSet:        shardsSet,
+		partition:        *partition,
+		refine:           *refine,
+		fused:            *fused,
+		transport:        *transport,
+		addrs:            workerAddrs,
+		dialTimeout:      *dialTimeout,
+		handshakeTimeout: *handshakeTimeout,
+		frameTimeout:     *frameTimeout,
+		dialAttempts:     *dialAttempts,
+		failover:         *failover,
 	}
 
 	var err error
 	switch *problem {
 	case "packing":
-		err = solvePacking(*size, *iters, newBackend, *seed)
+		err = solvePacking(*size, *iters, cfg, *seed)
 	case "mpc":
-		err = solveMPC(*size, *iters, newBackend)
+		err = solveMPC(*size, *iters, cfg)
 	case "svm":
-		err = solveSVM(*size, *iters, newBackend, *seed)
+		err = solveSVM(*size, *iters, cfg, *seed)
 	case "lasso":
-		err = solveLasso(*size, *iters, newBackend, *seed)
+		err = solveLasso(*size, *iters, cfg, *seed)
 	default:
 		err = fmt.Errorf("unknown problem %q", *problem)
 	}
@@ -116,11 +126,6 @@ func splitAddrs(s string) []string {
 	return out
 }
 
-// backendMaker builds the backend for a finalized graph; ref is the
-// rebuildable problem description (non-nil whenever the problem is
-// spec-addressable) that the sockets transport ships to remote workers.
-type backendMaker func(g *graph.Graph, ref *admm.ProblemRef) (admm.Backend, error)
-
 type backendConfig struct {
 	name      string
 	workers   int
@@ -131,36 +136,64 @@ type backendConfig struct {
 	fused     bool
 	transport string
 	addrs     []string
+	// Reliability knobs for the sockets transport (-dial-timeout etc.);
+	// zero values keep the shard package defaults.
+	dialTimeout      time.Duration
+	handshakeTimeout time.Duration
+	frameTimeout     time.Duration
+	dialAttempts     int
+	failover         string
+}
+
+// specFor resolves the config into a declarative executor spec — the
+// same selection path the serving layer uses per request — or nil when
+// the name is one of the simulated-device backends that sit outside the
+// spec registry (gpu, cpusim, multicpu, twa). ref is the rebuildable
+// problem description the sockets transport ships to remote workers.
+func specFor(c backendConfig, ref *admm.ProblemRef) (*admm.ExecutorSpec, error) {
+	spec, err := admm.ParseExecutor(c.name, c.workers)
+	if err != nil {
+		return nil, nil
+	}
+	if spec.Kind == admm.ExecSharded {
+		spec.Workers = 0
+		spec.Shards = c.shards
+		spec.Partition = c.partition
+		spec.Refine = c.refine
+		if len(c.addrs) > 0 {
+			// One worker process per shard. An un-passed -shards
+			// follows the addr count; an explicit one must agree
+			// (Validate reports the mismatch).
+			if !c.shardsSet {
+				spec.Shards = len(c.addrs)
+			}
+			spec.Problem = ref
+		}
+	}
+	if spec.Kind == admm.ExecAuto {
+		spec.Workers = 0
+	}
+	// Set unconditionally: Validate rejects transport/addrs (and the
+	// reliability knobs) on any non-sharded kind, so a -transport or
+	// -failover request against the wrong backend errors instead of
+	// silently solving locally.
+	spec.Transport = c.transport
+	spec.Addrs = c.addrs
+	spec.Fused = &c.fused
+	spec.DialTimeoutMS = int(c.dialTimeout / time.Millisecond)
+	spec.HandshakeTimeoutMS = int(c.handshakeTimeout / time.Millisecond)
+	spec.FrameTimeoutMS = int(c.frameTimeout / time.Millisecond)
+	spec.DialAttempts = c.dialAttempts
+	spec.Failover = c.failover
+	return &spec, nil
 }
 
 func makeBackend(c backendConfig, ref *admm.ProblemRef, g *graph.Graph) (admm.Backend, error) {
-	// Shared-memory strategies go through the declarative executor spec —
-	// the same selection path the serving layer uses per request.
-	if spec, err := admm.ParseExecutor(c.name, c.workers); err == nil {
-		if spec.Kind == admm.ExecSharded {
-			spec.Workers = 0
-			spec.Shards = c.shards
-			spec.Partition = c.partition
-			spec.Refine = c.refine
-			if len(c.addrs) > 0 {
-				// One worker process per shard. An un-passed -shards
-				// follows the addr count; an explicit one must agree
-				// (Validate reports the mismatch).
-				if !c.shardsSet {
-					spec.Shards = len(c.addrs)
-				}
-				spec.Problem = ref
-			}
-		}
-		if spec.Kind == admm.ExecAuto {
-			spec.Workers = 0
-		}
-		// Set unconditionally: Validate rejects transport/addrs on any
-		// non-sharded kind, so a -transport request against the wrong
-		// backend errors instead of silently solving locally.
-		spec.Transport = c.transport
-		spec.Addrs = c.addrs
-		spec.Fused = &c.fused
+	spec, err := specFor(c, ref)
+	if err != nil {
+		return nil, err
+	}
+	if spec != nil {
 		return spec.NewBackend(g)
 	}
 	if c.transport != "" || len(c.addrs) > 0 {
@@ -189,8 +222,37 @@ func problemRef(workload string, spec any) (*admm.ProblemRef, error) {
 	return &admm.ProblemRef{Workload: workload, Spec: raw}, nil
 }
 
-func run(g *graph.Graph, iters int, newBackend backendMaker, ref *admm.ProblemRef) (admm.Result, error) {
-	backend, err := newBackend(g, ref)
+func run(g *graph.Graph, iters int, c backendConfig, ref *admm.ProblemRef) (admm.Result, error) {
+	if c.failover == admm.FailoverSurvivors || c.failover == admm.FailoverLocal {
+		// Recovery-policy solves route through shard.SolveWithFailover,
+		// which owns the retry/probe/re-partition loop that the plain
+		// Backend contract cannot express.
+		spec, err := specFor(c, ref)
+		if err != nil {
+			return admm.Result{}, err
+		}
+		if spec == nil {
+			return admm.Result{}, fmt.Errorf("-failover applies to -backend sharded, not %q", c.name)
+		}
+		out, err := shard.SolveWithFailover(context.Background(), g, admm.SolveOptions{
+			Executor: *spec,
+			MaxIter:  iters,
+		})
+		if err != nil {
+			return admm.Result{}, err
+		}
+		var st *shard.Stats
+		if out.HasShardStats {
+			st = &out.ShardStats
+		}
+		report(out.Result, g, out.Backend, st)
+		if out.Attempts > 1 || out.Failovers > 0 || out.LocalFallback {
+			fmt.Printf("failover: %d attempts, %d failovers, local fallback %v; failures: %s\n",
+				out.Attempts, out.Failovers, out.LocalFallback, strings.Join(out.Failures, "; "))
+		}
+		return out.Result, nil
+	}
+	backend, err := makeBackend(c, ref, g)
 	if err != nil {
 		return admm.Result{}, err
 	}
@@ -199,20 +261,24 @@ func run(g *graph.Graph, iters int, newBackend backendMaker, ref *admm.ProblemRe
 	if err != nil {
 		return res, err
 	}
-	report(res, g, backend)
+	var st *shard.Stats
+	if sb, ok := backend.(shard.StatsReporter); ok {
+		s := sb.Stats()
+		st = &s
+	}
+	report(res, g, backend.Name(), st)
 	return res, nil
 }
 
-func report(res admm.Result, g *graph.Graph, backend admm.Backend) {
+func report(res admm.Result, g *graph.Graph, name string, st *shard.Stats) {
 	s := g.Stats()
 	fmt.Printf("graph: %d functions, %d variables, %d edges (d=%d)\n",
 		s.Functions, s.Variables, s.Edges, s.D)
-	fmt.Printf("backend %s: %d iterations in %v\n", backend.Name(), res.Iterations, res.Elapsed)
+	fmt.Printf("backend %s: %d iterations in %v\n", name, res.Iterations, res.Elapsed)
 	fr := res.PhaseFractions()
 	fmt.Printf("phase time: x %.0f%%, m %.0f%%, z %.0f%%, u %.0f%%, n %.0f%%\n",
 		100*fr[0], 100*fr[1], 100*fr[2], 100*fr[3], 100*fr[4])
-	if sb, ok := backend.(shard.StatsReporter); ok {
-		st := sb.Stats()
+	if st != nil {
 		fmt.Printf("shards: %d (%s partition, %s transport), %d boundary vars / %d boundary edges, cut cost %.0f words, sync wait %v, boundary z %v\n",
 			st.Shards, st.PartitionLabel(), st.Transport, st.BoundaryVars, st.BoundaryEdges, st.CutCost,
 			nanos(st.SyncWaitNanos), nanos(st.BoundaryZNanos))
@@ -225,7 +291,7 @@ func report(res admm.Result, g *graph.Graph, backend admm.Backend) {
 
 func nanos(n int64) string { return fmt.Sprintf("%.2fms", float64(n)/1e6) }
 
-func solvePacking(n, iters int, newBackend backendMaker, seed int64) error {
+func solvePacking(n, iters int, cfg backendConfig, seed int64) error {
 	if seed == 0 {
 		// packing.Spec's documented default; applying it here keeps the
 		// local InitRandom consistent with what the shipped spec (and a
@@ -242,7 +308,7 @@ func solvePacking(n, iters int, newBackend backendMaker, seed int64) error {
 		return err
 	}
 	p.InitRandom(rand.New(rand.NewSource(seed)))
-	if _, err := run(p.Graph, iters, newBackend, ref); err != nil {
+	if _, err := run(p.Graph, iters, cfg, ref); err != nil {
 		return err
 	}
 	v := p.CheckValidity()
@@ -251,7 +317,7 @@ func solvePacking(n, iters int, newBackend backendMaker, seed int64) error {
 	return nil
 }
 
-func solveMPC(k, iters int, newBackend backendMaker) error {
+func solveMPC(k, iters int, cfg backendConfig) error {
 	spec := mpc.Spec{K: k}
 	ref, err := problemRef("mpc", spec)
 	if err != nil {
@@ -262,7 +328,7 @@ func solveMPC(k, iters int, newBackend backendMaker) error {
 		return err
 	}
 	p.Graph.InitZero()
-	if _, err := run(p.Graph, iters, newBackend, ref); err != nil {
+	if _, err := run(p.Graph, iters, cfg, ref); err != nil {
 		return err
 	}
 	fmt.Printf("mpc: cost %.6f, dynamics residual %.2e, u(0) = %.4f\n",
@@ -270,7 +336,7 @@ func solveMPC(k, iters int, newBackend backendMaker) error {
 	return nil
 }
 
-func solveSVM(n, iters int, newBackend backendMaker, seed int64) error {
+func solveSVM(n, iters int, cfg backendConfig, seed int64) error {
 	spec := svm.Spec{N: n, Lambda: 0.5, Seed: seed}
 	ref, err := problemRef("svm", spec)
 	if err != nil {
@@ -281,7 +347,7 @@ func solveSVM(n, iters int, newBackend backendMaker, seed int64) error {
 		return err
 	}
 	p.Graph.InitZero()
-	if _, err := run(p.Graph, iters, newBackend, ref); err != nil {
+	if _, err := run(p.Graph, iters, cfg, ref); err != nil {
 		return err
 	}
 	w, b := p.Plane()
@@ -290,7 +356,7 @@ func solveSVM(n, iters int, newBackend backendMaker, seed int64) error {
 	return nil
 }
 
-func solveLasso(m, iters int, newBackend backendMaker, seed int64) error {
+func solveLasso(m, iters int, cfg backendConfig, seed int64) error {
 	spec := lasso.Spec{M: m, Lambda: 0.3, Seed: seed}
 	ref, err := problemRef("lasso", spec)
 	if err != nil {
@@ -301,7 +367,7 @@ func solveLasso(m, iters int, newBackend backendMaker, seed int64) error {
 		return err
 	}
 	p.Graph.InitZero()
-	if _, err := run(p.Graph, iters, newBackend, ref); err != nil {
+	if _, err := run(p.Graph, iters, cfg, ref); err != nil {
 		return err
 	}
 	x := p.Coefficients()

@@ -77,12 +77,57 @@ type ExecutorSpec struct {
 	// or "tcp:host:port"). Empty keeps the sockets transport in-process
 	// over loopback streams.
 	Addrs []string `json:"addrs,omitempty"`
+	// Reliability knobs for the sharded sockets transport (sharded
+	// only; see docs/fault-tolerance.md). Zero values keep the
+	// defaults (shard.DefaultDialTimeout etc.); the timeouts are
+	// milliseconds so specs stay plain JSON numbers.
+	//
+	// DialTimeoutMS bounds each control/mesh connection establishment;
+	// HandshakeTimeoutMS bounds each handshake frame (config out, Ready
+	// back, state push); FrameTimeoutMS, when set, bounds every
+	// mid-solve frame read/write — it must comfortably exceed an
+	// iteration block's compute time, and 0 keeps mid-solve I/O
+	// unbounded (a large block is legitimately slow). DialAttempts caps
+	// the dial+handshake retry loop (default 3, capped exponential
+	// backoff between attempts).
+	DialTimeoutMS      int `json:"dial_timeout_ms,omitempty"`
+	HandshakeTimeoutMS int `json:"handshake_timeout_ms,omitempty"`
+	FrameTimeoutMS     int `json:"frame_timeout_ms,omitempty"`
+	DialAttempts       int `json:"dial_attempts,omitempty"`
+	// Failover selects the recovery policy when a worker process is
+	// lost mid-solve: "" or "none" fail the solve with a typed error,
+	// "survivors" re-partitions onto the workers still alive and
+	// re-runs cold, "local" additionally falls back to the local fused
+	// executor when too few workers survive. Requires Addrs; honored by
+	// shard.SolveWithFailover (the serving layer and CLIs route through
+	// it when set).
+	Failover string `json:"failover,omitempty"`
 	// Problem lets the sockets transport ship a rebuildable problem
 	// description to remote workers. It is filled by the serving layer
 	// and the CLIs from their request context, never decoded from the
 	// wire spec itself.
 	Problem *ProblemRef `json:"-"`
 }
+
+// Failover policies for ExecutorSpec.Failover. Every policy preserves
+// the determinism contract: a solve either fails with an error or
+// returns the bit-identical result of a clean cold solve with the final
+// configuration — never a corrupted answer.
+const (
+	// FailoverNone fails the solve on worker loss (the default).
+	FailoverNone = "none"
+	// FailoverSurvivors re-partitions onto the live workers and re-runs
+	// cold; the solve fails only when no workers survive.
+	FailoverSurvivors = "survivors"
+	// FailoverLocal is FailoverSurvivors plus a final local fused
+	// executor fallback, so the solve succeeds as long as the
+	// coordinator itself is healthy.
+	FailoverLocal = "local"
+)
+
+// MaxDialAttempts bounds ExecutorSpec.DialAttempts: retries beyond this
+// only stretch a doomed handshake (the backoff is already capped).
+const MaxDialAttempts = 16
 
 // FusedEnabled reports whether the spec selects the fused schedule:
 // true unless Fused explicitly disables it.
@@ -205,6 +250,26 @@ func (s ExecutorSpec) Validate() error {
 		if s.Shards != 0 && s.Shards != len(s.Addrs) {
 			return fmt.Errorf("admm: %d addrs for %d shards — the sockets transport runs one worker process per shard", len(s.Addrs), s.Shards)
 		}
+	}
+	if (s.DialTimeoutMS != 0 || s.HandshakeTimeoutMS != 0 || s.FrameTimeoutMS != 0 ||
+		s.DialAttempts != 0 || s.Failover != "") && s.Kind != ExecSharded {
+		return fmt.Errorf("admm: dial/handshake/frame timeouts, dial_attempts, and failover apply only to %q, not %q", ExecSharded, s.Kind)
+	}
+	if s.DialTimeoutMS < 0 || s.HandshakeTimeoutMS < 0 || s.FrameTimeoutMS < 0 {
+		return fmt.Errorf("admm: negative transport timeout (dial %d / handshake %d / frame %d ms)",
+			s.DialTimeoutMS, s.HandshakeTimeoutMS, s.FrameTimeoutMS)
+	}
+	if s.DialAttempts < 0 || s.DialAttempts > MaxDialAttempts {
+		return fmt.Errorf("admm: dial_attempts = %d, need 0..%d", s.DialAttempts, MaxDialAttempts)
+	}
+	switch s.Failover {
+	case "", FailoverNone, FailoverSurvivors, FailoverLocal:
+	default:
+		return fmt.Errorf("admm: unknown failover policy %q (want %s | %s | %s)",
+			s.Failover, FailoverNone, FailoverSurvivors, FailoverLocal)
+	}
+	if (s.Failover == FailoverSurvivors || s.Failover == FailoverLocal) && len(s.Addrs) == 0 {
+		return fmt.Errorf("admm: failover %q needs worker addrs (transport %q)", s.Failover, TransportSockets)
 	}
 	return nil
 }

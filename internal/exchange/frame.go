@@ -54,6 +54,11 @@ const (
 	FrameBye byte = 18
 	// FrameErr reports a worker-side failure: UTF-8 message.
 	FrameErr byte = 19
+	// FramePing probes a worker's liveness outside any session; the
+	// worker answers FramePong and closes the connection.
+	FramePing byte = 20
+	// FramePong answers FramePing: JSON {active, sessions}.
+	FramePong byte = 21
 )
 
 // frameOverhead is the non-payload bytes of one frame on the wire.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -35,12 +36,16 @@ import (
 // skip the store; the frame receipt itself is the happens-before edge
 // that replaces the barrier crossing.
 //
-// Failure semantics are fail-stop: construction and handshake errors
-// are returned by the coordinator protocol (internal/shard), but a
-// stream that errors or desynchronizes mid-solve panics with context —
-// the admm.Backend iteration contract has no error channel, and a
-// half-exchanged iteration has no consistent state to resume from. See
-// docs/transport.md.
+// Failure semantics are fail-stop per solve: construction and handshake
+// errors are returned by the coordinator protocol (internal/shard), but
+// a stream that errors, times out, or desynchronizes mid-solve panics
+// with context — the admm.Backend iteration contract has no error
+// channel, and a half-exchanged iteration has no consistent state to
+// resume from. The worker loop (internal/shard) recovers these panics
+// into session errors, so a dead peer fails the solve, never the worker
+// process. SetIOTimeout bounds each frame read/write so a stalled (not
+// just dead) peer also surfaces as a failure instead of a wedge. See
+// docs/fault-tolerance.md.
 type Messaged struct {
 	g      *graph.Graph
 	man    *Manifest
@@ -53,6 +58,14 @@ type Messaged struct {
 	state   []msgWorkerState
 	// acct is the lowest local worker id; it owns the rounds counter.
 	acct int
+
+	// ioTimeout, when > 0, bounds each mesh frame read and write via
+	// the streams' deadline support (loopback pipes have none and stay
+	// unbounded). sendFault carries a send-goroutine panic across
+	// dispatchSends' completion channel so it re-raises on the worker
+	// goroutine, where the session loop can recover it.
+	ioTimeout time.Duration
+	sendFault any
 
 	bytes  atomic.Int64
 	wire   atomic.Int64
@@ -117,6 +130,36 @@ func NewPeer(g *graph.Graph, man *Manifest, fused bool, id int, conns []io.ReadW
 	}, nil
 }
 
+// SetIOTimeout bounds each subsequent frame read and write to d (0
+// restores unbounded I/O). Streams without deadline support (loopback
+// pipes) are unaffected. Call before the solve starts; the exchanger
+// applies it per operation, so the bound is per frame, not per solve.
+func (m *Messaged) SetIOTimeout(d time.Duration) { m.ioTimeout = d }
+
+// deadlined is the deadline surface of net.Conn streams.
+type deadlined interface {
+	SetReadDeadline(time.Time) error
+	SetWriteDeadline(time.Time) error
+}
+
+func (m *Messaged) armRead(s io.ReadWriteCloser) {
+	if m.ioTimeout <= 0 {
+		return
+	}
+	if d, ok := s.(deadlined); ok {
+		d.SetReadDeadline(time.Now().Add(m.ioTimeout))
+	}
+}
+
+func (m *Messaged) armWrite(s io.Writer) {
+	if m.ioTimeout <= 0 {
+		return
+	}
+	if d, ok := s.(deadlined); ok {
+		d.SetWriteDeadline(time.Now().Add(m.ioTimeout))
+	}
+}
+
 // Materialized implements Exchanger: GatherM materializes m-messages
 // into M, so boundary z must be combined with the reference CSR gather.
 func (m *Messaged) Materialized() bool { return true }
@@ -171,7 +214,7 @@ func (m *Messaged) GatherM(w int) {
 			}
 		}
 	}
-	<-done
+	m.joinSends(done)
 }
 
 // ScatterZ implements Exchanger (sync point 2).
@@ -214,7 +257,7 @@ func (m *Messaged) ScatterZ(w int) {
 			}
 		}
 	}
-	<-done
+	m.joinSends(done)
 	st.round++
 	if w == m.acct {
 		m.rounds++
@@ -224,6 +267,10 @@ func (m *Messaged) ScatterZ(w int) {
 // dispatchSends runs send inline on loopback streams (writes never
 // block) and on a goroutine over real sockets, where a large frame
 // could otherwise deadlock head-to-head against a peer writing to us.
+// A send failure panics; on the goroutine path the panic is captured
+// and re-raised by joinSends on the calling worker goroutine — an
+// unrecovered goroutine panic would kill the whole worker process,
+// which must instead fail the session and serve the next one.
 func (m *Messaged) dispatchSends(send func()) <-chan struct{} {
 	if m.shared {
 		send()
@@ -231,10 +278,23 @@ func (m *Messaged) dispatchSends(send func()) <-chan struct{} {
 	}
 	done := make(chan struct{})
 	go func() {
-		defer close(done)
+		defer func() {
+			m.sendFault = recover()
+			close(done)
+		}()
 		send()
 	}()
 	return done
+}
+
+// joinSends waits for dispatchSends' completion and re-raises any
+// captured send panic on the caller.
+func (m *Messaged) joinSends(done <-chan struct{}) {
+	<-done
+	if f := m.sendFault; f != nil {
+		m.sendFault = nil
+		panic(f)
+	}
 }
 
 var closedCh = func() chan struct{} {
@@ -254,6 +314,7 @@ func beginFrame(buf []byte, kind byte, seq uint32) []byte {
 // payload and wire bytes. It returns the buffer for reuse.
 func (m *Messaged) sendFrame(w io.Writer, buf []byte, from, to int) []byte {
 	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
+	m.armWrite(w)
 	if _, err := w.Write(buf); err != nil {
 		panic(fmt.Sprintf("exchange: worker %d: send to peer %d: %v", from, to, err))
 	}
@@ -267,6 +328,7 @@ func (m *Messaged) sendFrame(w io.Writer, buf []byte, from, to int) []byte {
 // sequence, and payload size must all match the manifest's expectation,
 // otherwise the stream has desynchronized and the solve fail-stops.
 func (m *Messaged) recvFrame(st *msgWorkerState, w, j int, kind byte, words int) []byte {
+	m.armRead(m.streams[w][j])
 	f, buf, err := ReadFrame(m.streams[w][j], st.recvBuf)
 	st.recvBuf = buf
 	if err != nil {

@@ -1,0 +1,259 @@
+package faultnet_test
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/exchange"
+	"repro/internal/faultnet"
+)
+
+// frame builds one encoded frame of the internal/exchange codec.
+func frame(kind byte, payload []byte) []byte {
+	return exchange.AppendFrame(nil, kind, 0, payload)
+}
+
+// pipePair returns a faultnet-wrapped end and its raw peer.
+func pipePair(plan faultnet.Plan) (*faultnet.Conn, net.Conn) {
+	a, b := net.Pipe()
+	return faultnet.WrapConn(a, plan), b
+}
+
+func TestCutAfterBytes(t *testing.T) {
+	fc, peer := pipePair(faultnet.Plan{In: faultnet.Cut{AfterBytes: 10}})
+	defer fc.Close()
+	go peer.Write(make([]byte, 64))
+
+	buf := make([]byte, 64)
+	got := 0
+	for got < 10 {
+		n, err := fc.Read(buf)
+		if err != nil {
+			t.Fatalf("read before cut: %v (got %d bytes)", err, got)
+		}
+		got += n
+	}
+	if got != 10 {
+		t.Fatalf("delivered %d bytes, want exactly 10", got)
+	}
+	if _, err := fc.Read(buf); !errors.Is(err, faultnet.ErrCut) {
+		t.Fatalf("read after cut: %v, want ErrCut", err)
+	}
+	// The cut severs the underlying pipe, so the peer sees it too.
+	if _, err := peer.Write([]byte("x")); err == nil {
+		t.Fatal("peer write after cut succeeded, want error")
+	}
+	if fc.BytesIn() != 10 {
+		t.Fatalf("BytesIn = %d, want 10", fc.BytesIn())
+	}
+}
+
+func TestCutAfterFramesReadSide(t *testing.T) {
+	f1 := frame(1, []byte("alpha"))
+	f2 := frame(2, []byte("beta"))
+	f3 := frame(3, []byte("gamma"))
+	fc, peer := pipePair(faultnet.Plan{In: faultnet.Cut{AfterFrames: 2}})
+	defer fc.Close()
+	go func() {
+		all := append(append(append([]byte(nil), f1...), f2...), f3...)
+		peer.Write(all)
+	}()
+
+	want := len(f1) + len(f2)
+	buf := make([]byte, 256)
+	got := 0
+	for got < want {
+		n, err := fc.Read(buf)
+		if err != nil {
+			t.Fatalf("read before cut: %v (got %d of %d bytes)", err, got, want)
+		}
+		got += n
+	}
+	if got != want {
+		t.Fatalf("delivered %d bytes, want exactly %d (two frames)", got, want)
+	}
+	if _, err := fc.Read(buf); !errors.Is(err, faultnet.ErrCut) {
+		t.Fatalf("read after frame cut: %v, want ErrCut", err)
+	}
+	if fc.FramesIn() != 2 {
+		t.Fatalf("FramesIn = %d, want 2", fc.FramesIn())
+	}
+}
+
+func TestCutAfterFramesWriteSide(t *testing.T) {
+	f1 := frame(1, []byte("alpha"))
+	f2 := frame(2, []byte("beta"))
+	fc, peer := pipePair(faultnet.Plan{Out: faultnet.Cut{AfterFrames: 1}})
+	defer fc.Close()
+
+	read := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(peer)
+		read <- data
+	}()
+	if n, err := fc.Write(f1); err != nil || n != len(f1) {
+		t.Fatalf("write frame 1: n=%d err=%v, want full frame", n, err)
+	}
+	if _, err := fc.Write(f2); !errors.Is(err, faultnet.ErrCut) {
+		t.Fatalf("write frame 2: %v, want ErrCut", err)
+	}
+	data := <-read
+	if len(data) != len(f1) {
+		t.Fatalf("peer received %d bytes, want exactly frame 1 (%d bytes)", len(data), len(f1))
+	}
+	if fc.FramesOut() != 1 {
+		t.Fatalf("FramesOut = %d, want 1", fc.FramesOut())
+	}
+}
+
+func TestCutMidFrameWrite(t *testing.T) {
+	f1 := frame(1, make([]byte, 100))
+	fc, peer := pipePair(faultnet.Plan{Out: faultnet.Cut{AfterBytes: 20}})
+	defer fc.Close()
+
+	read := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(peer)
+		read <- data
+	}()
+	n, err := fc.Write(f1)
+	if n != 20 {
+		t.Fatalf("write admitted %d bytes, want 20", n)
+	}
+	if !errors.Is(err, faultnet.ErrCut) {
+		t.Fatalf("short write error: %v, want ErrCut", err)
+	}
+	if data := <-read; len(data) != 20 {
+		t.Fatalf("peer received %d bytes, want 20", len(data))
+	}
+}
+
+func TestStallRespectsDeadlineAndClose(t *testing.T) {
+	f1 := frame(1, []byte("alpha"))
+	fc, peer := pipePair(faultnet.Plan{In: faultnet.Cut{AfterFrames: 1, Stall: true}})
+	go peer.Write(append(append([]byte(nil), f1...), frame(2, []byte("beta"))...))
+
+	buf := make([]byte, 256)
+	got := 0
+	for got < len(f1) {
+		n, err := fc.Read(buf)
+		if err != nil {
+			t.Fatalf("read before stall: %v", err)
+		}
+		got += n
+	}
+	fc.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := fc.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled read with deadline: %v, want deadline exceeded", err)
+	}
+	// Without a deadline the stall holds until Close releases it.
+	fc.SetReadDeadline(time.Time{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := fc.Read(buf)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	fc.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("stalled read after close: %v, want net.ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stalled read did not release on Close")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	fc, peer := pipePair(faultnet.Plan{Delay: 40 * time.Millisecond})
+	defer fc.Close()
+	go peer.Write([]byte("hello"))
+	start := time.Now()
+	buf := make([]byte, 16)
+	if _, err := fc.Read(buf); err != nil {
+		t.Fatalf("delayed read: %v", err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("read returned after %v, want >= 40ms delay", d)
+	}
+}
+
+func TestListenerScript(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := faultnet.WrapListener(inner, faultnet.Plans(
+		faultnet.Plan{Refuse: true},
+		faultnet.Plan{In: faultnet.Cut{AfterBytes: 4}},
+	))
+	defer ln.Close()
+
+	served := make(chan net.Conn, 2)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			served <- c
+		}
+	}()
+
+	// Dial 1 is refused: the server never sees it; the client observes
+	// an immediately-closed stream.
+	c1, err := net.Dial("tcp", inner.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c1.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c1.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("refused dial read: %v, want EOF", err)
+	}
+
+	// Dial 2 is served under the cut plan.
+	c2, err := net.Dial("tcp", inner.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	var sc net.Conn
+	select {
+	case sc = <-served:
+	case <-time.After(2 * time.Second):
+		t.Fatal("second dial was not served")
+	}
+	if _, err := c2.Write(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	buf := make([]byte, 64)
+	for {
+		n, rerr := sc.Read(buf)
+		got += n
+		if rerr != nil {
+			if !errors.Is(rerr, faultnet.ErrCut) {
+				t.Fatalf("served conn read: %v, want ErrCut", rerr)
+			}
+			break
+		}
+	}
+	if got != 4 {
+		t.Fatalf("served conn delivered %d bytes, want 4", got)
+	}
+
+	if ln.Accepted() != 2 || ln.Refused() != 1 || len(ln.Conns()) != 1 {
+		t.Fatalf("accepted/refused/served = %d/%d/%d, want 2/1/1",
+			ln.Accepted(), ln.Refused(), len(ln.Conns()))
+	}
+}

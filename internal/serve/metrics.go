@@ -35,6 +35,16 @@ type metrics struct {
 	shardBoundaryNanos int64
 	shardLast          shard.Stats
 
+	// Failover-policy aggregates: dial+handshake retries burned,
+	// worker-set shrinks, local-executor fallbacks, failed attempts
+	// (each names one lost worker), and the last health probe taken
+	// while failing over (a gauge pair: alive/probed).
+	shardRetries        uint64
+	shardFailovers      uint64
+	shardLocalFallbacks uint64
+	shardWorkerFailures uint64
+	shardHealth         []shard.WorkerHealth
+
 	// Bulk-stream aggregates: stream count by outcome ("ok", "aborted",
 	// "rejected") plus cumulative record/solve counters reported by
 	// finished pipelines (internal/bulk.Stats).
@@ -78,6 +88,23 @@ func (m *metrics) recordShard(s shard.Stats) {
 	m.shardSyncNanos += s.SyncWaitNanos
 	m.shardBoundaryNanos += s.BoundaryZNanos
 	m.shardLast = s
+	m.mu.Unlock()
+}
+
+// recordFailover folds one failover-policy solve's recovery trail into
+// the aggregates (called for failed solves too — the trail is the
+// point).
+func (m *metrics) recordFailover(out shard.Outcome) {
+	m.mu.Lock()
+	m.shardRetries += uint64(out.HandshakeRetries)
+	m.shardFailovers += uint64(out.Failovers)
+	if out.LocalFallback {
+		m.shardLocalFallbacks++
+	}
+	m.shardWorkerFailures += uint64(len(out.Failures))
+	if out.Health != nil {
+		m.shardHealth = out.Health
+	}
 	m.mu.Unlock()
 }
 
@@ -170,6 +197,31 @@ func (m *metrics) render(b *strings.Builder, queueDepth int, cacheHits, cacheMis
 	fmt.Fprintf(b, "# HELP paradmm_shard_cut_cost_words Degree-weighted cut cost of the last sharded solve's partition (predicted cross-shard words per iteration).\n")
 	fmt.Fprintf(b, "# TYPE paradmm_shard_cut_cost_words gauge\n")
 	fmt.Fprintf(b, "paradmm_shard_cut_cost_words %g\n", m.shardLast.CutCost)
+
+	fmt.Fprintf(b, "# HELP paradmm_shard_retries_total Dial+handshake retries burned by sharded sockets solves.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_shard_retries_total counter\n")
+	fmt.Fprintf(b, "paradmm_shard_retries_total %d\n", m.shardRetries)
+	fmt.Fprintf(b, "# HELP paradmm_shard_failovers_total Worker-set shrinks: a lost worker's load re-partitioned onto survivors and the solve re-run cold.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_shard_failovers_total counter\n")
+	fmt.Fprintf(b, "paradmm_shard_failovers_total %d\n", m.shardFailovers)
+	fmt.Fprintf(b, "# HELP paradmm_shard_local_fallbacks_total Failover solves finished on the in-process fused executor after the remote pool was exhausted.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_shard_local_fallbacks_total counter\n")
+	fmt.Fprintf(b, "paradmm_shard_local_fallbacks_total %d\n", m.shardLocalFallbacks)
+	fmt.Fprintf(b, "# HELP paradmm_shard_worker_failures_total Solve attempts lost to a worker transport failure.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_shard_worker_failures_total counter\n")
+	fmt.Fprintf(b, "paradmm_shard_worker_failures_total %d\n", m.shardWorkerFailures)
+	var alive int
+	for _, h := range m.shardHealth {
+		if h.Alive {
+			alive++
+		}
+	}
+	fmt.Fprintf(b, "# HELP paradmm_shard_workers_probed Workers probed by the most recent failover health check.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_shard_workers_probed gauge\n")
+	fmt.Fprintf(b, "paradmm_shard_workers_probed %d\n", len(m.shardHealth))
+	fmt.Fprintf(b, "# HELP paradmm_shard_workers_alive Workers alive in the most recent failover health check.\n")
+	fmt.Fprintf(b, "# TYPE paradmm_shard_workers_alive gauge\n")
+	fmt.Fprintf(b, "paradmm_shard_workers_alive %d\n", alive)
 
 	fmt.Fprintf(b, "# HELP paradmm_bulk_streams_total Bulk streams by outcome.\n")
 	fmt.Fprintf(b, "# TYPE paradmm_bulk_streams_total counter\n")

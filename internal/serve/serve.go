@@ -36,6 +36,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -81,6 +82,13 @@ type Config struct {
 	// shared by every bulk stream (and across restarts, by whoever opens
 	// the same directory next). See internal/store.
 	Store *store.Store
+	// DialTimeout/HandshakeTimeout are the server-wide defaults for
+	// sharded sockets solves whose specs leave dial_timeout_ms /
+	// handshake_timeout_ms unset (zero keeps the shard package
+	// defaults). Set from paradmm-serve's -dial-timeout and
+	// -handshake-timeout flags.
+	DialTimeout      time.Duration
+	HandshakeTimeout time.Duration
 }
 
 func (c *Config) defaults() {
@@ -138,6 +146,30 @@ type SolveResult struct {
 	BuildNS    int64              `json:"build_ns"`
 	PhaseNanos map[string]int64   `json:"phase_nanos"`
 	Metrics    map[string]float64 `json:"metrics"`
+	// Failover reports the recovery trail of a solve that ran under an
+	// executor failover policy (absent otherwise).
+	Failover *FailoverView `json:"failover,omitempty"`
+}
+
+// FailoverView is the response-side summary of a failover-policy solve:
+// what shard.SolveWithFailover did to produce the result.
+type FailoverView struct {
+	// Attempts counts full solve attempts, including the successful one.
+	Attempts int `json:"attempts"`
+	// DialRetries is the successful attempt's dial+handshake retries.
+	DialRetries int `json:"dial_retries,omitempty"`
+	// Failovers counts worker-set shrinks (re-partition + cold re-run).
+	Failovers int `json:"failovers,omitempty"`
+	// LocalFallback marks a result computed by the in-process fused
+	// executor after the remote pool was exhausted.
+	LocalFallback bool `json:"local_fallback,omitempty"`
+	// Backend names the backend that produced the result.
+	Backend string `json:"backend,omitempty"`
+	// Workers is the worker set that produced the result (empty when
+	// LocalFallback).
+	Workers []string `json:"workers,omitempty"`
+	// Failures is the error trail of the failed attempts, in order.
+	Failures []string `json:"failures,omitempty"`
 }
 
 // JobView is the JSON shape of a job in responses.
@@ -492,30 +524,74 @@ func (s *Server) runJob(j *Job) {
 	// request's workload + spec, exactly what this job admitted.
 	g := p.FactorGraph()
 	spec := j.executor
+	useFailover := false
 	if spec.Transport == admm.TransportSockets && len(spec.Addrs) > 0 {
 		spec.Problem = &admm.ProblemRef{Workload: j.workload, Spec: j.rawSpec}
+		// Server-wide reliability defaults fill in where the request's
+		// spec left the knobs unset.
+		if spec.DialTimeoutMS == 0 && s.cfg.DialTimeout > 0 {
+			spec.DialTimeoutMS = int(s.cfg.DialTimeout / time.Millisecond)
+		}
+		if spec.HandshakeTimeoutMS == 0 && s.cfg.HandshakeTimeout > 0 {
+			spec.HandshakeTimeoutMS = int(s.cfg.HandshakeTimeout / time.Millisecond)
+		}
+		useFailover = spec.Failover == admm.FailoverSurvivors || spec.Failover == admm.FailoverLocal
 	}
-	backend, err := spec.NewBackend(g)
-	if err != nil {
-		fail(err)
-		return
-	}
-	// Deferred (not inline) so a recovered mid-solve panic still
-	// releases the workers/connections; every backend's Close is
-	// idempotent.
-	defer backend.Close()
-	res, err := admm.Run(g, admm.Options{
-		MaxIter: j.maxIter,
-		Backend: backend,
-		AbsTol:  j.absTol,
-		RelTol:  j.relTol,
-	})
-	if sb, ok := backend.(shard.StatsReporter); ok && err == nil {
-		s.met.recordShard(sb.Stats())
-	}
-	if err != nil {
-		fail(err)
-		return
+	var res admm.Result
+	var fo *FailoverView
+	if useFailover {
+		// The recovery loop lives in shard.SolveWithFailover: on worker
+		// loss it re-partitions onto the probed survivors (or finishes
+		// on the local fused executor) instead of failing the job. Jobs
+		// outlive their submitting requests — async clients poll — so
+		// the solve is deliberately not bound to the request context.
+		out, err := shard.SolveWithFailover(context.Background(), g, admm.SolveOptions{
+			Executor: spec,
+			MaxIter:  j.maxIter,
+			AbsTol:   j.absTol,
+			RelTol:   j.relTol,
+		})
+		s.met.recordFailover(out)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if out.HasShardStats {
+			s.met.recordShard(out.ShardStats)
+		}
+		res = out.Result
+		fo = &FailoverView{
+			Attempts:      out.Attempts,
+			DialRetries:   out.HandshakeRetries,
+			Failovers:     out.Failovers,
+			LocalFallback: out.LocalFallback,
+			Backend:       out.Backend,
+			Workers:       out.FinalAddrs,
+			Failures:      out.Failures,
+		}
+	} else {
+		backend, err := spec.NewBackend(g)
+		if err != nil {
+			fail(err)
+			return
+		}
+		// Deferred (not inline) so a recovered mid-solve panic still
+		// releases the workers/connections; every backend's Close is
+		// idempotent.
+		defer backend.Close()
+		res, err = admm.Run(g, admm.Options{
+			MaxIter: j.maxIter,
+			Backend: backend,
+			AbsTol:  j.absTol,
+			RelTol:  j.relTol,
+		})
+		if sb, ok := backend.(shard.StatsReporter); ok && err == nil {
+			s.met.recordShard(sb.Stats())
+		}
+		if err != nil {
+			fail(err)
+			return
+		}
 	}
 	s.cache.Put(j.key, p)
 	s.met.recordSolve(res, buildNanos)
@@ -527,6 +603,7 @@ func (s *Server) runJob(j *Job) {
 		BuildNS:    buildNanos,
 		PhaseNanos: map[string]int64{},
 		Metrics:    map[string]float64{},
+		Failover:   fo,
 	}
 	// Drop non-finite quality metrics (a diverged nonconvex solve can
 	// produce them) — NaN/Inf are not representable in JSON and would

@@ -74,6 +74,21 @@
 // bit-identical iterates to the Serial reference; the cross-executor
 // conformance suite and the cross-process integration test pin this.
 //
+// # Fault tolerance
+//
+// Cross-process sessions run under deadlines (dial, handshake, and
+// optional per-frame bounds — ExecutorSpec's *_timeout_ms knobs) with
+// a retried dial+handshake budget, and every transport failure carries
+// a *WorkerError attributing worker, endpoint, and protocol phase.
+// ProbeWorkers speaks the Ping/Pong health frames the worker's accept
+// loop answers even mid-session, and SolveWithFailover (failover.go)
+// turns fail-stop workers into a policy decision: probe the pool,
+// re-partition onto the survivors, re-run cold — or finish on the
+// local fused executor. Because every shard count is bit-identical to
+// Serial, recovery changes availability, never the answer.
+// docs/fault-tolerance.md has the full contract and the
+// fault-injection tests (internal/faultnet) that pin it.
+//
 // # The fused schedule
 //
 // With Backend.Fused (the ExecutorSpec default), each phase runs its

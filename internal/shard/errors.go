@@ -1,0 +1,47 @@
+package shard
+
+import "fmt"
+
+// Protocol phases a WorkerError can name, in session order.
+const (
+	// PhaseDial: establishing the control connection.
+	PhaseDial = "dial"
+	// PhaseHandshake: config out, Ready back, verification.
+	PhaseHandshake = "handshake"
+	// PhaseState: the full state push after Ready.
+	PhaseState = "state"
+	// PhaseParams: a parameter refresh between blocks.
+	PhaseParams = "params"
+	// PhaseIterate: sending the block command.
+	PhaseIterate = "iterate"
+	// PhaseCollect: reading the block's Done report and state upload.
+	PhaseCollect = "collect"
+	// PhaseProbe: a health probe outside any session.
+	PhaseProbe = "probe"
+)
+
+// WorkerError is a typed transport failure against one worker: which
+// worker, at which endpoint, in which protocol phase. Handshake
+// failures are returned from NewRemote; mid-solve failures (the
+// admm.Backend iteration contract has no error channel) are raised as
+// panic(*WorkerError) and recovered by SolveWithFailover and the
+// serving layer.
+type WorkerError struct {
+	Worker int
+	Addr   string
+	Phase  string
+	Err    error
+	// Config marks configuration and protocol mismatches (graph shape,
+	// manifest digest, unknown workload, malformed spec): retrying or
+	// failing over the same configuration cannot succeed, so these
+	// fail fast instead of burning the retry budget.
+	Config bool
+}
+
+// Error implements error.
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("shard: worker %d (%s) %s: %v", e.Worker, e.Addr, e.Phase, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *WorkerError) Unwrap() error { return e.Err }

@@ -1,0 +1,287 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/admm"
+	"repro/internal/graph"
+)
+
+// Outcome is what SolveWithFailover did: the solve result plus the
+// recovery trail — how many attempts were burned, which workers were
+// dropped, and whether the local fallback fired. The serving layer
+// turns this into response metadata and metrics.
+type Outcome struct {
+	// Result is the engine result of the attempt that succeeded.
+	Result admm.Result
+	// Backend names the backend that produced Result.
+	Backend string
+	// ShardStats is the successful remote backend's partition and
+	// synchronization statistics; HasShardStats is false when the local
+	// fallback produced the result instead.
+	ShardStats    Stats
+	HasShardStats bool
+	// Attempts counts full solve attempts, including the successful one.
+	Attempts int
+	// HandshakeRetries is the successful attempt's dial+handshake
+	// retries (Stats.HandshakeRetries).
+	HandshakeRetries int
+	// Failovers counts worker-set shrinks: each one re-partitioned the
+	// problem onto fewer workers and re-ran the solve cold.
+	Failovers int
+	// LocalFallback reports that the result came from the in-process
+	// fused executor after the remote worker pool was exhausted.
+	LocalFallback bool
+	// FinalAddrs is the worker set that produced the result (nil when
+	// LocalFallback).
+	FinalAddrs []string
+	// Failures is the error trail of the failed attempts, in order.
+	Failures []string
+	// Health is the last worker-health probe taken while failing over
+	// (nil when the first attempt succeeded).
+	Health []WorkerHealth
+}
+
+// stateSnapshot captures every array a solve mutates, so a failed
+// attempt can be rolled back and re-run cold: the determinism contract
+// (bit-identical iterates for a given configuration) only holds from a
+// clean starting state.
+type stateSnapshot struct {
+	rho, alpha, x, m, u, n, z []float64
+}
+
+func snapshotState(g *graph.Graph) stateSnapshot {
+	cp := func(s []float64) []float64 { return append([]float64(nil), s...) }
+	return stateSnapshot{
+		rho: cp(g.Rho), alpha: cp(g.Alpha),
+		x: cp(g.X), m: cp(g.M), u: cp(g.U), n: cp(g.N), z: cp(g.Z),
+	}
+}
+
+func (s stateSnapshot) restore(g *graph.Graph) {
+	copy(g.Rho, s.rho)
+	copy(g.Alpha, s.alpha)
+	copy(g.X, s.x)
+	copy(g.M, s.m)
+	copy(g.U, s.u)
+	copy(g.N, s.n)
+	copy(g.Z, s.z)
+}
+
+// SolveWithFailover runs a sharded sockets solve under the spec's
+// failover policy. It is the recovery layer the admm.Backend contract
+// cannot express: mid-solve worker failures arrive as panic(*WorkerError)
+// from Remote.Iterate, are recovered here, and — policy permitting —
+// the surviving workers are probed, the problem is re-partitioned onto
+// them, and the solve re-runs cold from a snapshot of g's pre-solve
+// state. Every attempt starts from that same snapshot, so the final
+// result is bit-identical to a clean solve with the final worker set
+// (or with the local fused executor, under FailoverLocal) — recovery
+// never changes the answer, only who computes it.
+//
+// Failover policies (spec.Failover): FailoverNone fails on the first
+// worker loss, FailoverSurvivors shrinks onto live workers until none
+// remain, FailoverLocal additionally finishes on the in-process fused
+// executor. Non-transport errors (engine errors, config mismatches)
+// are never retried. ctx cancels between attempts and during probes.
+func SolveWithFailover(ctx context.Context, g *graph.Graph, opts admm.SolveOptions) (Outcome, error) {
+	var out Outcome
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	spec := opts.Executor
+	if err := spec.Validate(); err != nil {
+		return out, err
+	}
+	if spec.Kind != admm.ExecSharded || spec.Transport != admm.TransportSockets || len(spec.Addrs) == 0 {
+		return out, fmt.Errorf("shard: failover solves need the sharded sockets transport with worker addrs (kind %q, transport %q, %d addrs)",
+			spec.Kind, spec.Transport, len(spec.Addrs))
+	}
+	mode := spec.Failover
+	if mode == "" {
+		mode = admm.FailoverNone
+	}
+	// Warm state applies once, before the snapshot: a failed-over
+	// re-run must restart from the same warm iterate the first attempt
+	// saw, not re-apply it onto mutated state.
+	if opts.Warm != nil && opts.Warm.Captured() {
+		if err := opts.Warm.Apply(g); err != nil {
+			return out, err
+		}
+		opts.Warm = nil
+	}
+	snap := snapshotState(g)
+	tmo := specTimeouts(spec)
+	cur := spec
+	cur.Addrs = append([]string(nil), spec.Addrs...)
+	// Worst case sheds one worker per failover down to a single
+	// survivor, plus one same-set retry for a transient failure.
+	maxAttempts := len(cur.Addrs) + 2
+	sameSetRetried := false
+	for out.Attempts < maxAttempts && len(cur.Addrs) > 0 {
+		out.Attempts++
+		snap.restore(g)
+		res, stats, name, err := runRemoteAttempt(ctx, g, opts, cur)
+		if err == nil {
+			out.Result = res
+			out.Backend = name
+			out.ShardStats = stats
+			out.HasShardStats = true
+			out.HandshakeRetries = stats.HandshakeRetries
+			out.FinalAddrs = cur.Addrs
+			return out, nil
+		}
+		out.Failures = append(out.Failures, err.Error())
+		var we *WorkerError
+		if !errors.As(err, &we) {
+			// Engine or configuration errors, or an abandoned context:
+			// another worker set cannot change the outcome.
+			return out, err
+		}
+		if we.Config {
+			return out, err
+		}
+		if mode == admm.FailoverNone {
+			return out, err
+		}
+		// Transport failure under an active failover policy: probe the
+		// current worker set and shrink onto the survivors.
+		out.Health = ProbeWorkers(ctx, cur.Addrs, tmo.dial)
+		survivors := make([]string, 0, len(cur.Addrs))
+		for _, h := range out.Health {
+			if h.Alive {
+				survivors = append(survivors, h.Addr)
+			}
+		}
+		if len(survivors) == len(cur.Addrs) {
+			// Every worker answered the probe — the failure may have
+			// been transient (a flaky link, a worker busy tearing down).
+			// Retry the full set once; a second failure drops the
+			// worker the error named, even though it still answers
+			// probes.
+			if !sameSetRetried {
+				sameSetRetried = true
+			} else {
+				survivors = dropAddr(survivors, we.Addr)
+				sameSetRetried = false
+			}
+		} else {
+			sameSetRetried = false
+		}
+		if len(survivors) < len(cur.Addrs) {
+			out.Failovers++
+			cur.Addrs = survivors
+			cur.Shards = len(survivors)
+		}
+		if len(cur.Addrs) == 0 {
+			break
+		}
+		if err := sleepCtx(ctx, attemptBackoff(out.Attempts)); err != nil {
+			return out, fmt.Errorf("shard: failover abandoned: %w (last failure: %v)", err, we)
+		}
+	}
+	if mode != admm.FailoverLocal {
+		return out, fmt.Errorf("shard: no workers left after %d attempts (%d failovers); last failure: %s",
+			out.Attempts, out.Failovers, out.Failures[len(out.Failures)-1])
+	}
+	// Local fallback: finish on the in-process fused executor (the
+	// serial default), bit-identical to every other executor.
+	snap.restore(g)
+	lopts := opts
+	lopts.Executor = admm.ExecutorSpec{Kind: admm.ExecSerial}
+	if opts.Adapt != nil {
+		ac := *opts.Adapt
+		lopts.Adapt = &ac
+	}
+	res, err := admm.Solve(g, lopts)
+	if err != nil {
+		return out, err
+	}
+	out.Attempts++
+	out.Result = res
+	out.Backend = "serial(fused,local-fallback)"
+	out.LocalFallback = true
+	out.FinalAddrs = nil
+	return out, nil
+}
+
+// runRemoteAttempt is one cold solve over the remote backend, with the
+// backend's fail-stop panics recovered into errors. The rho-adaptation
+// config is cloned per attempt: AdaptConfig counts its adjustments
+// internally, and a re-run from a restored snapshot must not inherit a
+// failed attempt's count.
+func runRemoteAttempt(ctx context.Context, g *graph.Graph, opts admm.SolveOptions, spec admm.ExecutorSpec) (res admm.Result, stats Stats, name string, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			we, ok := rec.(*WorkerError)
+			if !ok {
+				panic(rec)
+			}
+			err = we
+		}
+	}()
+	shards := spec.Shards
+	if shards == 0 {
+		shards = len(spec.Addrs)
+	}
+	r, rerr := NewRemoteContext(ctx, spec, shards, g)
+	if rerr != nil {
+		err = rerr
+		return
+	}
+	defer r.Close()
+	adapt := opts.Adapt
+	if adapt != nil {
+		ac := *adapt
+		adapt = &ac
+	}
+	res, err = admm.Run(g, admm.Options{
+		MaxIter:     opts.MaxIter,
+		Backend:     r,
+		AbsTol:      opts.AbsTol,
+		RelTol:      opts.RelTol,
+		CheckEvery:  opts.CheckEvery,
+		Adapt:       adapt,
+		OnIteration: opts.OnIteration,
+	})
+	if err != nil {
+		return
+	}
+	stats, name = r.Stats(), r.Name()
+	return
+}
+
+func dropAddr(addrs []string, addr string) []string {
+	out := addrs[:0]
+	for _, a := range addrs {
+		if a != addr {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func attemptBackoff(attempt int) time.Duration {
+	d := time.Duration(attempt) * 100 * time.Millisecond
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

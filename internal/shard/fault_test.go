@@ -1,0 +1,381 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/admm"
+	"repro/internal/faultnet"
+	"repro/internal/graph"
+)
+
+// startFaultWorker hosts one in-process shard worker behind a
+// faultnet-scripted TCP listener and returns its dialable addr.
+func startFaultWorker(t *testing.T, builders map[string]BuilderFunc, script faultnet.Script, opts WorkerOptions) (string, *faultnet.Listener) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := faultnet.WrapListener(ln, script)
+	t.Cleanup(func() { fln.Close() })
+	opts.Builders = builders
+	go ServeWorker(fln, opts)
+	return "tcp:" + ln.Addr().String(), fln
+}
+
+func chainBuilders(t *testing.T, n int) map[string]BuilderFunc {
+	return map[string]BuilderFunc{
+		"chain": func(spec []byte) (*graph.Graph, error) { return chainGraph(t, n), nil },
+	}
+}
+
+func chainSpec(addrs []string) admm.ExecutorSpec {
+	return admm.ExecutorSpec{
+		Kind: admm.ExecSharded, Transport: admm.TransportSockets, Addrs: addrs,
+		Problem: &admm.ProblemRef{Workload: "chain", Spec: []byte(`{}`)},
+	}
+}
+
+// TestDialRetryThroughRefusingListener: the first connection to a
+// worker is refused (accepted and immediately torn down); the
+// dial+handshake retry loop must absorb it and complete on the second
+// attempt, reporting the burned attempt in Stats.
+func TestDialRetryThroughRefusingListener(t *testing.T) {
+	builders := chainBuilders(t, 48)
+	addr, _ := startFaultWorker(t, builders, faultnet.PlanAt(0, faultnet.Plan{Refuse: true}), WorkerOptions{})
+
+	g := chainGraph(t, 48)
+	spec := chainSpec([]string{addr})
+	spec.DialAttempts = 3
+	r, err := NewRemote(spec, 1, g)
+	if err != nil {
+		t.Fatalf("handshake did not survive one refused connection: %v", err)
+	}
+	defer r.Close()
+	if got := r.Stats().HandshakeRetries; got < 1 {
+		t.Fatalf("HandshakeRetries = %d, want >= 1", got)
+	}
+	var nanos [admm.NumPhases]int64
+	r.Iterate(g, 10, &nanos)
+	ref := chainGraph(t, 48)
+	admm.NewSerialFused().Iterate(ref, 10, &nanos)
+	for i := range ref.Z {
+		if ref.Z[i] != g.Z[i] {
+			t.Fatalf("post-retry solve diverged from serial at Z[%d]", i)
+		}
+	}
+}
+
+// TestHandshakeTimeoutAgainstSilentEndpoint: an endpoint that accepts
+// and then never answers (a mistyped addr pointing at an unrelated
+// server) must fail the handshake within the configured deadline with a
+// typed error naming the worker and phase — not wedge forever.
+func TestHandshakeTimeoutAgainstSilentEndpoint(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold open, never reply
+		}
+	}()
+
+	g := chainGraph(t, 32)
+	spec := chainSpec([]string{"tcp:" + ln.Addr().String()})
+	spec.HandshakeTimeoutMS = 200
+	spec.DialAttempts = 1
+	start := time.Now()
+	_, err = NewRemote(spec, 1, g)
+	if err == nil {
+		t.Fatal("handshake against a silent endpoint succeeded")
+	}
+	var we *WorkerError
+	if !errors.As(err, &we) || we.Phase != PhaseHandshake {
+		t.Fatalf("error not a handshake WorkerError: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("handshake timeout took %v, configured 200ms", elapsed)
+	}
+}
+
+// TestStalledStateTimeout: a connection cut mid-handshake (stalled
+// instead of closed) trips the handshake deadline rather than hanging
+// the coordinator. faultnet's stall plan models a half-open TCP peer.
+func TestStalledStateTimeout(t *testing.T) {
+	builders := chainBuilders(t, 32)
+	// Stall the worker's outbound stream after its first frame (Ready):
+	// the coordinator's next read of this conn blocks until its deadline.
+	script := faultnet.PlanAt(0, faultnet.Plan{Out: faultnet.Cut{AfterFrames: 1, Stall: true}})
+	addr, _ := startFaultWorker(t, builders, script, WorkerOptions{})
+
+	g := chainGraph(t, 32)
+	spec := chainSpec([]string{addr})
+	spec.HandshakeTimeoutMS = 300
+	spec.FrameTimeoutMS = 300
+	spec.DialAttempts = 1
+	r, err := NewRemote(spec, 1, g)
+	if err != nil {
+		// Acceptable: the stall can already bite during handshake reads.
+		var we *WorkerError
+		if !errors.As(err, &we) {
+			t.Fatalf("untyped handshake failure: %v", err)
+		}
+		return
+	}
+	defer r.Close()
+	// Handshake got through (Ready was frame 1); the first block's Done
+	// read must now hit the frame deadline instead of wedging.
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		var nanos [admm.NumPhases]int64
+		r.Iterate(g, 5, &nanos)
+		done <- nil
+	}()
+	select {
+	case rec := <-done:
+		we, ok := rec.(*WorkerError)
+		if !ok {
+			t.Fatalf("Iterate against a stalled worker returned %v, want *WorkerError panic", rec)
+		}
+		if we.Phase != PhaseCollect && we.Phase != PhaseIterate {
+			t.Fatalf("unexpected phase %q", we.Phase)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Iterate wedged on a stalled worker despite frame timeout")
+	}
+}
+
+// TestProbeWorkers: live workers answer the ping protocol; dead
+// endpoints and refusing listeners are reported down, all within the
+// probe timeout.
+func TestProbeWorkers(t *testing.T) {
+	builders := chainBuilders(t, 32)
+	live, _ := startFaultWorker(t, builders, faultnet.Plans(), WorkerOptions{})
+	refusing, _ := startFaultWorker(t, builders, faultnet.RefuseAll(), WorkerOptions{})
+
+	// A dead endpoint: listener opened then closed, so dials fail fast.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := "tcp:" + dead.Addr().String()
+	dead.Close()
+
+	hs := ProbeWorkers(context.Background(), []string{live, refusing, deadAddr}, 2*time.Second)
+	if !hs[0].Alive {
+		t.Fatalf("live worker reported down: %+v", hs[0])
+	}
+	if hs[0].Busy {
+		t.Fatalf("idle worker reported busy: %+v", hs[0])
+	}
+	if hs[1].Alive || hs[2].Alive {
+		t.Fatalf("dead endpoints reported alive: %+v / %+v", hs[1], hs[2])
+	}
+	for _, h := range hs[1:] {
+		if h.Err == "" || !strings.Contains(h.Err, PhaseProbe) {
+			t.Fatalf("down worker lacks a probe-phase error: %+v", h)
+		}
+	}
+}
+
+// TestWorkerSurvivesCoordinatorMidSolveDisconnect: a coordinator that
+// vanishes mid-block (no Bye, connections torn down) must fail that
+// session only — the worker cleans up and accepts the next handshake.
+func TestWorkerSurvivesCoordinatorMidSolveDisconnect(t *testing.T) {
+	builders := chainBuilders(t, 48)
+	blockStarted := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	opts := WorkerOptions{OnIterBlock: func(session uint64, block int) {
+		if !once {
+			once = true
+			close(blockStarted)
+			<-release
+		}
+	}}
+	addr, _ := startFaultWorker(t, builders, faultnet.Plans(), opts)
+
+	g := chainGraph(t, 48)
+	spec := chainSpec([]string{addr})
+	r, err := NewRemote(spec, 1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iterDone := make(chan any, 1)
+	go func() {
+		defer func() { iterDone <- recover() }()
+		var nanos [admm.NumPhases]int64
+		r.Iterate(g, 10, &nanos)
+		iterDone <- nil
+	}()
+	<-blockStarted
+	// Abrupt teardown: close the control connections without Bye while
+	// the worker is inside the block.
+	r.teardown()
+	r.closed = true
+	close(release)
+	if rec := <-iterDone; rec == nil {
+		t.Fatal("Iterate succeeded over torn-down connections")
+	}
+
+	// The worker must come back: a fresh session on the same endpoint
+	// handshakes and solves to the serial answer. The previous session's
+	// teardown can race this handshake, which the retry budget absorbs.
+	g2 := chainGraph(t, 48)
+	r2, err := NewRemote(spec, 1, g2)
+	if err != nil {
+		t.Fatalf("worker did not accept a session after mid-solve disconnect: %v", err)
+	}
+	defer r2.Close()
+	var nanos [admm.NumPhases]int64
+	r2.Iterate(g2, 10, &nanos)
+	ref := chainGraph(t, 48)
+	admm.NewSerialFused().Iterate(ref, 10, &nanos)
+	for i := range ref.Z {
+		if ref.Z[i] != g2.Z[i] {
+			t.Fatalf("post-recovery solve diverged from serial at Z[%d]", i)
+		}
+	}
+}
+
+// TestSolveWithFailoverSurvivors: worker 2 dies mid-solve (its control
+// stream is cut and its listener refuses everything afterwards, so the
+// health probe sees it down); the solve must re-partition onto the two
+// survivors, re-run cold, and produce the bit-identical answer of a
+// clean 2-shard solve — which is the serial answer, by the determinism
+// contract.
+func TestSolveWithFailoverSurvivors(t *testing.T) {
+	const n = 48
+	builders := chainBuilders(t, n)
+	w0, _ := startFaultWorker(t, builders, faultnet.Plans(), WorkerOptions{})
+	w1, _ := startFaultWorker(t, builders, faultnet.Plans(), WorkerOptions{})
+	// Worker 2: control conn (accept 0) cut after 2 inbound frames
+	// (Cfg, State — the Iter command trips it); everything after —
+	// including probes — refused.
+	script := func(i int) faultnet.Plan {
+		if i == 0 {
+			return faultnet.Plan{In: faultnet.Cut{AfterFrames: 2}}
+		}
+		return faultnet.Plan{Refuse: true}
+	}
+	w2, _ := startFaultWorker(t, builders, script, WorkerOptions{})
+
+	g := chainGraph(t, n)
+	spec := chainSpec([]string{w0, w1, w2})
+	spec.Failover = admm.FailoverSurvivors
+	spec.DialTimeoutMS = 2000
+	out, err := SolveWithFailover(context.Background(), g, admm.SolveOptions{
+		Executor: spec, MaxIter: 30,
+	})
+	if err != nil {
+		t.Fatalf("failover solve failed: %v (trail: %v)", err, out.Failures)
+	}
+	if out.Failovers < 1 || out.Attempts < 2 {
+		t.Fatalf("no failover recorded: %+v", out)
+	}
+	if out.LocalFallback {
+		t.Fatalf("local fallback fired with two live workers: %+v", out)
+	}
+	if len(out.FinalAddrs) != 2 {
+		t.Fatalf("FinalAddrs = %v, want the two survivors", out.FinalAddrs)
+	}
+	// The death may surface at any worker (the victim's mesh teardown
+	// cascades as EOFs at its peers); the health probe — not the error —
+	// is what identifies the dead endpoint. Require a trail, not a name.
+	if len(out.Failures) == 0 {
+		t.Fatalf("empty failure trail: %+v", out)
+	}
+	if !out.HasShardStats || out.ShardStats.Shards != 2 {
+		t.Fatalf("shard stats not from the survivor run: %+v", out.ShardStats)
+	}
+
+	ref := chainGraph(t, n)
+	if _, err := admm.Solve(ref, admm.SolveOptions{MaxIter: 30}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Z {
+		if ref.Z[i] != g.Z[i] {
+			t.Fatalf("recovered solve diverged from serial at Z[%d]: %g vs %g", i, g.Z[i], ref.Z[i])
+		}
+	}
+}
+
+// TestSolveWithFailoverLocal: with every worker dead, policy "local"
+// finishes on the in-process fused executor, bit-identical to serial;
+// policy "survivors" reports the dead pool instead.
+func TestSolveWithFailoverLocal(t *testing.T) {
+	deadAddrs := make([]string, 2)
+	for i := range deadAddrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadAddrs[i] = "tcp:" + ln.Addr().String()
+		ln.Close()
+	}
+	const n = 32
+	g := chainGraph(t, n)
+	spec := chainSpec(deadAddrs)
+	spec.Failover = admm.FailoverLocal
+	spec.DialTimeoutMS = 500
+	spec.DialAttempts = 1
+	out, err := SolveWithFailover(context.Background(), g, admm.SolveOptions{
+		Executor: spec, MaxIter: 25,
+	})
+	if err != nil {
+		t.Fatalf("local-fallback solve failed: %v", err)
+	}
+	if !out.LocalFallback {
+		t.Fatalf("local fallback not taken: %+v", out)
+	}
+	if out.HasShardStats || len(out.FinalAddrs) != 0 {
+		t.Fatalf("local fallback carries remote artifacts: %+v", out)
+	}
+	ref := chainGraph(t, n)
+	if _, err := admm.Solve(ref, admm.SolveOptions{MaxIter: 25}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Z {
+		if ref.Z[i] != g.Z[i] {
+			t.Fatalf("local fallback diverged from serial at Z[%d]", i)
+		}
+	}
+
+	// Same dead pool under "survivors": a typed failure, not a wedge.
+	g2 := chainGraph(t, n)
+	spec.Failover = admm.FailoverSurvivors
+	if _, err := SolveWithFailover(context.Background(), g2, admm.SolveOptions{
+		Executor: spec, MaxIter: 25,
+	}); err == nil {
+		t.Fatal("survivors policy succeeded with zero live workers")
+	}
+}
+
+// TestWorkerErrorShape pins the error type's contract: message naming
+// worker/addr/phase, and Unwrap exposing the cause.
+func TestWorkerErrorShape(t *testing.T) {
+	cause := fmt.Errorf("connection refused")
+	we := &WorkerError{Worker: 2, Addr: "tcp:10.0.0.2:9000", Phase: PhaseDial, Err: cause}
+	msg := we.Error()
+	for _, want := range []string{"worker 2", "tcp:10.0.0.2:9000", "dial", "connection refused"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+	if !errors.Is(we, cause) {
+		t.Fatal("Unwrap does not expose the cause")
+	}
+}

@@ -51,6 +51,11 @@ type wireConfig struct {
 	// Peers lists every worker's control endpoint, indexed by worker;
 	// worker i dials workers j < i it shares boundary state with.
 	Peers []string `json:"peers"`
+	// FrameTimeoutMS, when > 0, bounds each of the worker's mid-solve
+	// frame reads and writes (mesh exchange and control replies) — the
+	// coordinator propagates its ExecutorSpec.FrameTimeoutMS so both
+	// sides of a stalled stream give up instead of wedging.
+	FrameTimeoutMS int `json:"frame_timeout_ms,omitempty"`
 }
 
 // wirePeer opens a worker-to-worker mesh connection (FramePeer payload).
@@ -73,6 +78,13 @@ type wireReady struct {
 // wireIter commands one block of iterations (FrameIter payload).
 type wireIter struct {
 	Iters int `json:"iters"`
+}
+
+// wirePong answers a FramePing health probe: whether a session is
+// running and how many have completed since the worker started.
+type wirePong struct {
+	Active   bool `json:"active"`
+	Sessions int  `json:"sessions"`
 }
 
 // wireDone reports a finished block (FrameDone payload). PhaseNanos,
@@ -98,6 +110,18 @@ func writeJSONFrame(w io.Writer, kind byte, v any) error {
 	return exchange.WriteFrame(w, kind, 0, payload)
 }
 
+// remoteError is a failure the far side reported via FrameErr, kept
+// typed so retry logic can tell a worker's considered refusal (bad
+// config — retrying cannot help) from transport noise.
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return "shard: remote error: " + e.msg }
+
+// transient reports whether the remote refusal can clear on its own —
+// today only "worker busy" states, which resolve when the previous
+// session finishes tearing down.
+func (e *remoteError) transient() bool { return strings.Contains(e.msg, "busy") }
+
 // readFrameKind reads one frame and requires the given kind; a FrameErr
 // is surfaced as the remote side's error message.
 func readFrameKind(r io.Reader, buf []byte, kind byte) (exchange.Frame, []byte, error) {
@@ -106,7 +130,7 @@ func readFrameKind(r io.Reader, buf []byte, kind byte) (exchange.Frame, []byte, 
 		return f, buf, err
 	}
 	if f.Kind == exchange.FrameErr {
-		return f, buf, fmt.Errorf("shard: remote error: %s", f.Payload)
+		return f, buf, &remoteError{msg: string(f.Payload)}
 	}
 	if f.Kind != kind {
 		return f, buf, fmt.Errorf("shard: unexpected frame kind %d, want %d", f.Kind, kind)
@@ -121,10 +145,19 @@ func decodeJSONFrame(f exchange.Frame, into any) error {
 	return dec.Decode(into)
 }
 
-// dialTimeout bounds control and mesh connection establishment; once a
-// session runs, reads are unbounded (a large iteration block is
-// legitimately slow).
-const dialTimeout = 10 * time.Second
+// Default transport deadlines; every one of them is overridable per
+// solve via ExecutorSpec (dial_timeout_ms etc.) and per process via the
+// -dial-timeout/-handshake-timeout CLI flags.
+const (
+	// DefaultDialTimeout bounds control and mesh connection
+	// establishment.
+	DefaultDialTimeout = 10 * time.Second
+	// DefaultHandshakeTimeout bounds each handshake frame exchange
+	// (problem build + partition + mesh happen between Cfg and Ready).
+	DefaultHandshakeTimeout = 30 * time.Second
+	// DefaultDialAttempts is the dial+handshake retry budget.
+	DefaultDialAttempts = 3
+)
 
 // SplitAddr parses a worker endpoint into a network and address for
 // net.Dial/net.Listen: "unix:/path" and "tcp:host:port" are explicit;
@@ -143,10 +176,20 @@ func SplitAddr(addr string) (network, address string) {
 	}
 }
 
-// DialAddr connects to a worker endpoint (see SplitAddr).
+// DialAddr connects to a worker endpoint (see SplitAddr) with the
+// default dial timeout.
 func DialAddr(addr string) (net.Conn, error) {
+	return DialAddrTimeout(addr, DefaultDialTimeout)
+}
+
+// DialAddrTimeout connects to a worker endpoint with an explicit bound
+// on connection establishment (<= 0 falls back to the default).
+func DialAddrTimeout(addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
 	network, address := SplitAddr(addr)
-	return net.DialTimeout(network, address, dialTimeout)
+	return net.DialTimeout(network, address, timeout)
 }
 
 // ListenAddr listens on a worker endpoint (see SplitAddr).

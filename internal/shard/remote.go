@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -13,9 +15,36 @@ import (
 	"repro/internal/graph"
 )
 
-// handshakeTimeout bounds how long the coordinator waits for a worker's
-// Ready after shipping its config (problem build + partition + mesh).
-const handshakeTimeout = 30 * time.Second
+// timeouts is a spec's resolved per-phase deadline policy.
+type timeouts struct {
+	dial      time.Duration
+	handshake time.Duration
+	frame     time.Duration // 0 = unbounded mid-solve I/O
+	attempts  int
+}
+
+// specTimeouts resolves the spec's reliability knobs against the
+// defaults.
+func specTimeouts(spec admm.ExecutorSpec) timeouts {
+	t := timeouts{
+		dial:      DefaultDialTimeout,
+		handshake: DefaultHandshakeTimeout,
+		attempts:  DefaultDialAttempts,
+	}
+	if spec.DialTimeoutMS > 0 {
+		t.dial = time.Duration(spec.DialTimeoutMS) * time.Millisecond
+	}
+	if spec.HandshakeTimeoutMS > 0 {
+		t.handshake = time.Duration(spec.HandshakeTimeoutMS) * time.Millisecond
+	}
+	if spec.FrameTimeoutMS > 0 {
+		t.frame = time.Duration(spec.FrameTimeoutMS) * time.Millisecond
+	}
+	if spec.DialAttempts > 0 {
+		t.attempts = spec.DialAttempts
+	}
+	return t
+}
 
 // Remote is the cross-process sharded executor's coordinator: it drives
 // one paradmm-shardworker process per shard over the control protocol
@@ -30,13 +59,19 @@ const handshakeTimeout = 30 * time.Second
 //
 // Remote is bound to the graph it was built for; the serving layer and
 // CLIs build one backend per solve. Mid-solve transport failures are
-// fail-stop (panic with context) — see protocol.go.
+// fail-stop per solve: Iterate panics with a typed *WorkerError naming
+// the worker and protocol phase, which SolveWithFailover and the
+// serving layer recover into retries, survivor re-partitioning, or a
+// failed request — never a corrupted result (see docs/fault-tolerance.md).
 type Remote struct {
 	shards   int
 	strategy graph.PartitionStrategy
 	fused    bool
 	refine   bool
 	session  uint64
+	addrs    []string
+	tmo      timeouts
+	retries  int
 
 	g         *graph.Graph
 	plan      *plan
@@ -74,6 +109,15 @@ var remoteSessions atomic.Uint64
 // The returned backend drives the workers on each Iterate. g must be
 // the finalized coordinator-side replica of the referenced problem.
 func NewRemote(spec admm.ExecutorSpec, shards int, g *graph.Graph) (*Remote, error) {
+	return NewRemoteContext(context.Background(), spec, shards, g)
+}
+
+// NewRemoteContext is NewRemote with cancellation: the dial+handshake
+// retry loop (spec.DialAttempts attempts, capped exponential backoff)
+// aborts between attempts when ctx is done. Configuration mismatches
+// (graph shape, manifest digest, unknown workload) fail immediately —
+// retrying the same config cannot succeed.
+func NewRemoteContext(ctx context.Context, spec admm.ExecutorSpec, shards int, g *graph.Graph) (*Remote, error) {
 	if g == nil {
 		return nil, fmt.Errorf("shard: remote transport needs a finalized graph")
 	}
@@ -82,6 +126,9 @@ func NewRemote(spec admm.ExecutorSpec, shards int, g *graph.Graph) (*Remote, err
 	}
 	if len(spec.Addrs) != shards {
 		return nil, fmt.Errorf("shard: %d worker addrs for %d shards", len(spec.Addrs), shards)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	strategy, err := graph.ParseStrategy(spec.Partition)
 	if err != nil {
@@ -92,7 +139,8 @@ func NewRemote(spec admm.ExecutorSpec, shards int, g *graph.Graph) (*Remote, err
 		strategy: strategy,
 		fused:    spec.FusedEnabled(),
 		refine:   spec.Refine,
-		session:  uint64(os.Getpid())<<32 | remoteSessions.Add(1),
+		addrs:    append([]string(nil), spec.Addrs...),
+		tmo:      specTimeouts(spec),
 		g:        g,
 	}
 	r.plan, err = newPlan(g, shards, strategy, spec.Refine)
@@ -105,51 +153,87 @@ func NewRemote(spec admm.ExecutorSpec, shards int, g *graph.Graph) (*Remote, err
 		r.ownedVars[i] = r.plan.local[i].appendOwnedVars(nil)
 	}
 	r.bufs = make([][]byte, shards)
-	if err := r.handshake(spec); err != nil {
+	backoff := 50 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		err = r.handshake(spec)
+		if err == nil {
+			break
+		}
+		// A failed handshake abandons every connection of the attempt;
+		// the next one redials the full worker set under a fresh
+		// session id, so half-meshed workers from this attempt time out
+		// and clean up on their own.
 		r.teardown()
-		return nil, err
+		var we *WorkerError
+		if errors.As(err, &we) && we.Config {
+			return nil, err
+		}
+		if attempt >= r.tmo.attempts {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("shard: handshake abandoned: %w (last failure: %v)", ctx.Err(), err)
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > time.Second {
+			backoff = time.Second
+		}
+		r.retries++
 	}
 	p := &r.plan.part
 	r.stats = Stats{
-		Shards:        shards,
-		Strategy:      strategy,
-		Transport:     admm.TransportSockets,
-		BoundaryVars:  len(p.BoundaryVars),
-		BoundaryEdges: p.BoundaryEdges,
-		InteriorVars:  p.InteriorVars(g),
-		PartEdges:     p.PartLoads(g),
-		CutCost:       graph.CutCost(g, p),
-		LoadImbalance: p.LoadImbalance(g),
-		Refined:       r.refine || strategy == graph.StrategyMincutFM,
+		Shards:           shards,
+		Strategy:         strategy,
+		Transport:        admm.TransportSockets,
+		BoundaryVars:     len(p.BoundaryVars),
+		BoundaryEdges:    p.BoundaryEdges,
+		InteriorVars:     p.InteriorVars(g),
+		PartEdges:        p.PartLoads(g),
+		CutCost:          graph.CutCost(g, p),
+		LoadImbalance:    p.LoadImbalance(g),
+		Refined:          r.refine || strategy == graph.StrategyMincutFM,
+		HandshakeRetries: r.retries,
 	}
 	return r, nil
 }
 
-// handshake runs Cfg -> Ready -> State against every worker. Configs go
-// out in ascending worker order so that by the time worker i dials its
-// mesh peers j < i, those workers already know the session.
+// handshake runs Cfg -> Ready -> State against every worker under the
+// handshake deadline. Configs go out in ascending worker order so that
+// by the time worker i dials its mesh peers j < i, those workers
+// already know the session. Each attempt uses a fresh session id so
+// stray mesh dials from an abandoned attempt are discarded by the
+// workers.
 func (r *Remote) handshake(spec admm.ExecutorSpec) error {
+	r.session = uint64(os.Getpid())<<32 | remoteSessions.Add(1)
 	r.conns = make([]net.Conn, r.shards)
+	werr := func(i int, phase string, config bool, err error) error {
+		return &WorkerError{Worker: i, Addr: r.addrs[i], Phase: phase, Err: err, Config: config}
+	}
 	for i := 0; i < r.shards; i++ {
-		conn, err := DialAddr(spec.Addrs[i])
+		conn, err := DialAddrTimeout(r.addrs[i], r.tmo.dial)
 		if err != nil {
-			return fmt.Errorf("shard: worker %d (%s): %w", i, spec.Addrs[i], err)
+			return werr(i, PhaseDial, false, err)
 		}
 		r.conns[i] = conn
 		cfg := wireConfig{
-			Session:  r.session,
-			Worker:   i,
-			Shards:   r.shards,
-			Workload: spec.Problem.Workload,
-			Spec:     spec.Problem.Spec,
-			Strategy: string(r.strategy),
-			Refine:   r.refine,
-			Fused:    r.fused,
-			Peers:    spec.Addrs,
+			Session:        r.session,
+			Worker:         i,
+			Shards:         r.shards,
+			Workload:       spec.Problem.Workload,
+			Spec:           spec.Problem.Spec,
+			Strategy:       string(r.strategy),
+			Refine:         r.refine,
+			Fused:          r.fused,
+			Peers:          r.addrs,
+			FrameTimeoutMS: int(r.tmo.frame / time.Millisecond),
 		}
+		conn.SetWriteDeadline(time.Now().Add(r.tmo.handshake))
 		if err := writeJSONFrame(conn, exchange.FrameCfg, cfg); err != nil {
-			return fmt.Errorf("shard: worker %d: send config: %w", i, err)
+			return werr(i, PhaseHandshake, false, fmt.Errorf("send config: %w", err))
 		}
+		conn.SetWriteDeadline(time.Time{})
 	}
 	wantDigest := fmt.Sprintf("%016x", r.man.Digest())
 	st := r.g.Stats()
@@ -157,34 +241,40 @@ func (r *Remote) handshake(spec admm.ExecutorSpec) error {
 		// A handshake must answer promptly — an endpoint that accepts
 		// and then never replies (a mistyped addr pointing at some
 		// unrelated server) would otherwise wedge this coordinator (and
-		// a serve pool slot) forever. Iteration-block reads stay
-		// unbounded: large blocks are legitimately slow.
-		r.conns[i].SetReadDeadline(time.Now().Add(handshakeTimeout))
+		// a serve pool slot) forever.
+		r.conns[i].SetReadDeadline(time.Now().Add(r.tmo.handshake))
 		f, buf, err := readFrameKind(r.conns[i], r.bufs[i], exchange.FrameReady)
 		r.bufs[i] = buf
 		r.conns[i].SetReadDeadline(time.Time{})
 		if err != nil {
-			return fmt.Errorf("shard: worker %d handshake: %w", i, err)
+			// A worker's considered refusal (FrameErr) is a config
+			// problem unless it is just busy tearing down the previous
+			// session, which a retry outwaits.
+			var re *remoteError
+			config := errors.As(err, &re) && !re.transient()
+			return werr(i, PhaseHandshake, config, err)
 		}
 		var ready wireReady
 		if err := decodeJSONFrame(f, &ready); err != nil {
-			return fmt.Errorf("shard: worker %d ready: %w", i, err)
+			return werr(i, PhaseHandshake, true, fmt.Errorf("ready: %w", err))
 		}
 		if ready.Functions != st.Functions || ready.Variables != st.Variables ||
 			ready.Edges != st.Edges || ready.D != st.D {
-			return fmt.Errorf("shard: worker %d rebuilt a different graph (%d/%d/%d/%d vs %d/%d/%d/%d functions/variables/edges/d) — problem spec mismatch",
-				i, ready.Functions, ready.Variables, ready.Edges, ready.D, st.Functions, st.Variables, st.Edges, st.D)
+			return werr(i, PhaseHandshake, true, fmt.Errorf("rebuilt a different graph (%d/%d/%d/%d vs %d/%d/%d/%d functions/variables/edges/d) — problem spec mismatch",
+				ready.Functions, ready.Variables, ready.Edges, ready.D, st.Functions, st.Variables, st.Edges, st.D))
 		}
 		if ready.ManifestDigest != wantDigest {
-			return fmt.Errorf("shard: worker %d boundary manifest %s != coordinator %s — partition derivations diverged",
-				i, ready.ManifestDigest, wantDigest)
+			return werr(i, PhaseHandshake, true, fmt.Errorf("boundary manifest %s != coordinator %s — partition derivations diverged",
+				ready.ManifestDigest, wantDigest))
 		}
 	}
 	state := appendState(nil, r.g)
 	for i := 0; i < r.shards; i++ {
+		r.conns[i].SetWriteDeadline(time.Now().Add(r.tmo.handshake))
 		if err := exchange.WriteFrame(r.conns[i], exchange.FrameState, 0, state); err != nil {
-			return fmt.Errorf("shard: worker %d: send state: %w", i, err)
+			return werr(i, PhaseState, false, fmt.Errorf("send state: %w", err))
 		}
+		r.conns[i].SetWriteDeadline(time.Time{})
 	}
 	r.rhoShadow = append([]float64(nil), r.g.Rho...)
 	r.uShadow = append([]float64(nil), r.g.U...)
@@ -219,15 +309,17 @@ func (r *Remote) Iterate(g *graph.Graph, iters int, phaseNanos *[admm.NumPhases]
 	if r.started && r.paramsChanged(g) {
 		params := appendParams(nil, g)
 		for i, conn := range r.conns {
+			r.armWrite(i)
 			if err := exchange.WriteFrame(conn, exchange.FrameParams, 0, params); err != nil {
-				panic(fmt.Sprintf("shard: worker %d: send params: %v", i, err))
+				panic(&WorkerError{Worker: i, Addr: r.addrs[i], Phase: PhaseParams, Err: err})
 			}
 		}
 	}
 	r.started = true
 	for i, conn := range r.conns {
+		r.armWrite(i)
 		if err := writeJSONFrame(conn, exchange.FrameIter, wireIter{Iters: iters}); err != nil {
-			panic(fmt.Sprintf("shard: worker %d: send iterate: %v", i, err))
+			panic(&WorkerError{Worker: i, Addr: r.addrs[i], Phase: PhaseIterate, Err: err})
 		}
 	}
 	dones := make([]wireDone, r.shards)
@@ -243,7 +335,7 @@ func (r *Remote) Iterate(g *graph.Graph, iters int, phaseNanos *[admm.NumPhases]
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			panic(fmt.Sprintf("shard: worker %d: %v", i, err))
+			panic(&WorkerError{Worker: i, Addr: r.addrs[i], Phase: PhaseCollect, Err: err})
 		}
 	}
 	// After the block, the coordinator's Rho went down with the last
@@ -285,10 +377,28 @@ func (r *Remote) paramsChanged(g *graph.Graph) bool {
 	return false
 }
 
+// armWrite/armRead arm one mid-solve frame deadline on worker i's
+// control connection when the spec configured a frame timeout; with
+// none, mid-solve I/O stays unbounded (large blocks are legitimately
+// slow) and a lost worker still surfaces promptly as EOF or a FrameErr
+// relayed by its surviving peers.
+func (r *Remote) armWrite(i int) {
+	if r.tmo.frame > 0 {
+		r.conns[i].SetWriteDeadline(time.Now().Add(r.tmo.frame))
+	}
+}
+
+func (r *Remote) armRead(i int) {
+	if r.tmo.frame > 0 {
+		r.conns[i].SetReadDeadline(time.Now().Add(r.tmo.frame))
+	}
+}
+
 // collect reads one worker's Done report and owned-state upload and
 // installs the state into the coordinator graph (disjoint slices per
 // worker, so installs run concurrently).
 func (r *Remote) collect(i int, g *graph.Graph, done *wireDone) error {
+	r.armRead(i)
 	f, buf, err := readFrameKind(r.conns[i], r.bufs[i], exchange.FrameDone)
 	r.bufs[i] = buf
 	if err != nil {
@@ -297,6 +407,7 @@ func (r *Remote) collect(i int, g *graph.Graph, done *wireDone) error {
 	if err := decodeJSONFrame(f, done); err != nil {
 		return fmt.Errorf("done report: %w", err)
 	}
+	r.armRead(i)
 	f, buf, err = readFrameKind(r.conns[i], r.bufs[i], exchange.FrameUp)
 	r.bufs[i] = buf
 	if err != nil {
@@ -306,7 +417,9 @@ func (r *Remote) collect(i int, g *graph.Graph, done *wireDone) error {
 }
 
 // Close implements admm.Backend: ends the session and closes the
-// control connections; the workers return to their accept loops.
+// control connections; the workers return to their accept loops. The
+// Bye writes are bounded so closing a backend whose workers died never
+// wedges the caller.
 func (r *Remote) Close() {
 	if r.closed {
 		return
@@ -314,6 +427,7 @@ func (r *Remote) Close() {
 	r.closed = true
 	for _, conn := range r.conns {
 		if conn != nil {
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
 			exchange.WriteFrame(conn, exchange.FrameBye, 0, nil)
 		}
 	}

@@ -108,6 +108,10 @@ type Stats struct {
 	WireBytesPerIter float64
 	// ExchangeFrames counts data-plane frames sent so far.
 	ExchangeFrames int64
+	// HandshakeRetries counts full dial+handshake attempts the remote
+	// transport burned beyond the first before the session stood up
+	// (always 0 in-process).
+	HandshakeRetries int
 }
 
 // New returns a sharded backend with the given shard count and

@@ -26,6 +26,18 @@ type WorkerOptions struct {
 	// MaxSessions, when > 0, returns from ServeWorker after that many
 	// sessions complete (successfully or not) — used by tests and CI.
 	MaxSessions int
+	// DialTimeout bounds this worker's mesh dials to lower-numbered
+	// peers (0 = DefaultDialTimeout).
+	DialTimeout time.Duration
+	// MeshWait bounds how long a session waits for its mesh to
+	// complete — peers dialing in and peers being dialed (0 =
+	// DefaultHandshakeTimeout, the same budget the coordinator gives
+	// the whole handshake).
+	MeshWait time.Duration
+	// OnIterBlock, when non-nil, observes each iteration-block command
+	// just before it executes (session id, 0-based block index within
+	// the session). The -chaos-kill-block fault drill hooks here.
+	OnIterBlock func(session uint64, block int)
 }
 
 func (o *WorkerOptions) logf(format string, args ...any) {
@@ -34,9 +46,12 @@ func (o *WorkerOptions) logf(format string, args ...any) {
 	}
 }
 
-// meshWait bounds how long a session waits for its mesh to complete
-// (peers dialing in and peers being dialed).
-const meshWait = 30 * time.Second
+func (o *WorkerOptions) meshWait() time.Duration {
+	if o.MeshWait > 0 {
+		return o.MeshWait
+	}
+	return DefaultHandshakeTimeout
+}
 
 // ServeWorker runs one shard-worker endpoint on ln: it accepts
 // coordinator sessions (FrameCfg) and worker-to-worker mesh connections
@@ -128,7 +143,7 @@ func ServeWorker(ln net.Listener, opts WorkerOptions) error {
 					delete(held, from)
 					return pc, nil
 				}
-				timeout := time.After(meshWait)
+				timeout := time.After(opts.meshWait())
 				for {
 					select {
 					case p := <-peers:
@@ -209,6 +224,18 @@ func ServeWorker(ln net.Listener, opts WorkerOptions) error {
 				} else {
 					pendingPeers = append(pendingPeers, peerConn{a.conn, hello})
 				}
+			case exchange.FramePing:
+				// Health probe: answer with this worker's session state
+				// and close. Handled here (not in the classification
+				// goroutine) so active/sessions are read race-free; the
+				// reply goes out on a goroutine with a write deadline so
+				// a stalled prober cannot wedge the accept loop.
+				pong := wirePong{Active: active, Sessions: sessions}
+				go func(conn net.Conn) {
+					conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+					writeJSONFrame(conn, exchange.FramePong, pong)
+					conn.Close()
+				}(a.conn)
 			default:
 				refuse(a.conn, fmt.Sprintf("unexpected opening frame kind %d", a.f.Kind))
 			}
@@ -228,6 +255,9 @@ func refuse(conn net.Conn, msg string) {
 // connections dialed in by higher-numbered workers.
 func runSession(conn net.Conn, cfg wireConfig, opts WorkerOptions, waitPeer func(from int) (net.Conn, error)) (err error) {
 	fail := func(err error) error {
+		// Best-effort error report, bounded so a wedged coordinator
+		// stream cannot hold the session (and the worker) hostage.
+		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 		exchange.WriteFrame(conn, exchange.FrameErr, 0, []byte(err.Error()))
 		return err
 	}
@@ -270,7 +300,7 @@ func runSession(conn net.Conn, cfg wireConfig, opts WorkerOptions, waitPeer func
 		if !meshNeeded(man, id, j) {
 			continue
 		}
-		pc, err := DialAddr(cfg.Peers[j])
+		pc, err := DialAddrTimeout(cfg.Peers[j], opts.DialTimeout)
 		if err != nil {
 			closePeers()
 			return fail(fmt.Errorf("dial mesh peer %d (%s): %w", j, cfg.Peers[j], err))
@@ -300,6 +330,20 @@ func runSession(conn net.Conn, cfg wireConfig, opts WorkerOptions, waitPeer func
 		return fail(err)
 	}
 	defer ex.Close()
+	// The coordinator's frame timeout applies symmetrically: bound the
+	// mesh exchange and this worker's control-plane writes, so a
+	// stalled peer or coordinator fails the session instead of wedging
+	// this worker forever. Control reads stay unbounded — an idle
+	// session between blocks is normal.
+	frameTimeout := time.Duration(cfg.FrameTimeoutMS) * time.Millisecond
+	if frameTimeout > 0 {
+		ex.SetIOTimeout(frameTimeout)
+	}
+	armWrite := func() {
+		if frameTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(frameTimeout))
+		}
+	}
 
 	st := g.Stats()
 	ready := wireReady{
@@ -309,6 +353,7 @@ func runSession(conn net.Conn, cfg wireConfig, opts WorkerOptions, waitPeer func
 		D:              st.D,
 		ManifestDigest: fmt.Sprintf("%016x", man.Digest()),
 	}
+	armWrite()
 	if err := writeJSONFrame(conn, exchange.FrameReady, ready); err != nil {
 		return err
 	}
@@ -317,6 +362,7 @@ func runSession(conn net.Conn, cfg wireConfig, opts WorkerOptions, waitPeer func
 	ownedVars := lp.appendOwnedVars(nil)
 	var buf, out []byte
 	stateInstalled := false
+	block := 0
 	for {
 		var f exchange.Frame
 		f, buf, err = exchange.ReadFrame(conn, buf)
@@ -348,14 +394,20 @@ func runSession(conn net.Conn, cfg wireConfig, opts WorkerOptions, waitPeer func
 			if cmd.Iters <= 0 {
 				return fail(fmt.Errorf("iterate %d", cmd.Iters))
 			}
+			if opts.OnIterBlock != nil {
+				opts.OnIterBlock(cfg.Session, block)
+			}
+			block++
 			done, iterErr := runWorkerBlock(g, lp, ex, id, cmd.Iters, cfg.Fused)
 			if iterErr != nil {
 				return fail(iterErr)
 			}
+			armWrite()
 			if err := writeJSONFrame(conn, exchange.FrameDone, done); err != nil {
 				return err
 			}
 			out = appendOwned(out[:0], g, lp, ownedVars)
+			armWrite()
 			if err := exchange.WriteFrame(conn, exchange.FrameUp, 0, out); err != nil {
 				return err
 			}
