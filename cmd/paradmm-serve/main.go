@@ -41,12 +41,28 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
+
+// splitAddrs parses the comma-separated -fleet-addrs list.
+func splitAddrs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -63,6 +79,12 @@ func main() {
 	storeMaxBytes := flag.Int64("store-max-bytes", 256<<20, "solution store log size cap before compaction")
 	dialTimeout := flag.Duration("dial-timeout", 0, "default worker dial timeout for sharded sockets solves whose specs leave dial_timeout_ms unset (0 = 10s)")
 	handshakeTimeout := flag.Duration("handshake-timeout", 0, "default worker handshake timeout for sharded sockets solves whose specs leave handshake_timeout_ms unset (0 = 30s)")
+	fleetAddrs := flag.String("fleet-addrs", "", "comma-separated paradmm-shardworker endpoints forming a persistent serve fleet; eligible requests are routed local/remote/shed by the admission planner (see docs/fleet.md)")
+	fleetProbeInterval := flag.Duration("fleet-probe-interval", 2*time.Second, "fleet registry health-probe period")
+	fleetProbeTimeout := flag.Duration("fleet-probe-timeout", time.Second, "per-worker health-probe deadline")
+	fleetDeadAfter := flag.Int("fleet-dead-after", 3, "consecutive probe failures before a fleet worker is marked dead")
+	fleetPrewarm := flag.Int("fleet-prewarm", 1, "control connections kept dialed per healthy fleet worker")
+	fleetMinEdges := flag.Int("fleet-min-edges", 0, "smallest graph (edges) the planner will route to the fleet (0 = the auto policy's sharding floor)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: paradmm-serve [-addr :8080] [-workers N] [-queue N] [flags]\n\n")
 		flag.PrintDefaults()
@@ -81,6 +103,25 @@ func main() {
 		DialTimeout:      *dialTimeout,
 		HandshakeTimeout: *handshakeTimeout,
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if addrs := splitAddrs(*fleetAddrs); len(addrs) > 0 {
+		reg, err := fleet.New(fleet.Config{
+			Addrs:         addrs,
+			ProbeInterval: *fleetProbeInterval,
+			ProbeTimeout:  *fleetProbeTimeout,
+			DeadAfter:     *fleetDeadAfter,
+			Prewarm:       *fleetPrewarm,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer reg.Close()
+		go reg.Run(ctx)
+		cfg.Fleet = reg
+		cfg.FleetPlanner = fleet.PlannerConfig{MinEdges: *fleetMinEdges}
+	}
 	if *storeDir != "" {
 		st, err := store.Open(store.Options{Dir: *storeDir, MaxBytes: *storeMaxBytes})
 		if err != nil {
@@ -92,8 +133,6 @@ func main() {
 	srv := serve.New(cfg)
 	httpSrv := serve.NewHTTPServer(*addr, srv.Handler(), *readHeaderTimeout, *idleTimeout)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -30,6 +30,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress session lifecycle logging")
 	dialTimeout := flag.Duration("dial-timeout", 0, "bound on each mesh peer connection establishment (0 = 10s default)")
 	handshakeTimeout := flag.Duration("handshake-timeout", 0, "bound on waiting for inbound mesh peers during session setup (0 = 30s default)")
+	cacheEntries := flag.Int("cache", 4, "warm problem-cache entries: built graphs (and their last state) kept between sessions so a coordinator re-solving the same problem skips the workload down-sync (0 = disabled)")
 	chaosKillBlock := flag.Int("chaos-kill-block", -1, "fault injection: exit(2) immediately before executing the Nth iteration block of the first session (-1 = disabled; for failover testing)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: paradmm-shardworker -listen ADDR [-sessions N] [-quiet]\n\n")
@@ -48,10 +49,11 @@ func main() {
 	defer ln.Close()
 
 	opts := shard.WorkerOptions{
-		Builders:    workload.Builders(),
-		MaxSessions: *sessions,
-		DialTimeout: *dialTimeout,
-		MeshWait:    *handshakeTimeout,
+		Builders:     workload.Builders(),
+		MaxSessions:  *sessions,
+		DialTimeout:  *dialTimeout,
+		MeshWait:     *handshakeTimeout,
+		CacheEntries: *cacheEntries,
 	}
 	if *chaosKillBlock >= 0 {
 		kill := *chaosKillBlock

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/admm"
+	"repro/internal/fleet"
 	"repro/internal/gpusim"
 	"repro/internal/graph"
 	"repro/internal/lasso"
@@ -58,6 +59,9 @@ func main() {
 	frameTimeout := flag.Duration("frame-timeout", 0, "sockets transport: bound on every mid-solve frame read/write; must exceed a block's compute time (0 = unbounded)")
 	dialAttempts := flag.Int("dial-attempts", 0, "sockets transport: dial+handshake retry budget with capped exponential backoff (0 = 3 attempts)")
 	failover := flag.String("failover", "", "sockets transport recovery on worker loss: none (default, fail the solve) | survivors (re-partition onto live workers, re-run cold) | local (survivors, then in-process fused fallback)")
+	warmCache := flag.Bool("warm-cache", false, "sockets transport: probe the workers' warm caches before shipping the workload; a worker that already holds this problem skips the Cfg/State down-sync (see docs/fleet.md)")
+	repeat := flag.Int("repeat", 1, "solve the same problem N times from the same initial state (with -warm-cache, repeats after the first hit the workers' caches)")
+	useFleet := flag.Bool("fleet", false, "manage -addrs through a persistent fleet registry reused across -repeat solves: health-probe once, lease workers per solve, dial from a prewarmed pool")
 	seed := flag.Int64("seed", 1, "workload seed (0 selects the workload spec's default seed)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: paradmm-solve [-problem P] [-size N] [-iters N] [-backend B] [flags]\n\n")
@@ -92,6 +96,15 @@ func main() {
 		frameTimeout:     *frameTimeout,
 		dialAttempts:     *dialAttempts,
 		failover:         *failover,
+		warmCache:        *warmCache,
+		repeat:           *repeat,
+		fleet:            *useFleet,
+	}
+	if cfg.repeat < 1 {
+		fatal(fmt.Errorf("-repeat %d out of range (>= 1)", cfg.repeat))
+	}
+	if cfg.fleet && len(workerAddrs) == 0 {
+		fatal(fmt.Errorf("-fleet needs -addrs naming the shardworker fleet"))
 	}
 
 	var err error
@@ -143,6 +156,11 @@ type backendConfig struct {
 	frameTimeout     time.Duration
 	dialAttempts     int
 	failover         string
+	// warmCache enables the cache-probe handshake; fleet manages the
+	// addrs through a fleet.Registry reused across repeat solves.
+	warmCache bool
+	repeat    int
+	fleet     bool
 }
 
 // specFor resolves the config into a declarative executor spec — the
@@ -185,15 +203,19 @@ func specFor(c backendConfig, ref *admm.ProblemRef) (*admm.ExecutorSpec, error) 
 	spec.FrameTimeoutMS = int(c.frameTimeout / time.Millisecond)
 	spec.DialAttempts = c.dialAttempts
 	spec.Failover = c.failover
+	// -fleet implies the warm-cache handshake: a persistent fleet's
+	// whole point is that repeated solves skip the workload down-sync.
+	spec.WarmCache = c.warmCache || c.fleet
 	return &spec, nil
 }
 
-func makeBackend(c backendConfig, ref *admm.ProblemRef, g *graph.Graph) (admm.Backend, error) {
+func makeBackend(c backendConfig, ref *admm.ProblemRef, g *graph.Graph, withDialer func(*admm.ExecutorSpec)) (admm.Backend, error) {
 	spec, err := specFor(c, ref)
 	if err != nil {
 		return nil, err
 	}
 	if spec != nil {
+		withDialer(spec)
 		return spec.NewBackend(g)
 	}
 	if c.transport != "" || len(c.addrs) > 0 {
@@ -222,7 +244,88 @@ func problemRef(workload string, spec any) (*admm.ProblemRef, error) {
 	return &admm.ProblemRef{Workload: workload, Spec: raw}, nil
 }
 
+// stateSnapshot captures the solver state vectors so -repeat can rerun
+// the identical solve (same initial iterate) without rebuilding the
+// problem.
+type stateSnapshot struct {
+	rho, alpha, x, m, u, n, z []float64
+}
+
+func snapshotState(g *graph.Graph) stateSnapshot {
+	cp := func(v []float64) []float64 { return append([]float64(nil), v...) }
+	return stateSnapshot{
+		rho: cp(g.Rho), alpha: cp(g.Alpha),
+		x: cp(g.X), m: cp(g.M), u: cp(g.U), n: cp(g.N), z: cp(g.Z),
+	}
+}
+
+func (s stateSnapshot) restore(g *graph.Graph) {
+	copy(g.Rho, s.rho)
+	copy(g.Alpha, s.alpha)
+	copy(g.X, s.x)
+	copy(g.M, s.m)
+	copy(g.U, s.u)
+	copy(g.N, s.n)
+	copy(g.Z, s.z)
+}
+
+// run solves g -repeat times from the same initial state. With -fleet
+// the worker addresses are managed by one fleet.Registry reused across
+// every repeat: probed up front, leased per solve, dialed from a
+// prewarmed pool — so repeats after the first hit the workers' warm
+// caches through the registry-held fleet.
 func run(g *graph.Graph, iters int, c backendConfig, ref *admm.ProblemRef) (admm.Result, error) {
+	var reg *fleet.Registry
+	if c.fleet {
+		var err error
+		reg, err = fleet.New(fleet.Config{Addrs: c.addrs, Prewarm: 1})
+		if err != nil {
+			return admm.Result{}, err
+		}
+		defer reg.Close()
+		for _, w := range reg.ProbeOnce(context.Background()) {
+			if w.State != fleet.StateHealthy {
+				return admm.Result{}, fmt.Errorf("fleet worker %s is %s: %s", w.Addr, w.State, w.LastErr)
+			}
+		}
+		fmt.Printf("fleet: %d workers healthy\n", len(c.addrs))
+	}
+	var snap stateSnapshot
+	if c.repeat > 1 {
+		snap = snapshotState(g)
+	}
+	var res admm.Result
+	for rep := 1; rep <= c.repeat; rep++ {
+		if rep > 1 {
+			snap.restore(g)
+			fmt.Printf("--- repeat %d/%d ---\n", rep, c.repeat)
+		}
+		var err error
+		if res, err = runOnce(g, iters, c, ref, reg); err != nil {
+			return res, err
+		}
+	}
+	if reg != nil {
+		st := reg.Stats()
+		fmt.Printf("fleet: %d worker-solves leased across %d repeats\n", st.Solves, c.repeat)
+	}
+	return res, nil
+}
+
+func runOnce(g *graph.Graph, iters int, c backendConfig, ref *admm.ProblemRef, reg *fleet.Registry) (admm.Result, error) {
+	var lease *fleet.Lease
+	if reg != nil {
+		if lease = reg.Acquire(len(c.addrs)); lease == nil || len(lease.Addrs) < len(c.addrs) {
+			lease.Release()
+			return admm.Result{}, fmt.Errorf("fleet has no free session slots")
+		}
+		defer lease.Release()
+	}
+	withDialer := func(spec *admm.ExecutorSpec) {
+		if reg != nil && spec != nil {
+			spec.WorkerDialer = reg.Dial
+		}
+	}
 	if c.failover == admm.FailoverSurvivors || c.failover == admm.FailoverLocal {
 		// Recovery-policy solves route through shard.SolveWithFailover,
 		// which owns the retry/probe/re-partition loop that the plain
@@ -234,6 +337,7 @@ func run(g *graph.Graph, iters int, c backendConfig, ref *admm.ProblemRef) (admm
 		if spec == nil {
 			return admm.Result{}, fmt.Errorf("-failover applies to -backend sharded, not %q", c.name)
 		}
+		withDialer(spec)
 		out, err := shard.SolveWithFailover(context.Background(), g, admm.SolveOptions{
 			Executor: *spec,
 			MaxIter:  iters,
@@ -252,7 +356,7 @@ func run(g *graph.Graph, iters int, c backendConfig, ref *admm.ProblemRef) (admm
 		}
 		return out.Result, nil
 	}
-	backend, err := makeBackend(c, ref, g)
+	backend, err := makeBackend(c, ref, g, withDialer)
 	if err != nil {
 		return admm.Result{}, err
 	}
@@ -285,6 +389,10 @@ func report(res admm.Result, g *graph.Graph, name string, st *shard.Stats) {
 		if st.BytesPerIter > 0 {
 			fmt.Printf("exchange: %.0f payload bytes/iter moved vs %.0f predicted (cut cost x 8), %.0f on the wire with framing\n",
 				st.BytesPerIter, 8*st.CutCost, st.WireBytesPerIter)
+		}
+		if st.CacheHits+st.CacheGraphHits+st.CacheMisses > 0 {
+			fmt.Printf("warm cache: %d state hits, %d graph hits, %d misses (%d cfg sends, %d state pushes, %d handshake frames)\n",
+				st.CacheHits, st.CacheGraphHits, st.CacheMisses, st.CfgSends, st.StatePushes, st.HandshakeFrames)
 		}
 	}
 }

@@ -85,9 +85,10 @@ func startScriptedWorkers(t testing.TB, scripts []faultnet.Script) ([]string, []
 		// deadline-bounded by MeshWait, and the leak check below budgets
 		// for it draining.
 		go shard.ServeWorker(fln, shard.WorkerOptions{
-			Builders:    workload.Builders(),
-			DialTimeout: 2 * time.Second,
-			MeshWait:    2 * time.Second,
+			Builders:     workload.Builders(),
+			DialTimeout:  2 * time.Second,
+			MeshWait:     2 * time.Second,
+			CacheEntries: 4,
 		})
 		addrs[i] = "tcp:" + ln.Addr().String()
 		lns[i] = fln

@@ -134,6 +134,16 @@ func (s ExecutorSpec) resolveAuto(g *graph.Graph, procs int, shardedLinked bool)
 	return out
 }
 
+// BestRefinedPartition exposes the auto policy's partition-candidate
+// evaluation: the winning refined strategy and its degree-weighted cut
+// cost for g at the given shard count (ok=false when no candidate has
+// an acceptable load balance). The fleet admission planner uses it to
+// predict a request's exchange share before leasing remote workers —
+// the same model auto uses to decide sharding pays at all.
+func BestRefinedPartition(g *graph.Graph, shards int) (graph.PartitionStrategy, float64, bool) {
+	return bestRefinedPartition(g, shards)
+}
+
 // bestRefinedPartition evaluates the two refined candidates —
 // balanced+FM and mincut+FM — drops any whose load imbalance exceeds
 // AutoMaxImbalance, and returns the survivor with the lower

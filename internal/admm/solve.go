@@ -2,7 +2,9 @@ package admm
 
 import (
 	"fmt"
+	"net"
 	"strings"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -102,11 +104,23 @@ type ExecutorSpec struct {
 	// shard.SolveWithFailover (the serving layer and CLIs route through
 	// it when set).
 	Failover string `json:"failover,omitempty"`
+	// WarmCache opens remote worker sessions with a cache probe instead
+	// of a full config: a worker that already built this problem under
+	// the same partition knobs skips the rebuild, and — when the state
+	// fingerprint also matches — the coordinator skips the state push
+	// entirely (sharded sockets with addrs only; requires Problem).
+	// The fleet registry sets this for registry-routed solves.
+	WarmCache bool `json:"warm_cache,omitempty"`
 	// Problem lets the sockets transport ship a rebuildable problem
 	// description to remote workers. It is filled by the serving layer
 	// and the CLIs from their request context, never decoded from the
 	// wire spec itself.
 	Problem *ProblemRef `json:"-"`
+	// WorkerDialer, when non-nil, replaces the sockets transport's
+	// per-worker control dials — the fleet registry hands out
+	// pre-established connections from its warm pool here. Never part
+	// of the wire spec.
+	WorkerDialer func(addr string, timeout time.Duration) (net.Conn, error) `json:"-"`
 }
 
 // Failover policies for ExecutorSpec.Failover. Every policy preserves
@@ -270,6 +284,9 @@ func (s ExecutorSpec) Validate() error {
 	}
 	if (s.Failover == FailoverSurvivors || s.Failover == FailoverLocal) && len(s.Addrs) == 0 {
 		return fmt.Errorf("admm: failover %q needs worker addrs (transport %q)", s.Failover, TransportSockets)
+	}
+	if s.WarmCache && (s.Kind != ExecSharded || s.Transport != TransportSockets || len(s.Addrs) == 0) {
+		return fmt.Errorf("admm: warm_cache needs the sharded sockets transport with worker addrs")
 	}
 	return nil
 }

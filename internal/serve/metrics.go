@@ -45,6 +45,14 @@ type metrics struct {
 	shardWorkerFailures uint64
 	shardHealth         []shard.WorkerHealth
 
+	// Fleet aggregates: planner verdicts by route, and warm-cache
+	// handshake tallies folded out of sharded-solve stats (nonzero only
+	// for solves run with the warm-cache handshake, i.e. fleet routes).
+	fleetRouted         map[string]uint64
+	shardCacheHits      uint64
+	shardCacheGraphHits uint64
+	shardCacheMisses    uint64
+
 	// Bulk-stream aggregates: stream count by outcome ("ok", "aborted",
 	// "rejected") plus cumulative record/solve counters reported by
 	// finished pipelines (internal/bulk.Stats).
@@ -60,7 +68,11 @@ type metrics struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{requests: map[string]uint64{}, bulkStreams: map[string]uint64{}}
+	return &metrics{
+		requests:    map[string]uint64{},
+		bulkStreams: map[string]uint64{},
+		fleetRouted: map[string]uint64{},
+	}
 }
 
 func (m *metrics) countRequest(workload, outcome string) {
@@ -87,6 +99,9 @@ func (m *metrics) recordShard(s shard.Stats) {
 	m.shardSolves++
 	m.shardSyncNanos += s.SyncWaitNanos
 	m.shardBoundaryNanos += s.BoundaryZNanos
+	m.shardCacheHits += uint64(s.CacheHits)
+	m.shardCacheGraphHits += uint64(s.CacheGraphHits)
+	m.shardCacheMisses += uint64(s.CacheMisses)
 	m.shardLast = s
 	m.mu.Unlock()
 }

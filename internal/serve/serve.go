@@ -49,6 +49,7 @@ import (
 	"errors"
 
 	"repro/internal/admm"
+	"repro/internal/fleet"
 	"repro/internal/graph"
 	"repro/internal/shard"
 	"repro/internal/store"
@@ -82,6 +83,17 @@ type Config struct {
 	// shared by every bulk stream (and across restarts, by whoever opens
 	// the same directory next). See internal/store.
 	Store *store.Store
+	// Fleet, when non-nil, is the persistent shardworker registry:
+	// eligible requests (executor kind unset/auto, or sharded sockets
+	// with no pinned addrs) pass through its admission planner, which
+	// routes them local, onto leased fleet workers with the warm-cache
+	// handshake, or sheds them with 429 when every healthy worker's
+	// session slot is taken. The caller owns the registry's probe loop
+	// (fleet.Registry.Run) and its shutdown.
+	Fleet *fleet.Registry
+	// FleetPlanner tunes fleet admission; zero values take the auto
+	// policy's thresholds (see fleet.PlannerConfig).
+	FleetPlanner fleet.PlannerConfig
 	// DialTimeout/HandshakeTimeout are the server-wide defaults for
 	// sharded sockets solves whose specs leave dial_timeout_ms /
 	// handshake_timeout_ms unset (zero keeps the shard package
@@ -179,8 +191,11 @@ type JobView struct {
 	Status   string            `json:"status"`
 	Executor admm.ExecutorSpec `json:"executor"`
 	CacheHit bool              `json:"cache_hit"`
-	Error    string            `json:"error,omitempty"`
-	Result   *SolveResult      `json:"result,omitempty"`
+	// Shed marks a job rejected by the fleet admission planner (the
+	// request saw HTTP 429; async pollers see this flag).
+	Shed   bool         `json:"shed,omitempty"`
+	Error  string       `json:"error,omitempty"`
+	Result *SolveResult `json:"result,omitempty"`
 }
 
 // Job states.
@@ -206,6 +221,7 @@ type Job struct {
 	mu       sync.Mutex
 	status   string
 	cacheHit bool
+	shed     bool
 	err      string
 	result   *SolveResult
 	done     chan struct{}
@@ -220,6 +236,7 @@ func (j *Job) view() JobView {
 		Status:   j.status,
 		Executor: j.executor,
 		CacheHit: j.cacheHit,
+		Shed:     j.shed,
 		Error:    j.err,
 		Result:   j.result,
 	}
@@ -266,6 +283,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/bulk", s.handleBulk)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -390,6 +408,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	v := job.view()
 	if v.Status == StatusFailed {
+		if v.Shed {
+			// The fleet planner refused admission: every healthy worker's
+			// session slot is leased. 429 tells the client to back off,
+			// exactly like a full queue.
+			s.met.countRequest(wl, "shed")
+			writeJSON(w, http.StatusTooManyRequests, v)
+			return
+		}
 		s.met.countRequest(wl, "failed")
 		writeJSON(w, http.StatusBadRequest, v)
 		return
@@ -423,6 +449,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.render(&b, s.pool.Depth(), cs.Hits, cs.Misses, uint64(cs.Size))
 	if s.cfg.Store != nil {
 		renderStoreMetrics(&b, s.cfg.Store.Stats())
+	}
+	if s.cfg.Fleet != nil {
+		s.renderFleetMetrics(&b)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.Write([]byte(b.String()))
@@ -524,6 +553,23 @@ func (s *Server) runJob(j *Job) {
 	// request's workload + spec, exactly what this job admitted.
 	g := p.FactorGraph()
 	spec := j.executor
+	if s.cfg.Fleet != nil && fleetEligible(spec) {
+		d := s.cfg.Fleet.Plan(g, s.cfg.FleetPlanner)
+		// The lease (if any) outlives the whole solve, including the
+		// failover loop's re-partitioned retries.
+		defer d.Release()
+		s.met.countFleetRoute(string(d.Route))
+		switch d.Route {
+		case fleet.RouteShed:
+			j.mu.Lock()
+			j.shed = true
+			j.mu.Unlock()
+			fail(fmt.Errorf("fleet saturated: %s", d.Reason))
+			return
+		case fleet.RouteRemote:
+			spec = d.Spec(s.cfg.Fleet, spec)
+		}
+	}
 	useFailover := false
 	if spec.Transport == admm.TransportSockets && len(spec.Addrs) > 0 {
 		spec.Problem = &admm.ProblemRef{Workload: j.workload, Spec: j.rawSpec}

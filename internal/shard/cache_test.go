@@ -1,0 +1,215 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/admm"
+	"repro/internal/graph"
+)
+
+// startCacheWorkers hosts n in-process shard workers with a warm cache
+// of the given size.
+func startCacheWorkers(t *testing.T, n, entries int, builders map[string]BuilderFunc) []string {
+	t.Helper()
+	dir := t.TempDir()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("unix:%s/cw%d.sock", dir, i)
+		ln, err := ListenAddr(addrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go ServeWorker(ln, WorkerOptions{Builders: builders, CacheEntries: entries})
+	}
+	return addrs
+}
+
+func warmSpec(addrs []string) admm.ExecutorSpec {
+	return admm.ExecutorSpec{
+		Kind: admm.ExecSharded, Transport: admm.TransportSockets, Addrs: addrs,
+		WarmCache: true,
+		Problem:   &admm.ProblemRef{Workload: "chain", Spec: []byte(`{}`)},
+	}
+}
+
+// TestWarmCacheHandshakeTiers drives all three cache tiers through the
+// real session protocol and pins the frame accounting: a first solve
+// misses (full Cfg/Ready/State), an identical second solve is a
+// state-tier hit on every worker (no Cfg, no State push, strictly
+// fewer handshake frames), and a third solve from a different initial
+// iterate is a graph-tier hit (state push only). Every tier's result
+// must stay bit-identical to Serial.
+func TestWarmCacheHandshakeTiers(t *testing.T) {
+	builders := map[string]BuilderFunc{
+		"chain": func(spec []byte) (*graph.Graph, error) { return chainGraph(t, 48), nil },
+	}
+	addrs := startCacheWorkers(t, 2, 2, builders)
+	spec := warmSpec(addrs)
+
+	solve := func(g *graph.Graph, iters int) Stats {
+		t.Helper()
+		r, err := NewRemote(spec, 2, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		var nanos [admm.NumPhases]int64
+		r.Iterate(g, iters, &nanos)
+		return r.Stats()
+	}
+	serial := func(mutate func(*graph.Graph), iters int) *graph.Graph {
+		t.Helper()
+		ref := chainGraph(t, 48)
+		if mutate != nil {
+			mutate(ref)
+		}
+		var nanos [admm.NumPhases]int64
+		b := admm.NewSerialFused()
+		defer b.Close()
+		b.Iterate(ref, iters, &nanos)
+		return ref
+	}
+	checkZ := func(tag string, g, ref *graph.Graph) {
+		t.Helper()
+		for i := range ref.Z {
+			if ref.Z[i] != g.Z[i] {
+				t.Fatalf("%s: diverged from serial at Z[%d]: %g vs %g", tag, i, g.Z[i], ref.Z[i])
+			}
+		}
+	}
+
+	// Solve 1: cold workers — every probe misses.
+	g1 := chainGraph(t, 48)
+	st1 := solve(g1, 40)
+	if st1.CacheMisses != 2 || st1.CacheHits != 0 || st1.CacheGraphHits != 0 {
+		t.Fatalf("first solve: hits/graph/misses = %d/%d/%d, want 0/0/2", st1.CacheHits, st1.CacheGraphHits, st1.CacheMisses)
+	}
+	if st1.CfgSends != 2 || st1.StatePushes != 2 {
+		t.Fatalf("first solve: %d cfg sends, %d state pushes, want 2 and 2", st1.CfgSends, st1.StatePushes)
+	}
+	checkZ("miss tier", g1, serial(nil, 40))
+
+	// Solve 2: identical problem and initial state — state-tier hit on
+	// both workers, the workload is never re-sent, and the handshake
+	// exchanges strictly fewer frames.
+	g2 := chainGraph(t, 48)
+	st2 := solve(g2, 40)
+	if st2.CacheHits != 2 || st2.CacheMisses != 0 || st2.CacheGraphHits != 0 {
+		t.Fatalf("second solve: hits/graph/misses = %d/%d/%d, want 2/0/0", st2.CacheHits, st2.CacheGraphHits, st2.CacheMisses)
+	}
+	if st2.CfgSends != 0 || st2.StatePushes != 0 {
+		t.Fatalf("second solve re-sent the workload: %d cfg sends, %d state pushes", st2.CfgSends, st2.StatePushes)
+	}
+	if st2.HandshakeFrames >= st1.HandshakeFrames {
+		t.Fatalf("warm handshake not cheaper: %d frames vs %d cold", st2.HandshakeFrames, st1.HandshakeFrames)
+	}
+	checkZ("state-hit tier", g2, serial(nil, 40))
+
+	// Solve 3: same problem, different initial iterate — the cached
+	// graph is reused but the state digest differs, so the push happens.
+	bump := func(g *graph.Graph) {
+		for i := range g.Z {
+			g.Z[i] += 0.25
+		}
+	}
+	g3 := chainGraph(t, 48)
+	bump(g3)
+	st3 := solve(g3, 40)
+	if st3.CacheGraphHits != 2 || st3.CacheHits != 0 || st3.CacheMisses != 0 {
+		t.Fatalf("third solve: hits/graph/misses = %d/%d/%d, want 0/2/0", st3.CacheHits, st3.CacheGraphHits, st3.CacheMisses)
+	}
+	if st3.CfgSends != 0 || st3.StatePushes != 2 {
+		t.Fatalf("third solve: %d cfg sends, %d state pushes, want 0 and 2", st3.CfgSends, st3.StatePushes)
+	}
+	checkZ("graph-hit tier", g3, serial(bump, 40))
+
+	// Solve 4: the graph-hit session re-captured its pushed state, so
+	// repeating the bumped solve is a state-tier hit again.
+	g4 := chainGraph(t, 48)
+	bump(g4)
+	st4 := solve(g4, 40)
+	if st4.CacheHits != 2 || st4.StatePushes != 0 {
+		t.Fatalf("fourth solve: %d state hits, %d state pushes, want 2 and 0", st4.CacheHits, st4.StatePushes)
+	}
+	checkZ("re-captured state", g4, serial(bump, 40))
+}
+
+// TestWarmCacheDisabled: a worker with no cache answers probes with a
+// miss every time — the protocol still works, nothing is retained.
+func TestWarmCacheDisabled(t *testing.T) {
+	builders := map[string]BuilderFunc{
+		"chain": func(spec []byte) (*graph.Graph, error) { return chainGraph(t, 32), nil },
+	}
+	addrs := startCacheWorkers(t, 2, 0, builders)
+	spec := warmSpec(addrs)
+	for round := 1; round <= 2; round++ {
+		g := chainGraph(t, 32)
+		r, err := NewRemote(spec, 2, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nanos [admm.NumPhases]int64
+		r.Iterate(g, 20, &nanos)
+		st := r.Stats()
+		r.Close()
+		if st.CacheMisses != 2 || st.CacheHits != 0 {
+			t.Fatalf("round %d: hits/misses = %d/%d, want 0/2 with the cache disabled", round, st.CacheHits, st.CacheMisses)
+		}
+		ref := chainGraph(t, 32)
+		b := admm.NewSerialFused()
+		b.Iterate(ref, 20, &nanos)
+		b.Close()
+		for i := range ref.Z {
+			if ref.Z[i] != g.Z[i] {
+				t.Fatalf("round %d diverged from serial at Z[%d]", round, i)
+			}
+		}
+	}
+}
+
+// TestWarmCacheLRUEviction exercises the bound: a 1-entry cache serving
+// two alternating problems evicts on every switch, so re-solving the
+// first problem misses again.
+func TestWarmCacheLRUEviction(t *testing.T) {
+	builders := map[string]BuilderFunc{
+		"chain": func(spec []byte) (*graph.Graph, error) {
+			var s struct {
+				N int `json:"n"`
+			}
+			if err := json.Unmarshal(spec, &s); err != nil {
+				return nil, err
+			}
+			return chainGraph(t, s.N), nil
+		},
+	}
+	addrs := startCacheWorkers(t, 2, 1, builders)
+	solveN := func(n int) Stats {
+		t.Helper()
+		spec := warmSpec(addrs)
+		spec.Problem = &admm.ProblemRef{Workload: "chain", Spec: []byte(fmt.Sprintf(`{"n":%d}`, n))}
+		g := chainGraph(t, n)
+		r, err := NewRemote(spec, 2, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		var nanos [admm.NumPhases]int64
+		r.Iterate(g, 10, &nanos)
+		return r.Stats()
+	}
+	if st := solveN(32); st.CacheMisses != 2 {
+		t.Fatalf("cold 32: %d misses, want 2", st.CacheMisses)
+	}
+	if st := solveN(48); st.CacheMisses != 2 {
+		t.Fatalf("cold 48 (evicts 32): %d misses, want 2", st.CacheMisses)
+	}
+	if st := solveN(32); st.CacheMisses != 2 {
+		t.Fatalf("re-solve 32 after eviction: %d misses, want 2 (entry should have been evicted)", st.CacheMisses)
+	}
+	if st := solveN(32); st.CacheHits != 2 {
+		t.Fatalf("warm 32: %d hits, want 2", st.CacheHits)
+	}
+}

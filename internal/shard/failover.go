@@ -121,6 +121,10 @@ func SolveWithFailover(ctx context.Context, g *graph.Graph, opts admm.SolveOptio
 	// survivor, plus one same-set retry for a transient failure.
 	maxAttempts := len(cur.Addrs) + 2
 	sameSetRetried := false
+	// Busy-refusal patience: total time spent out-waiting "worker
+	// busy" rejections, bounded by the handshake timeout.
+	const busyPoll = 250 * time.Millisecond
+	var busyWaited time.Duration
 	for out.Attempts < maxAttempts && len(cur.Addrs) > 0 {
 		out.Attempts++
 		snap.restore(g)
@@ -146,6 +150,21 @@ func SolveWithFailover(ctx context.Context, g *graph.Graph, opts admm.SolveOptio
 		}
 		if mode == admm.FailoverNone {
 			return out, err
+		}
+		// A busy refusal is the worker's explicit word that it is
+		// alive but occupied — typically a previous attempt's session
+		// still draining its mesh wait after a peer died, or a queued
+		// opener from an abandoned attempt. Shrinking would drop a
+		// live worker, so out-wait the teardown instead, bounded by
+		// the handshake timeout.
+		var re *remoteError
+		if errors.As(err, &re) && re.transient() && busyWaited < tmo.handshake {
+			busyWaited += busyPoll
+			maxAttempts++ // patience, not a failover attempt
+			if err := sleepCtx(ctx, busyPoll); err != nil {
+				return out, fmt.Errorf("shard: failover abandoned: %w (last failure: %v)", err, we)
+			}
+			continue
 		}
 		// Transport failure under an active failover policy: probe the
 		// current worker set and shrink onto the survivors.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"strings"
@@ -56,6 +57,92 @@ type wireConfig struct {
 	// coordinator propagates its ExecutorSpec.FrameTimeoutMS so both
 	// sides of a stalled stream give up instead of wedging.
 	FrameTimeoutMS int `json:"frame_timeout_ms,omitempty"`
+}
+
+// wireCacheProbe opens a session against the worker's warm cache
+// (FrameCacheProbe payload): everything wireConfig carries except the
+// problem itself, which is named by Key — a digest over the ProblemRef
+// and partition knobs. StateDigest fingerprints the exact FrameState
+// payload the coordinator would push, so the worker can prove its
+// cached snapshot is bit-identical before the coordinator skips the
+// push. On a miss the coordinator follows with a full FrameCfg on the
+// same connection; the session id and knobs must match the probe's.
+type wireCacheProbe struct {
+	Session     uint64 `json:"session"`
+	Worker      int    `json:"worker"`
+	Shards      int    `json:"shards"`
+	Key         string `json:"key"`
+	StateDigest string `json:"state_digest"`
+	Strategy    string `json:"strategy"`
+	Refine      bool   `json:"refine"`
+	Fused       bool   `json:"fused"`
+	// Peers lists every worker's control endpoint, indexed by worker
+	// (same contract as wireConfig.Peers).
+	Peers          []string `json:"peers"`
+	FrameTimeoutMS int      `json:"frame_timeout_ms,omitempty"`
+}
+
+// Warm-cache hit tiers (wireCacheAck.Hit). The empty string is a miss.
+const (
+	// cacheHitState: key and state digest both match — the worker
+	// restored its cached snapshot; the coordinator skips Cfg, Ready
+	// and the State push entirely.
+	cacheHitState = "state"
+	// cacheHitGraph: key matches but the state digest differs (a warm
+	// start, rho adaptation, or a different initial iterate) — the
+	// worker reuses the cached graph/partition/manifest but still needs
+	// the State push.
+	cacheHitGraph = "graph"
+)
+
+// wireCacheAck answers a cache probe (FrameCacheAck payload). On any
+// hit it doubles as the Ready acknowledgment: the cached graph's shape
+// and manifest digest, verified by the coordinator exactly like
+// wireReady before any state is trusted.
+type wireCacheAck struct {
+	Hit            string `json:"hit,omitempty"`
+	Functions      int    `json:"functions,omitempty"`
+	Variables      int    `json:"variables,omitempty"`
+	Edges          int    `json:"edges,omitempty"`
+	D              int    `json:"d,omitempty"`
+	ManifestDigest string `json:"manifest_digest,omitempty"`
+}
+
+// asConfig projects a probe onto the session knobs the control loop
+// reads (everything but the problem itself, which a hit makes moot).
+func (p wireCacheProbe) asConfig() wireConfig {
+	return wireConfig{
+		Session:        p.Session,
+		Worker:         p.Worker,
+		Shards:         p.Shards,
+		Strategy:       p.Strategy,
+		Refine:         p.Refine,
+		Fused:          p.Fused,
+		Peers:          p.Peers,
+		FrameTimeoutMS: p.FrameTimeoutMS,
+	}
+}
+
+// problemKey fingerprints what a worker must have rebuilt for a cached
+// session to be reusable: the problem reference plus every knob that
+// shapes the partition. Same key => same graph topology, plan, and
+// manifest on a worker that rebuilds deterministically (the ack's
+// shape+digest check still verifies, never trusts, this).
+func problemKey(p *admm.ProblemRef, shards int, strategy string, refine bool) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%s|%t|", p.Workload, shards, strategy, refine)
+	h.Write(p.Spec)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// stateDigest fingerprints a FrameState payload (FNV-64a). Collisions
+// only risk skipping a push whose bytes differed — 64 bits against a
+// payload both ends already agree on structurally is comfortably below
+// the noise floor of the transport's own error rates.
+func stateDigest(payload []byte) string {
+	h := fnv.New64a()
+	h.Write(payload)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // wirePeer opens a worker-to-worker mesh connection (FramePeer payload).

@@ -80,6 +80,17 @@ type Remote struct {
 	conns     []net.Conn
 	bufs      [][]byte
 
+	// warm enables the cache-probe handshake; dialer, when non-nil,
+	// replaces DialAddrTimeout (the fleet registry's pre-warmed
+	// connection pool plugs in here).
+	warm    bool
+	problem *admm.ProblemRef
+	dialer  func(addr string, timeout time.Duration) (net.Conn, error)
+	// Per-handshake control-plane counters (reset each attempt, folded
+	// into Stats after the successful one).
+	hsHits, hsGraphHits, hsMisses int
+	hsCfg, hsState, hsFrames      int
+
 	// rhoShadow/uShadow are Rho and U as the workers last saw them
 	// (handshake state, params pushes, and each block's own uploads).
 	// The engine path that mutates parameters between Iterate calls is
@@ -142,6 +153,9 @@ func NewRemoteContext(ctx context.Context, spec admm.ExecutorSpec, shards int, g
 		addrs:    append([]string(nil), spec.Addrs...),
 		tmo:      specTimeouts(spec),
 		g:        g,
+		warm:     spec.WarmCache,
+		problem:  spec.Problem,
+		dialer:   spec.WorkerDialer,
 	}
 	r.plan, err = newPlan(g, shards, strategy, spec.Refine)
 	if err != nil {
@@ -155,7 +169,7 @@ func NewRemoteContext(ctx context.Context, spec admm.ExecutorSpec, shards int, g
 	r.bufs = make([][]byte, shards)
 	backoff := 50 * time.Millisecond
 	for attempt := 1; ; attempt++ {
-		err = r.handshake(spec)
+		err = r.handshake()
 		if err == nil {
 			break
 		}
@@ -195,8 +209,38 @@ func NewRemoteContext(ctx context.Context, spec admm.ExecutorSpec, shards int, g
 		LoadImbalance:    p.LoadImbalance(g),
 		Refined:          r.refine || strategy == graph.StrategyMincutFM,
 		HandshakeRetries: r.retries,
+		CacheHits:        r.hsHits,
+		CacheGraphHits:   r.hsGraphHits,
+		CacheMisses:      r.hsMisses,
+		CfgSends:         r.hsCfg,
+		StatePushes:      r.hsState,
+		HandshakeFrames:  r.hsFrames,
 	}
 	return r, nil
+}
+
+// dialWorker establishes one control connection, through the injected
+// dialer when the spec supplied one.
+func (r *Remote) dialWorker(addr string) (net.Conn, error) {
+	if r.dialer != nil {
+		return r.dialer(addr, r.tmo.dial)
+	}
+	return DialAddrTimeout(addr, r.tmo.dial)
+}
+
+// checkRebuild verifies a worker's claimed graph shape and boundary
+// manifest against the coordinator's own — the proof gate every
+// session passes (Ready or cache ack) before any state is trusted.
+func checkRebuild(st graph.Stats, wantDigest string, functions, variables, edges, d int, digest string) error {
+	if functions != st.Functions || variables != st.Variables || edges != st.Edges || d != st.D {
+		return fmt.Errorf("rebuilt a different graph (%d/%d/%d/%d vs %d/%d/%d/%d functions/variables/edges/d) — problem spec mismatch",
+			functions, variables, edges, d, st.Functions, st.Variables, st.Edges, st.D)
+	}
+	if digest != wantDigest {
+		return fmt.Errorf("boundary manifest %s != coordinator %s — partition derivations diverged",
+			digest, wantDigest)
+	}
+	return nil
 }
 
 // handshake runs Cfg -> Ready -> State against every worker under the
@@ -205,76 +249,214 @@ func NewRemoteContext(ctx context.Context, spec admm.ExecutorSpec, shards int, g
 // already know the session. Each attempt uses a fresh session id so
 // stray mesh dials from an abandoned attempt are discarded by the
 // workers.
-func (r *Remote) handshake(spec admm.ExecutorSpec) error {
+func (r *Remote) handshake() error {
+	r.hsHits, r.hsGraphHits, r.hsMisses = 0, 0, 0
+	r.hsCfg, r.hsState, r.hsFrames = 0, 0, 0
+	if r.warm {
+		return r.handshakeCached()
+	}
 	r.session = uint64(os.Getpid())<<32 | remoteSessions.Add(1)
 	r.conns = make([]net.Conn, r.shards)
 	werr := func(i int, phase string, config bool, err error) error {
 		return &WorkerError{Worker: i, Addr: r.addrs[i], Phase: phase, Err: err, Config: config}
 	}
 	for i := 0; i < r.shards; i++ {
-		conn, err := DialAddrTimeout(r.addrs[i], r.tmo.dial)
+		conn, err := r.dialWorker(r.addrs[i])
 		if err != nil {
 			return werr(i, PhaseDial, false, err)
 		}
 		r.conns[i] = conn
-		cfg := wireConfig{
-			Session:        r.session,
-			Worker:         i,
-			Shards:         r.shards,
-			Workload:       spec.Problem.Workload,
-			Spec:           spec.Problem.Spec,
-			Strategy:       string(r.strategy),
-			Refine:         r.refine,
-			Fused:          r.fused,
-			Peers:          r.addrs,
-			FrameTimeoutMS: int(r.tmo.frame / time.Millisecond),
-		}
-		conn.SetWriteDeadline(time.Now().Add(r.tmo.handshake))
-		if err := writeJSONFrame(conn, exchange.FrameCfg, cfg); err != nil {
+		if err := r.sendConfig(i); err != nil {
 			return werr(i, PhaseHandshake, false, fmt.Errorf("send config: %w", err))
 		}
-		conn.SetWriteDeadline(time.Time{})
 	}
-	wantDigest := fmt.Sprintf("%016x", r.man.Digest())
-	st := r.g.Stats()
 	for i := 0; i < r.shards; i++ {
-		// A handshake must answer promptly — an endpoint that accepts
-		// and then never replies (a mistyped addr pointing at some
-		// unrelated server) would otherwise wedge this coordinator (and
-		// a serve pool slot) forever.
-		r.conns[i].SetReadDeadline(time.Now().Add(r.tmo.handshake))
-		f, buf, err := readFrameKind(r.conns[i], r.bufs[i], exchange.FrameReady)
-		r.bufs[i] = buf
-		r.conns[i].SetReadDeadline(time.Time{})
-		if err != nil {
-			// A worker's considered refusal (FrameErr) is a config
-			// problem unless it is just busy tearing down the previous
-			// session, which a retry outwaits.
-			var re *remoteError
-			config := errors.As(err, &re) && !re.transient()
-			return werr(i, PhaseHandshake, config, err)
-		}
-		var ready wireReady
-		if err := decodeJSONFrame(f, &ready); err != nil {
-			return werr(i, PhaseHandshake, true, fmt.Errorf("ready: %w", err))
-		}
-		if ready.Functions != st.Functions || ready.Variables != st.Variables ||
-			ready.Edges != st.Edges || ready.D != st.D {
-			return werr(i, PhaseHandshake, true, fmt.Errorf("rebuilt a different graph (%d/%d/%d/%d vs %d/%d/%d/%d functions/variables/edges/d) — problem spec mismatch",
-				ready.Functions, ready.Variables, ready.Edges, ready.D, st.Functions, st.Variables, st.Edges, st.D))
-		}
-		if ready.ManifestDigest != wantDigest {
-			return werr(i, PhaseHandshake, true, fmt.Errorf("boundary manifest %s != coordinator %s — partition derivations diverged",
-				ready.ManifestDigest, wantDigest))
+		if err := r.readReady(i); err != nil {
+			return err
 		}
 	}
 	state := appendState(nil, r.g)
 	for i := 0; i < r.shards; i++ {
-		r.conns[i].SetWriteDeadline(time.Now().Add(r.tmo.handshake))
-		if err := exchange.WriteFrame(r.conns[i], exchange.FrameState, 0, state); err != nil {
-			return werr(i, PhaseState, false, fmt.Errorf("send state: %w", err))
+		if err := r.pushState(i, state); err != nil {
+			return werr(i, PhaseState, false, err)
 		}
-		r.conns[i].SetWriteDeadline(time.Time{})
+	}
+	r.rhoShadow = append([]float64(nil), r.g.Rho...)
+	r.uShadow = append([]float64(nil), r.g.U...)
+	return nil
+}
+
+// sendConfig ships worker i's full session config under the handshake
+// deadline.
+func (r *Remote) sendConfig(i int) error {
+	cfg := wireConfig{
+		Session:        r.session,
+		Worker:         i,
+		Shards:         r.shards,
+		Workload:       r.problem.Workload,
+		Spec:           r.problem.Spec,
+		Strategy:       string(r.strategy),
+		Refine:         r.refine,
+		Fused:          r.fused,
+		Peers:          r.addrs,
+		FrameTimeoutMS: int(r.tmo.frame / time.Millisecond),
+	}
+	conn := r.conns[i]
+	conn.SetWriteDeadline(time.Now().Add(r.tmo.handshake))
+	if err := writeJSONFrame(conn, exchange.FrameCfg, cfg); err != nil {
+		return err
+	}
+	conn.SetWriteDeadline(time.Time{})
+	r.hsCfg++
+	r.hsFrames++
+	return nil
+}
+
+// readReady collects and verifies worker i's Ready acknowledgment.
+func (r *Remote) readReady(i int) error {
+	werr := func(config bool, err error) error {
+		return &WorkerError{Worker: i, Addr: r.addrs[i], Phase: PhaseHandshake, Err: err, Config: config}
+	}
+	// A handshake must answer promptly — an endpoint that accepts
+	// and then never replies (a mistyped addr pointing at some
+	// unrelated server) would otherwise wedge this coordinator (and
+	// a serve pool slot) forever.
+	r.conns[i].SetReadDeadline(time.Now().Add(r.tmo.handshake))
+	f, buf, err := readFrameKind(r.conns[i], r.bufs[i], exchange.FrameReady)
+	r.bufs[i] = buf
+	r.conns[i].SetReadDeadline(time.Time{})
+	if err != nil {
+		// A worker's considered refusal (FrameErr) is a config
+		// problem unless it is just busy tearing down the previous
+		// session, which a retry outwaits.
+		var re *remoteError
+		config := errors.As(err, &re) && !re.transient()
+		return werr(config, err)
+	}
+	r.hsFrames++
+	var ready wireReady
+	if err := decodeJSONFrame(f, &ready); err != nil {
+		return werr(true, fmt.Errorf("ready: %w", err))
+	}
+	if err := checkRebuild(r.g.Stats(), fmt.Sprintf("%016x", r.man.Digest()),
+		ready.Functions, ready.Variables, ready.Edges, ready.D, ready.ManifestDigest); err != nil {
+		return werr(true, err)
+	}
+	return nil
+}
+
+// pushState ships the full state payload to worker i under the
+// handshake deadline.
+func (r *Remote) pushState(i int, state []byte) error {
+	conn := r.conns[i]
+	conn.SetWriteDeadline(time.Now().Add(r.tmo.handshake))
+	if err := exchange.WriteFrame(conn, exchange.FrameState, 0, state); err != nil {
+		return fmt.Errorf("send state: %w", err)
+	}
+	conn.SetWriteDeadline(time.Time{})
+	r.hsState++
+	r.hsFrames++
+	return nil
+}
+
+// handshakeCached is the warm-cache variant of handshake: each worker
+// gets a FrameCacheProbe naming the problem (key) and the exact state
+// payload (digest); its FrameCacheAck reports the hit tier. State-tier
+// hits are done — the worker restored a bit-identical snapshot. Graph
+// hits take only the state push. Misses get the full config inline as
+// their ack is processed (so a missed worker can build and mesh while
+// later acks are still being read), then Ready and the state push as
+// usual. Ordering note: workers ack before standing their mesh up, so
+// reading acks in worker order cannot deadlock against mesh dials.
+func (r *Remote) handshakeCached() error {
+	r.session = uint64(os.Getpid())<<32 | remoteSessions.Add(1)
+	r.conns = make([]net.Conn, r.shards)
+	werr := func(i int, phase string, config bool, err error) error {
+		return &WorkerError{Worker: i, Addr: r.addrs[i], Phase: phase, Err: err, Config: config}
+	}
+	state := appendState(nil, r.g)
+	probe := wireCacheProbe{
+		Session:        r.session,
+		Shards:         r.shards,
+		Key:            problemKey(r.problem, r.shards, string(r.strategy), r.refine),
+		StateDigest:    stateDigest(state),
+		Strategy:       string(r.strategy),
+		Refine:         r.refine,
+		Fused:          r.fused,
+		Peers:          r.addrs,
+		FrameTimeoutMS: int(r.tmo.frame / time.Millisecond),
+	}
+	for i := 0; i < r.shards; i++ {
+		conn, err := r.dialWorker(r.addrs[i])
+		if err != nil {
+			return werr(i, PhaseDial, false, err)
+		}
+		r.conns[i] = conn
+		p := probe
+		p.Worker = i
+		conn.SetWriteDeadline(time.Now().Add(r.tmo.handshake))
+		if err := writeJSONFrame(conn, exchange.FrameCacheProbe, p); err != nil {
+			return werr(i, PhaseHandshake, false, fmt.Errorf("send cache probe: %w", err))
+		}
+		conn.SetWriteDeadline(time.Time{})
+		r.hsFrames++
+	}
+	wantDigest := fmt.Sprintf("%016x", r.man.Digest())
+	st := r.g.Stats()
+	needReady := make([]bool, r.shards)
+	needState := make([]bool, r.shards)
+	for i := 0; i < r.shards; i++ {
+		r.conns[i].SetReadDeadline(time.Now().Add(r.tmo.handshake))
+		f, buf, err := readFrameKind(r.conns[i], r.bufs[i], exchange.FrameCacheAck)
+		r.bufs[i] = buf
+		r.conns[i].SetReadDeadline(time.Time{})
+		if err != nil {
+			var re *remoteError
+			config := errors.As(err, &re) && !re.transient()
+			return werr(i, PhaseHandshake, config, err)
+		}
+		r.hsFrames++
+		var ack wireCacheAck
+		if err := decodeJSONFrame(f, &ack); err != nil {
+			return werr(i, PhaseHandshake, true, fmt.Errorf("cache ack: %w", err))
+		}
+		switch ack.Hit {
+		case cacheHitState, cacheHitGraph:
+			if err := checkRebuild(st, wantDigest, ack.Functions, ack.Variables, ack.Edges, ack.D, ack.ManifestDigest); err != nil {
+				return werr(i, PhaseHandshake, true, err)
+			}
+			if ack.Hit == cacheHitState {
+				r.hsHits++
+			} else {
+				r.hsGraphHits++
+				needState[i] = true
+			}
+		case "":
+			r.hsMisses++
+			if err := r.sendConfig(i); err != nil {
+				return werr(i, PhaseHandshake, false, fmt.Errorf("send config: %w", err))
+			}
+			needReady[i] = true
+			needState[i] = true
+		default:
+			return werr(i, PhaseHandshake, true, fmt.Errorf("unknown cache ack tier %q", ack.Hit))
+		}
+	}
+	for i := 0; i < r.shards; i++ {
+		if !needReady[i] {
+			continue
+		}
+		if err := r.readReady(i); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < r.shards; i++ {
+		if !needState[i] {
+			continue
+		}
+		if err := r.pushState(i, state); err != nil {
+			return werr(i, PhaseState, false, err)
+		}
 	}
 	r.rhoShadow = append([]float64(nil), r.g.Rho...)
 	r.uShadow = append([]float64(nil), r.g.U...)

@@ -112,6 +112,23 @@ type Stats struct {
 	// transport burned beyond the first before the session stood up
 	// (always 0 in-process).
 	HandshakeRetries int
+	// Warm-cache handshake outcomes per worker (remote transport with
+	// warm_cache; all zero otherwise). CacheHits are state-tier hits —
+	// the worker restored its cached problem and state, and the
+	// coordinator sent neither Cfg, Ready-wait, nor State push;
+	// CacheGraphHits reused the cached problem but still took the state
+	// push; CacheMisses rebuilt from a full config.
+	CacheHits      int
+	CacheGraphHits int
+	CacheMisses    int
+	// CfgSends/StatePushes count the full-config and full-state
+	// downloads the successful handshake actually sent, and
+	// HandshakeFrames every control frame it exchanged in either
+	// direction — the fleet conformance suite pins a warm re-solve to
+	// strictly fewer frames and zero Cfg/State re-sends.
+	CfgSends        int
+	StatePushes     int
+	HandshakeFrames int
 }
 
 // New returns a sharded backend with the given shard count and

@@ -38,6 +38,13 @@ type WorkerOptions struct {
 	// just before it executes (session id, 0-based block index within
 	// the session). The -chaos-kill-block fault drill hooks here.
 	OnIterBlock func(session uint64, block int)
+	// CacheEntries bounds the worker's warm problem cache: sessions
+	// opened with FrameCacheProbe retain their graph, partition plan,
+	// manifest, and last-installed state snapshot, keyed by the
+	// coordinator's problem key and LRU-evicted past this bound. 0
+	// disables the cache — probes are still answered, but always miss
+	// and nothing is retained. Plain FrameCfg sessions never touch it.
+	CacheEntries int
 }
 
 func (o *WorkerOptions) logf(format string, args ...any) {
@@ -94,12 +101,16 @@ func ServeWorker(ln net.Listener, opts WorkerOptions) error {
 		conn  net.Conn
 		hello wirePeer
 	}
-	type cfgConn struct {
-		conn net.Conn
-		cfg  wireConfig
+	// opener is a session-opening connection: a full config (FrameCfg)
+	// or a warm-cache probe (FrameCacheProbe).
+	type opener struct {
+		conn  net.Conn
+		cfg   wireConfig
+		probe *wireCacheProbe
 	}
+	cache := newWorkerCache(opts.CacheEntries)
 	var pendingPeers []peerConn
-	var pendingCfg *cfgConn
+	var pendingOpen *opener
 	var sessPeers chan peerConn
 	var sessID uint64
 	sessEnd := make(chan error, 1)
@@ -118,7 +129,8 @@ func ServeWorker(ln net.Listener, opts WorkerOptions) error {
 		return opts.MaxSessions > 0 && sessions >= opts.MaxSessions
 	}
 
-	startSession := func(conn net.Conn, cfg wireConfig) {
+	startSession := func(o opener) {
+		conn, cfg := o.conn, o.cfg
 		active = true
 		sessID = cfg.Session
 		sessPeers = make(chan peerConn, cfg.Shards)
@@ -132,13 +144,17 @@ func ServeWorker(ln net.Listener, opts WorkerOptions) error {
 			}
 		}
 		pendingPeers = pendingPeers[:0]
-		opts.logf("shard worker: session %d: worker %d/%d, workload %s", cfg.Session, cfg.Worker, cfg.Shards, cfg.Workload)
+		if o.probe != nil {
+			opts.logf("shard worker: session %d: worker %d/%d, cache probe %s", cfg.Session, cfg.Worker, cfg.Shards, o.probe.Key)
+		} else {
+			opts.logf("shard worker: session %d: worker %d/%d, workload %s", cfg.Session, cfg.Worker, cfg.Shards, cfg.Workload)
+		}
 		go func(peers chan peerConn) {
 			// Higher-numbered peers dial in concurrently from separate
 			// processes, so their hellos arrive in any order; hold the
 			// ones a later waitPeer call will want.
 			held := map[int]net.Conn{}
-			err := runSession(conn, cfg, opts, func(from int) (net.Conn, error) {
+			waitPeer := func(from int) (net.Conn, error) {
 				if pc, ok := held[from]; ok {
 					delete(held, from)
 					return pc, nil
@@ -158,7 +174,13 @@ func ServeWorker(ln net.Listener, opts WorkerOptions) error {
 						return nil, fmt.Errorf("timed out waiting for mesh peer %d", from)
 					}
 				}
-			})
+			}
+			var err error
+			if o.probe != nil {
+				err = runCachedSession(conn, *o.probe, cache, opts, waitPeer)
+			} else {
+				err = runSession(conn, cfg, opts, waitPeer)
+			}
 			for _, pc := range held {
 				pc.Close()
 			}
@@ -171,15 +193,15 @@ func ServeWorker(ln net.Listener, opts WorkerOptions) error {
 		select {
 		case err := <-sessEnd:
 			if endSession(err) {
-				if pendingCfg != nil {
-					refuse(pendingCfg.conn, "worker session limit reached")
+				if pendingOpen != nil {
+					refuse(pendingOpen.conn, "worker session limit reached")
 				}
 				return nil
 			}
-			if pendingCfg != nil {
-				next := *pendingCfg
-				pendingCfg = nil
-				startSession(next.conn, next.cfg)
+			if pendingOpen != nil {
+				next := *pendingOpen
+				pendingOpen = nil
+				startSession(next)
 			}
 		case err := <-acceptErr:
 			if active {
@@ -194,6 +216,21 @@ func ServeWorker(ln net.Listener, opts WorkerOptions) error {
 			}
 			return err
 		case a := <-conns:
+			// admit queues or starts a session opener: sessions execute
+			// one at a time, but the previous coordinator's Close does
+			// not wait for our teardown, so a back-to-back session's
+			// opener legitimately races the Bye; queue one.
+			admit := func(o opener) {
+				if active {
+					if pendingOpen != nil {
+						refuse(o.conn, "worker busy with another session")
+						return
+					}
+					pendingOpen = &o
+					return
+				}
+				startSession(o)
+			}
 			switch a.f.Kind {
 			case exchange.FrameCfg:
 				var cfg wireConfig
@@ -201,18 +238,14 @@ func ServeWorker(ln net.Listener, opts WorkerOptions) error {
 					refuse(a.conn, fmt.Sprintf("bad config: %v", err))
 					continue
 				}
-				if active {
-					// The previous coordinator's Close does not wait for
-					// our teardown, so a back-to-back session's config
-					// legitimately races the Bye; queue one.
-					if pendingCfg != nil {
-						refuse(a.conn, "worker busy with another session")
-						continue
-					}
-					pendingCfg = &cfgConn{a.conn, cfg}
+				admit(opener{conn: a.conn, cfg: cfg})
+			case exchange.FrameCacheProbe:
+				var probe wireCacheProbe
+				if err := decodeJSONFrame(a.f, &probe); err != nil {
+					refuse(a.conn, fmt.Sprintf("bad cache probe: %v", err))
 					continue
 				}
-				startSession(a.conn, cfg)
+				admit(opener{conn: a.conn, cfg: probe.asConfig(), probe: &probe})
 			case exchange.FramePeer:
 				var hello wirePeer
 				if err := decodeJSONFrame(a.f, &hello); err != nil {
@@ -249,41 +282,194 @@ func refuse(conn net.Conn, msg string) {
 	conn.Close()
 }
 
-// runSession executes one coordinator session on a worker process: the
-// handshake (rebuild, partition, mesh, Ready), then the control loop of
-// State/Params/Iter blocks until Bye. waitPeer delivers mesh
-// connections dialed in by higher-numbered workers.
-func runSession(conn net.Conn, cfg wireConfig, opts WorkerOptions, waitPeer func(from int) (net.Conn, error)) (err error) {
-	fail := func(err error) error {
-		// Best-effort error report, bounded so a wedged coordinator
-		// stream cannot hold the session (and the worker) hostage.
-		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-		exchange.WriteFrame(conn, exchange.FrameErr, 0, []byte(err.Error()))
-		return err
-	}
+// sessionFail reports a session error back to the coordinator
+// (best-effort, bounded so a wedged coordinator stream cannot hold the
+// session — and the worker — hostage) and returns it.
+func sessionFail(conn net.Conn, err error) error {
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	exchange.WriteFrame(conn, exchange.FrameErr, 0, []byte(err.Error()))
+	return err
+}
+
+// checkSessionShape validates an opener's worker/shard indices.
+func checkSessionShape(cfg wireConfig) error {
 	if cfg.Shards < 1 || cfg.Worker < 0 || cfg.Worker >= cfg.Shards {
-		return fail(fmt.Errorf("bad worker/shard config %d/%d", cfg.Worker, cfg.Shards))
+		return fmt.Errorf("bad worker/shard config %d/%d", cfg.Worker, cfg.Shards)
 	}
 	if len(cfg.Peers) != cfg.Shards {
-		return fail(fmt.Errorf("%d peer addrs for %d shards", len(cfg.Peers), cfg.Shards))
+		return fmt.Errorf("%d peer addrs for %d shards", len(cfg.Peers), cfg.Shards)
 	}
+	return nil
+}
+
+// buildSession rebuilds the problem a config names and derives the
+// partition plan and boundary manifest — the work a warm-cache hit
+// skips.
+func buildSession(cfg wireConfig, opts WorkerOptions) (*graph.Graph, *plan, *exchange.Manifest, error) {
 	builder, ok := opts.Builders[cfg.Workload]
 	if !ok {
-		return fail(fmt.Errorf("unknown workload %q", cfg.Workload))
+		return nil, nil, nil, fmt.Errorf("unknown workload %q", cfg.Workload)
 	}
 	g, err := builder(cfg.Spec)
 	if err != nil {
-		return fail(fmt.Errorf("build %s: %w", cfg.Workload, err))
+		return nil, nil, nil, fmt.Errorf("build %s: %w", cfg.Workload, err)
 	}
 	strategy, err := graph.ParseStrategy(cfg.Strategy)
 	if err != nil {
-		return fail(err)
+		return nil, nil, nil, err
 	}
 	plan, err := newPlan(g, cfg.Shards, strategy, cfg.Refine)
 	if err != nil {
-		return fail(err)
+		return nil, nil, nil, err
 	}
-	man := exchange.NewManifest(g, &plan.part, cfg.Shards)
+	return g, plan, exchange.NewManifest(g, &plan.part, cfg.Shards), nil
+}
+
+// sessionRun is a prepared session handed to runSessionLoop: the built
+// (or cache-restored) problem plus how the loop should start.
+type sessionRun struct {
+	g    *graph.Graph
+	plan *plan
+	man  *exchange.Manifest
+	// sendReady: acknowledge with wireReady once the mesh stands
+	// (plain and cache-miss sessions); cache-hit sessions already sent
+	// the same proof in their FrameCacheAck.
+	sendReady bool
+	// stateInstalled: a state-tier cache hit restored the snapshot
+	// before the loop started, so FrameIter is legal without a push.
+	stateInstalled bool
+	// onState, when non-nil, observes each successfully installed
+	// FrameState payload (warm-cache capture).
+	onState func(payload []byte)
+}
+
+// runSession executes one plain (FrameCfg-opened) coordinator session:
+// rebuild, partition, mesh, Ready, then the control loop of
+// State/Params/Iter blocks until Bye. waitPeer delivers mesh
+// connections dialed in by higher-numbered workers.
+func runSession(conn net.Conn, cfg wireConfig, opts WorkerOptions, waitPeer func(from int) (net.Conn, error)) error {
+	if err := checkSessionShape(cfg); err != nil {
+		return sessionFail(conn, err)
+	}
+	g, plan, man, err := buildSession(cfg, opts)
+	if err != nil {
+		return sessionFail(conn, err)
+	}
+	return runSessionLoop(conn, cfg, sessionRun{g: g, plan: plan, man: man, sendReady: true}, opts, waitPeer)
+}
+
+// runCachedSession executes one FrameCacheProbe-opened session. The
+// ack goes out before the mesh stands (unlike Ready) so the
+// coordinator can keep processing other workers' acks — a hit worker
+// waiting for a miss worker's mesh dial must not stall the config that
+// miss worker is itself waiting for. Mesh failures still surface as
+// FrameErr on the first control exchange.
+func runCachedSession(conn net.Conn, probe wireCacheProbe, cache *workerCache, opts WorkerOptions, waitPeer func(from int) (net.Conn, error)) error {
+	cfg := probe.asConfig()
+	if err := checkSessionShape(cfg); err != nil {
+		return sessionFail(conn, err)
+	}
+	if probe.Key == "" {
+		return sessionFail(conn, fmt.Errorf("cache probe without a problem key"))
+	}
+	armWrite := func() {
+		if cfg.FrameTimeoutMS > 0 {
+			conn.SetWriteDeadline(time.Now().Add(time.Duration(cfg.FrameTimeoutMS) * time.Millisecond))
+		}
+	}
+	ent := cache.get(probe.Key)
+	if ent != nil && (ent.worker != probe.Worker || ent.shards != probe.Shards || ent.strategy != probe.Strategy || ent.refine != probe.Refine) {
+		// A key collision or a coordinator bug: never serve a plan built
+		// under different partition knobs. Rebuild below.
+		cache.remove(probe.Key)
+		ent = nil
+	}
+	if ent == nil {
+		// Miss: ack empty, then the coordinator ships the full config on
+		// this same connection and the session proceeds like a plain one —
+		// except the installed problem and state are captured for next time.
+		armWrite()
+		if err := writeJSONFrame(conn, exchange.FrameCacheAck, wireCacheAck{}); err != nil {
+			return err
+		}
+		f, _, err := exchange.ReadFrame(conn, nil)
+		if err != nil {
+			if err == io.EOF {
+				// Coordinator abandoned the handshake (a peer failed).
+				return nil
+			}
+			return err
+		}
+		if f.Kind == exchange.FrameBye {
+			return nil
+		}
+		if f.Kind != exchange.FrameCfg {
+			return sessionFail(conn, fmt.Errorf("expected config after cache miss, got frame kind %d", f.Kind))
+		}
+		var full wireConfig
+		if err := decodeJSONFrame(f, &full); err != nil {
+			return sessionFail(conn, fmt.Errorf("bad config: %v", err))
+		}
+		if full.Session != probe.Session || full.Worker != probe.Worker || full.Shards != probe.Shards ||
+			full.Strategy != probe.Strategy || full.Refine != probe.Refine {
+			return sessionFail(conn, fmt.Errorf("config does not match its cache probe"))
+		}
+		if err := checkSessionShape(full); err != nil {
+			return sessionFail(conn, err)
+		}
+		g, plan, man, err := buildSession(full, opts)
+		if err != nil {
+			return sessionFail(conn, err)
+		}
+		run := sessionRun{g: g, plan: plan, man: man, sendReady: true}
+		run.onState = func(payload []byte) {
+			cache.put(probe.Key, &cacheEntry{
+				g: g, plan: plan, man: man,
+				worker: probe.Worker, shards: probe.Shards, strategy: probe.Strategy, refine: probe.Refine,
+				snapshot: append([]byte(nil), payload...),
+				digest:   stateDigest(payload),
+			})
+		}
+		return runSessionLoop(conn, full, run, opts, waitPeer)
+	}
+	// Hit: the cached graph/plan/manifest stand in for the rebuild. A
+	// matching state digest additionally proves the cached snapshot is
+	// byte-identical to what the coordinator would push — restore it and
+	// the push is skipped too; otherwise the state still comes down.
+	run := sessionRun{g: ent.g, plan: ent.plan, man: ent.man}
+	hit := cacheHitGraph
+	if ent.digest != "" && ent.digest == probe.StateDigest {
+		if err := installState(ent.g, ent.snapshot); err != nil {
+			return sessionFail(conn, err)
+		}
+		hit = cacheHitState
+		run.stateInstalled = true
+	}
+	run.onState = func(payload []byte) {
+		ent.snapshot = append(ent.snapshot[:0], payload...)
+		ent.digest = stateDigest(payload)
+	}
+	st := ent.g.Stats()
+	ack := wireCacheAck{
+		Hit:            hit,
+		Functions:      st.Functions,
+		Variables:      st.Variables,
+		Edges:          st.Edges,
+		D:              st.D,
+		ManifestDigest: fmt.Sprintf("%016x", ent.man.Digest()),
+	}
+	armWrite()
+	if err := writeJSONFrame(conn, exchange.FrameCacheAck, ack); err != nil {
+		return err
+	}
+	return runSessionLoop(conn, cfg, run, opts, waitPeer)
+}
+
+// runSessionLoop stands the mesh up and runs a prepared session's
+// control loop until Bye.
+func runSessionLoop(conn net.Conn, cfg wireConfig, run sessionRun, opts WorkerOptions, waitPeer func(from int) (net.Conn, error)) (err error) {
+	fail := func(err error) error { return sessionFail(conn, err) }
+	g, plan, man := run.g, run.plan, run.man
 	id := cfg.Worker
 
 	// Mesh: dial every lower-numbered peer we share boundary state
@@ -345,23 +531,25 @@ func runSession(conn net.Conn, cfg wireConfig, opts WorkerOptions, waitPeer func
 		}
 	}
 
-	st := g.Stats()
-	ready := wireReady{
-		Functions:      st.Functions,
-		Variables:      st.Variables,
-		Edges:          st.Edges,
-		D:              st.D,
-		ManifestDigest: fmt.Sprintf("%016x", man.Digest()),
-	}
-	armWrite()
-	if err := writeJSONFrame(conn, exchange.FrameReady, ready); err != nil {
-		return err
+	if run.sendReady {
+		st := g.Stats()
+		ready := wireReady{
+			Functions:      st.Functions,
+			Variables:      st.Variables,
+			Edges:          st.Edges,
+			D:              st.D,
+			ManifestDigest: fmt.Sprintf("%016x", man.Digest()),
+		}
+		armWrite()
+		if err := writeJSONFrame(conn, exchange.FrameReady, ready); err != nil {
+			return err
+		}
 	}
 
 	lp := &plan.local[id]
 	ownedVars := lp.appendOwnedVars(nil)
 	var buf, out []byte
-	stateInstalled := false
+	stateInstalled := run.stateInstalled
 	block := 0
 	for {
 		var f exchange.Frame
@@ -379,6 +567,9 @@ func runSession(conn net.Conn, cfg wireConfig, opts WorkerOptions, waitPeer func
 				return fail(err)
 			}
 			stateInstalled = true
+			if run.onState != nil {
+				run.onState(f.Payload)
+			}
 		case exchange.FrameParams:
 			if err := installParams(g, f.Payload); err != nil {
 				return fail(err)
