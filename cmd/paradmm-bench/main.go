@@ -12,6 +12,7 @@
 //	paradmm-bench -partition-sweep BENCH_partition.json  # per-strategy partition quality
 //	paradmm-bench -bulk-json BENCH_bulk.json     # bulk pipeline specs/sec ladder
 //	paradmm-bench -store-json BENCH_store.json   # persistent-store cold vs seeded iterations
+//	paradmm-bench -wire-json BENCH_wire.json     # overlap+delta vs sync dense over a simulated link
 //
 // Each experiment id matches the per-experiment index in DESIGN.md;
 // EXPERIMENTS.md records the paper-vs-reproduced comparison for each.
@@ -25,8 +26,10 @@
 // at batch sizes 1/100/10k (graph reuse + warm starts vs per-request
 // cost); -store-json writes the persistent warm-start store's
 // cold/seeded iteration ratio and hit rate (machine-independent — gate
-// it with benchtrend -raw). All five baselines are gated by
-// cmd/benchtrend.
+// it with benchtrend -raw); -wire-json writes the simulated-link
+// exchange sweep (sync-dense vs overlap+delta elapsed and payload-byte
+// ratios — also machine-independent, gate with -raw). All six baselines
+// are gated by cmd/benchtrend.
 package main
 
 import (
@@ -47,15 +50,16 @@ func main() {
 	partitionSweep := flag.String("partition-sweep", "", "write the per-strategy partition-quality sweep (cut cost, imbalance, iters/sec) to this file and exit")
 	bulkJSON := flag.String("bulk-json", "", "write the bulk pipeline specs/sec ladder (batch 1/100/10k) to this file and exit")
 	storeJSON := flag.String("store-json", "", "write the persistent-store cold vs seeded iteration sweep to this file and exit")
+	wireJSON := flag.String("wire-json", "", "write the simulated-link wire sweep (overlap+delta vs sync dense ratios) to this file and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: paradmm-bench [-full] [-seed N] [-csv] [-shard-json FILE] [-fused-json FILE] [-partition-sweep FILE] [-bulk-json FILE] [-store-json FILE] <experiment-id>... | all | list\n\n")
+		fmt.Fprintf(os.Stderr, "usage: paradmm-bench [-full] [-seed N] [-csv] [-shard-json FILE] [-fused-json FILE] [-partition-sweep FILE] [-bulk-json FILE] [-store-json FILE] [-wire-json FILE] <experiment-id>... | all | list\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	args := flag.Args()
-	if *shardJSON != "" || *fusedJSON != "" || *partitionSweep != "" || *bulkJSON != "" || *storeJSON != "" {
+	if *shardJSON != "" || *fusedJSON != "" || *partitionSweep != "" || *bulkJSON != "" || *storeJSON != "" || *wireJSON != "" {
 		if len(args) > 0 {
-			fatal(fmt.Errorf("-shard-json/-fused-json/-partition-sweep/-bulk-json/-store-json run their own sweeps and take no experiment ids (got %q)", args))
+			fatal(fmt.Errorf("-shard-json/-fused-json/-partition-sweep/-bulk-json/-store-json/-wire-json run their own sweeps and take no experiment ids (got %q)", args))
 		}
 		scale := bench.Scale{Full: *full, Seed: *seed}
 		if *shardJSON != "" {
@@ -92,6 +96,13 @@ func main() {
 				fatal(err)
 			}
 			writeReport(*storeJSON, rep)
+		}
+		if *wireJSON != "" {
+			rep, err := bench.RunWireBench(scale)
+			if err != nil {
+				fatal(err)
+			}
+			writeReport(*wireJSON, rep)
 		}
 		return
 	}

@@ -53,6 +53,8 @@ func main() {
 	refine := flag.Bool("refine", false, "FM boundary-refinement pass on top of -partition (mincut+fm implies it)")
 	fused := flag.Bool("fused", true, "fused two-pass schedule for the CPU executors (false = five-phase reference)")
 	transport := flag.String("transport", "", "sharded boundary exchange: local (default) | sockets (in-process loopback, or remote workers with -addrs)")
+	overlap := flag.Bool("overlap", false, "sockets transport: overlapped exchange — send boundary frames first, compute interior while they fly (requires -fused; bit-identical to the sync schedule)")
+	deltaThreshold := flag.Float64("delta-threshold", -1, "sockets transport: delta-encode boundary frames, shipping only d-blocks whose change exceeds this threshold (0 = exact/bit-identical, negative = dense frames)")
 	addrs := flag.String("addrs", "", "comma-separated paradmm-shardworker endpoints (unix:/path | tcp:host:port), one per shard, for -transport sockets")
 	dialTimeout := flag.Duration("dial-timeout", 0, "sockets transport: bound on each worker connection establishment (0 = 10s default)")
 	handshakeTimeout := flag.Duration("handshake-timeout", 0, "sockets transport: bound on each handshake frame exchange (0 = 30s default)")
@@ -90,6 +92,7 @@ func main() {
 		refine:           *refine,
 		fused:            *fused,
 		transport:        *transport,
+		overlap:          *overlap,
 		addrs:            workerAddrs,
 		dialTimeout:      *dialTimeout,
 		handshakeTimeout: *handshakeTimeout,
@@ -99,6 +102,9 @@ func main() {
 		warmCache:        *warmCache,
 		repeat:           *repeat,
 		fleet:            *useFleet,
+	}
+	if *deltaThreshold >= 0 {
+		cfg.deltaThreshold = deltaThreshold
 	}
 	if cfg.repeat < 1 {
 		fatal(fmt.Errorf("-repeat %d out of range (>= 1)", cfg.repeat))
@@ -149,6 +155,10 @@ type backendConfig struct {
 	fused     bool
 	transport string
 	addrs     []string
+	// Wire-hiding knobs for the sockets transport: overlapped exchange
+	// and delta-encoded boundary frames (nil = dense).
+	overlap        bool
+	deltaThreshold *float64
 	// Reliability knobs for the sockets transport (-dial-timeout etc.);
 	// zero values keep the shard package defaults.
 	dialTimeout      time.Duration
@@ -198,6 +208,8 @@ func specFor(c backendConfig, ref *admm.ProblemRef) (*admm.ExecutorSpec, error) 
 	spec.Transport = c.transport
 	spec.Addrs = c.addrs
 	spec.Fused = &c.fused
+	spec.Overlap = c.overlap
+	spec.DeltaThreshold = c.deltaThreshold
 	spec.DialTimeoutMS = int(c.dialTimeout / time.Millisecond)
 	spec.HandshakeTimeoutMS = int(c.handshakeTimeout / time.Millisecond)
 	spec.FrameTimeoutMS = int(c.frameTimeout / time.Millisecond)
@@ -389,6 +401,9 @@ func report(res admm.Result, g *graph.Graph, name string, st *shard.Stats) {
 		if st.BytesPerIter > 0 {
 			fmt.Printf("exchange: %.0f payload bytes/iter moved vs %.0f predicted (cut cost x 8), %.0f on the wire with framing\n",
 				st.BytesPerIter, 8*st.CutCost, st.WireBytesPerIter)
+		}
+		if st.DeltaFrames > 0 {
+			fmt.Printf("delta: %d delta frames, %d dense frames\n", st.DeltaFrames, st.DenseFrames)
 		}
 		if st.CacheHits+st.CacheGraphHits+st.CacheMisses > 0 {
 			fmt.Printf("warm cache: %d state hits, %d graph hits, %d misses (%d cfg sends, %d state pushes, %d handshake frames)\n",

@@ -131,6 +131,29 @@ func confDeterministic() []confExec {
 			}})
 		}
 	}
+	// Wire-hiding knobs of the sockets transport. Overlap requires the
+	// fused schedule (Validate rejects the pair otherwise), so it joins
+	// the matrix fused-only; delta at threshold 0 is promised
+	// bit-identical to dense frames on both schedules.
+	deltaZero := 0.0
+	out = append(out,
+		confExec{"sharded-4-sockets-overlap-fused", func(g *graph.Graph) (admm.Backend, error) {
+			return admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4, Transport: admm.TransportSockets,
+				Overlap: true, Fused: &fused}.NewBackend(g)
+		}},
+		confExec{"sharded-2-sockets-delta", func(g *graph.Graph) (admm.Backend, error) {
+			return admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 2, Transport: admm.TransportSockets,
+				DeltaThreshold: &deltaZero, Fused: &unfused}.NewBackend(g)
+		}},
+		confExec{"sharded-2-sockets-delta-fused", func(g *graph.Graph) (admm.Backend, error) {
+			return admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 2, Transport: admm.TransportSockets,
+				DeltaThreshold: &deltaZero, Fused: &fused}.NewBackend(g)
+		}},
+		confExec{"sharded-4-sockets-overlap-delta-fused", func(g *graph.Graph) (admm.Backend, error) {
+			return admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 4, Transport: admm.TransportSockets,
+				Overlap: true, DeltaThreshold: &deltaZero, Fused: &fused}.NewBackend(g)
+		}},
+	)
 	out = append(out,
 		confExec{"sharded-via-shard-pkg", func(g *graph.Graph) (admm.Backend, error) {
 			return shard.New(3, graph.StrategyBalanced)
@@ -190,6 +213,44 @@ func TestExecutorConformance(t *testing.T) {
 						}
 					}
 				})
+			}
+		})
+	}
+}
+
+// TestDeltaThresholdConformance is the lossy half of the delta-frame
+// contract: at a small nonzero threshold every workload must stay
+// within a pinned tolerance of the serial iterates (the receiver's view
+// of a boundary block never drifts more than the threshold from the
+// sender's), while moving strictly fewer payload bytes than the dense
+// CutCost x 8 prediction — the whole point of shipping deltas.
+func TestDeltaThresholdConformance(t *testing.T) {
+	thr := 1e-7
+	const tol = 1e-4
+	for wname, build := range confWorkloads {
+		t.Run(wname, func(t *testing.T) {
+			ref := confRun(t, build(t), admm.NewSerial(), confIters)
+			inst := build(t)
+			// The block partition cuts every conformance workload
+			// (balanced leaves lasso boundary-free — nothing to delta).
+			backend, err := admm.ExecutorSpec{Kind: admm.ExecSharded, Shards: 2, Partition: "block",
+				Transport: admm.TransportSockets, DeltaThreshold: &thr}.NewBackend(inst.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := confRun(t, inst, backend, confIters)
+			for i := range ref {
+				if d := math.Abs(got[i] - ref[i]); d > tol {
+					t.Fatalf("Z[%d] off serial by %g (> %g) at threshold %g", i, d, tol, thr)
+				}
+			}
+			st := backend.(shard.StatsReporter).Stats()
+			if st.DeltaFrames == 0 {
+				t.Fatal("no delta frames shipped")
+			}
+			if st.BytesPerIter >= 8*st.CutCost {
+				t.Fatalf("delta mode moved %.1f payload bytes/iter, not below the dense %0.f",
+					st.BytesPerIter, 8*st.CutCost)
 			}
 		})
 	}

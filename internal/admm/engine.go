@@ -176,6 +176,23 @@ type Backend interface {
 	Close()
 }
 
+// ZPrevIterator is an optional Backend extension for executors whose
+// authoritative state lives remotely (shard.Remote): IterateZPrev runs
+// a residual round's whole block as one call — iters iterations, with z
+// as of iteration iters-1 captured into zPrev — instead of Run's split
+// Iterate(iters-1)/Iterate(1) pair. The split exists only so Run can
+// copy zPrev between the calls; a backend that captures it in flight
+// saves the mid-block state up-sync and a full control round trip.
+// Implementations must leave g and zPrev bit-identical to
+//
+//	Iterate(g, iters-1, ...); copy(zPrev, g.Z); Iterate(g, 1, ...)
+//
+// Run uses the extension only when iters > 1 (a 1-iteration block has
+// no mid-block boundary).
+type ZPrevIterator interface {
+	IterateZPrev(g *graph.Graph, iters int, zPrev []float64, phaseNanos *[NumPhases]int64)
+}
+
 // Options configures Run.
 type Options struct {
 	// MaxIter is the iteration budget (required, > 0).
@@ -274,12 +291,17 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 			// Run the block's last iteration separately so the dual
 			// residual reflects one iteration's z movement, not the
 			// whole block's — residual-balancing rho adaptation is
-			// badly biased otherwise.
-			if step > 1 {
-				backend.Iterate(g, step-1, phaseNanos)
+			// badly biased otherwise. Backends that can capture zPrev
+			// in flight run the block unsplit (see ZPrevIterator).
+			if zp, ok := backend.(ZPrevIterator); ok && step > 1 {
+				zp.IterateZPrev(g, step, zPrev, phaseNanos)
+			} else {
+				if step > 1 {
+					backend.Iterate(g, step-1, phaseNanos)
+				}
+				copy(zPrev, g.Z)
+				backend.Iterate(g, 1, phaseNanos)
 			}
-			copy(zPrev, g.Z)
-			backend.Iterate(g, 1, phaseNanos)
 			res.Primal, res.Dual = Residuals(g, zPrev)
 		} else {
 			backend.Iterate(g, step, phaseNanos)

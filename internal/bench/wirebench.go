@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/admm"
+	"repro/internal/faultnet"
+	"repro/internal/graph"
+	"repro/internal/packing"
+	"repro/internal/shard"
+	"repro/internal/svm"
+	"repro/internal/workload"
+)
+
+// The simulated link every wire-bench worker sits behind: a fixed 1ms
+// per-frame latency (what the overlapped schedule hides behind interior
+// compute) plus a bandwidth term (what delta frames shrink once the
+// solve converges). Applied by faultnet to the write side of every
+// connection the workers accept — the exchange mesh and their control
+// uploads — while the coordinator's own writes stay free, so the priced
+// direction is exactly the per-iteration boundary traffic.
+const (
+	wireLinkDelay = time.Millisecond
+	wireLinkRate  = 256 << 10 // bytes/sec
+)
+
+// wireBenchWorkload is one workload of the wire sweep: the coordinator
+// builds its graph locally; spec is what the remote workers rebuild the
+// same shape from.
+type wireBenchWorkload struct {
+	name  string
+	spec  string
+	iters int
+	// threshold is the overlap+delta cell's change threshold. Nonzero
+	// on purpose: the speed cell prices the steady state where settled
+	// boundary blocks stop crossing the wire (threshold-0 bit-identity
+	// is the conformance suite's contract, not this cell's). Per
+	// workload because the two boundary dynamics differ: packing's
+	// boundary blocks settle to 1e-3 within a few hundred iterations,
+	// while svm's duals keep oscillating near 1e-2 long after the
+	// classifier has converged.
+	threshold float64
+	build     func(seed int64) (*graph.Graph, error)
+}
+
+func wireBenchWorkloads(s Scale) []wireBenchWorkload {
+	// svm is the consensus star (wide boundary, dual-dominated
+	// dynamics; rho 20 speeds the dual settle so the steady state is
+	// reachable inside a smoke run), packing the dense pairwise graph
+	// whose boundary blocks freeze as circles lock into place — the two
+	// shapes the acceptance gate names. Sizes keep dense boundary
+	// frames in the KB range where the link's bandwidth term dominates
+	// its latency.
+	svmN, packN := 60, 16
+	iters := [2]int{400, 300}
+	if s.Full {
+		svmN, packN = 200, 32
+		iters = [2]int{600, 400}
+	}
+	return []wireBenchWorkload{
+		{"svm", fmt.Sprintf(`{"n":%d,"rho":20,"seed":%%d}`, svmN), iters[0], 1e-2, func(seed int64) (*graph.Graph, error) {
+			p, err := svm.FromSpec(svm.Spec{N: svmN, Rho: 20, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			p.Graph.InitZero()
+			return p.Graph, nil
+		}},
+		{"packing", fmt.Sprintf(`{"n":%d,"seed":%%d}`, packN), iters[1], 1e-3, func(seed int64) (*graph.Graph, error) {
+			p, err := packing.FromSpec(packing.Spec{N: packN})
+			if err != nil {
+				return nil, err
+			}
+			p.InitRandom(rand.New(rand.NewSource(seed)))
+			return p.Graph, nil
+		}},
+	}
+}
+
+// RunWireBench prices the overlapped+delta exchange against the
+// synchronous dense path over a simulated latency+bandwidth link: two
+// in-process shard workers on unix sockets, every accepted connection
+// wrapped in a faultnet write-side plan (1ms per frame + 256KB/s), the
+// same solve run once per exchange mode. Entries reuse the
+// ShardBenchReport schema with two machine-independent cells per
+// workload (ratios, not wall time — gate them with benchtrend -raw):
+//
+//   - "wire-overlap-speedup": ItersPerSec is the sync-dense / overlap+
+//     delta elapsed ratio (>= 1.5 is the acceptance floor; falls toward
+//     1 if the overlap stops hiding the wire), ElapsedNS the overlap
+//     run's wall time.
+//   - "wire-delta-bytes": ItersPerSec is the dense / delta payload
+//     bytes-per-iteration ratio (> 1 once converged blocks stop
+//     shipping; falls to 1 if delta suppression stops working).
+func RunWireBench(s Scale) (*ShardBenchReport, error) {
+	scale := "quick"
+	if s.Full {
+		scale = "full"
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rep := &ShardBenchReport{
+		Schema:     ShardBenchSchema,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Scale:      scale,
+		Seed:       seed,
+	}
+
+	dir, err := os.MkdirTemp("", "paradmm-wirebench-")
+	if err != nil {
+		return nil, fmt.Errorf("bench: wire: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	link := func(int) faultnet.Plan {
+		return faultnet.Plan{WriteDelay: wireLinkDelay, WriteBytesPerSec: wireLinkRate}
+	}
+	const shards = 2
+	addrs := make([]string, shards)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("unix:%s/w%d.sock", dir, i)
+		ln, err := shard.ListenAddr(addrs[i])
+		if err != nil {
+			return nil, fmt.Errorf("bench: wire: %w", err)
+		}
+		defer ln.Close()
+		go shard.ServeWorker(faultnet.WrapListener(ln, link), shard.WorkerOptions{
+			Builders: workload.Builders(),
+		})
+	}
+
+	for _, w := range wireBenchWorkloads(s) {
+		spec := admm.ExecutorSpec{
+			Kind:      admm.ExecSharded,
+			Shards:    shards,
+			Partition: "block",
+			Transport: admm.TransportSockets,
+			Addrs:     addrs,
+			Problem: &admm.ProblemRef{
+				Workload: w.name,
+				Spec:     []byte(fmt.Sprintf(w.spec, seed)),
+			},
+		}
+		runOnce := func(spec admm.ExecutorSpec) (time.Duration, shard.Stats, error) {
+			g, err := w.build(seed)
+			if err != nil {
+				return 0, shard.Stats{}, err
+			}
+			backend, err := spec.NewBackend(g)
+			if err != nil {
+				return 0, shard.Stats{}, err
+			}
+			defer backend.Close()
+			var nanos [admm.NumPhases]int64
+			start := time.Now()
+			backend.Iterate(g, w.iters, &nanos)
+			elapsed := time.Since(start)
+			return elapsed, backend.(shard.StatsReporter).Stats(), nil
+		}
+		// Best-of-N with a fresh session per measurement: reusing a
+		// backend would resume a converged solve, which delta mode prices
+		// very differently from a cold one.
+		reps := 2
+		measure := func(spec admm.ExecutorSpec) (time.Duration, shard.Stats, error) {
+			var best time.Duration
+			var bestStats shard.Stats
+			for r := 0; r < reps; r++ {
+				elapsed, st, err := runOnce(spec)
+				if err != nil {
+					return 0, shard.Stats{}, err
+				}
+				if r == 0 || elapsed < best {
+					best, bestStats = elapsed, st
+				}
+			}
+			return best, bestStats, nil
+		}
+
+		syncSpec := spec // dense frames, blocking sync points
+		overlapSpec := spec
+		overlapSpec.Overlap = true
+		thr := w.threshold
+		overlapSpec.DeltaThreshold = &thr
+
+		syncElapsed, syncStats, err := measure(syncSpec)
+		if err != nil {
+			return nil, fmt.Errorf("bench: wire %s sync-dense: %w", w.name, err)
+		}
+		if syncStats.DeltaFrames != 0 {
+			return nil, fmt.Errorf("bench: wire %s sync-dense run shipped delta frames: %+v", w.name, syncStats)
+		}
+		overlapElapsed, overlapStats, err := measure(overlapSpec)
+		if err != nil {
+			return nil, fmt.Errorf("bench: wire %s overlap+delta: %w", w.name, err)
+		}
+		if overlapStats.DeltaFrames == 0 || overlapStats.BytesPerIter <= 0 {
+			return nil, fmt.Errorf("bench: wire %s overlap+delta run never went delta: %+v", w.name, overlapStats)
+		}
+
+		rep.Entries = append(rep.Entries,
+			ShardBenchEntry{
+				Workload:    w.name,
+				Executor:    "wire-overlap-speedup",
+				Iters:       w.iters,
+				ElapsedNS:   overlapElapsed.Nanoseconds(),
+				ItersPerSec: syncElapsed.Seconds() / overlapElapsed.Seconds(),
+				PhaseNanos:  map[string]int64{},
+				Shards:      overlapStats.Shards,
+				CutCost:     overlapStats.CutCost,
+			},
+			ShardBenchEntry{
+				Workload:    w.name,
+				Executor:    "wire-delta-bytes",
+				Iters:       w.iters,
+				ItersPerSec: syncStats.BytesPerIter / overlapStats.BytesPerIter,
+				PhaseNanos:  map[string]int64{},
+			},
+		)
+	}
+	return rep, nil
+}
+
+// WireTables renders the simulated-link ladder.
+func (r *ShardBenchReport) WireTables() []*Table {
+	t := NewTable("wire hiding — overlap+delta vs sync dense over a 1ms, 256KB/s link",
+		"workload", "cell", "ratio", "iters")
+	for _, e := range r.Entries {
+		t.AddRow(e.Workload, e.Executor, fmt.Sprintf("%.2f", e.ItersPerSec), fmt.Sprintf("%d", e.Iters))
+	}
+	return []*Table{t}
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ext-wire",
+		Paper: "extension: communication/computation overlap — hiding the boundary exchange behind interior compute",
+		Desc:  "Sharded sockets solve over a simulated 1ms+256KB/s link: sync-dense vs overlapped+delta elapsed and payload-byte ratios.",
+		Run: func(s Scale) ([]*Table, error) {
+			rep, err := RunWireBench(s)
+			if err != nil {
+				return nil, err
+			}
+			return rep.WireTables(), nil
+		},
+	})
+}

@@ -1,0 +1,134 @@
+package exchange
+
+import (
+	"fmt"
+	"math"
+)
+
+// Delta payloads compress a data-plane frame by sending only the
+// d-blocks that changed since the last frame the peer received. The
+// layout, for a manifest row of `blocks` d-blocks:
+//
+//	| bitmap (ceil(blocks/8) bytes) | changed d-blocks, row order |
+//
+// Bit i of the bitmap (LSB-first within each byte) marks block i as
+// present; present blocks follow as raw little-endian float64 runs of d
+// doubles each, in ascending block order. Trailing bitmap bits beyond
+// `blocks` must be zero. Both ends know `blocks` and d from the
+// handshake manifest, so the payload carries no other framing.
+//
+// Change detection is per block against the last *sent* value, not the
+// last computed one: the sender's shadow is only advanced for blocks it
+// ships, so the receiver's view never drifts more than the threshold
+// from the sender's true state. Threshold 0 compares IEEE-754 bit
+// patterns (NaN and signed zero changes are shipped), making delta
+// frames semantically identical to dense ones; a positive threshold t
+// ships a block unless every element satisfies |cur-prev| <= t, which
+// is NaN-safe (a NaN delta never satisfies <=).
+//
+// Decoding is defensive like the rest of the frame codec: arbitrary
+// payload bytes produce an error, never a panic — FuzzExchangeDeltaDecode
+// pins this.
+
+// DeltaMaskLen returns the bitmap length in bytes for a row of blocks.
+func DeltaMaskLen(blocks int) int { return (blocks + 7) / 8 }
+
+// MaskBit reports whether block b is present in the bitmap.
+func MaskBit(mask []byte, b int) bool { return mask[b/8]&(1<<(b%8)) != 0 }
+
+// deltaBlockChanged reports whether a d-block must be shipped.
+func deltaBlockChanged(cur, prev []float64, threshold float64) bool {
+	if threshold == 0 {
+		for i := range cur {
+			if math.Float64bits(cur[i]) != math.Float64bits(prev[i]) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range cur {
+		if !(math.Abs(cur[i]-prev[i]) <= threshold) {
+			return true
+		}
+	}
+	return false
+}
+
+// AppendDeltaPayload appends the delta payload encoding cur relative to
+// prev (both len blocks*d) to dst and returns the extended slice and
+// the number of blocks shipped. prev is advanced in place for shipped
+// blocks only — after the call it mirrors what a receiver holds.
+func AppendDeltaPayload(dst []byte, cur, prev []float64, d int, threshold float64) ([]byte, int) {
+	blocks := len(cur) / d
+	maskLen := DeltaMaskLen(blocks)
+	maskOff := len(dst)
+	for i := 0; i < maskLen; i++ {
+		dst = append(dst, 0)
+	}
+	sent := 0
+	for b := 0; b < blocks; b++ {
+		cb, pb := cur[b*d:(b+1)*d], prev[b*d:(b+1)*d]
+		if !deltaBlockChanged(cb, pb, threshold) {
+			continue
+		}
+		dst[maskOff+b/8] |= 1 << (b % 8)
+		dst = AppendF64s(dst, cb)
+		copy(pb, cb)
+		sent++
+	}
+	return dst, sent
+}
+
+// CheckDeltaPayload validates a delta payload against the expected row
+// shape and returns the number of blocks it carries. It rejects short
+// payloads, set bitmap bits beyond the row, and any length that is not
+// exactly bitmap + 8*d*popcount — without panicking on any input.
+func CheckDeltaPayload(payload []byte, blocks, d int) (int, error) {
+	maskLen := DeltaMaskLen(blocks)
+	if len(payload) < maskLen {
+		return 0, fmt.Errorf("exchange: delta payload %d bytes below %d-byte bitmap", len(payload), maskLen)
+	}
+	mask := payload[:maskLen]
+	n := 0
+	for b := 0; b < blocks; b++ {
+		if MaskBit(mask, b) {
+			n++
+		}
+	}
+	for b := blocks; b < maskLen*8; b++ {
+		if MaskBit(mask, b) {
+			return 0, fmt.Errorf("exchange: delta bitmap bit %d set beyond %d blocks", b, blocks)
+		}
+	}
+	if want := maskLen + n*d*8; len(payload) != want {
+		return 0, fmt.Errorf("exchange: delta payload %d bytes, bitmap promises %d", len(payload), want)
+	}
+	return n, nil
+}
+
+// DecodeDeltaPayload validates payload and patches the present blocks
+// into dst (len blocks*d) in place, leaving absent blocks untouched. It
+// returns the number of blocks patched. Arbitrary payload bytes yield
+// an error, never a panic.
+func DecodeDeltaPayload(dst []float64, payload []byte, d int) (int, error) {
+	if d <= 0 || len(dst)%d != 0 {
+		return 0, fmt.Errorf("exchange: delta row %d doubles not divisible by d=%d", len(dst), d)
+	}
+	blocks := len(dst) / d
+	n, err := CheckDeltaPayload(payload, blocks, d)
+	if err != nil {
+		return 0, err
+	}
+	data := payload[DeltaMaskLen(blocks):]
+	idx := 0
+	for b := 0; b < blocks; b++ {
+		if !MaskBit(payload, b) {
+			continue
+		}
+		for i := 0; i < d; i++ {
+			dst[b*d+i] = F64At(data, idx*d+i)
+		}
+		idx++
+	}
+	return n, nil
+}

@@ -1,0 +1,71 @@
+package exchange
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzExchangeDeltaDecode pins the delta codec's defensive contract
+// from both directions. Arbitrary payload bytes against an arbitrary
+// row shape must produce an error or a valid patch — never a panic,
+// and never a patch whose block count disagrees with the bitmap. And
+// the encoder's own output must always round-trip: encode cur against
+// a receiver-synchronized shadow, decode into the receiver row, and
+// at threshold 0 the receiver must equal cur bit for bit.
+func FuzzExchangeDeltaDecode(f *testing.F) {
+	f.Add([]byte{}, uint8(2), uint8(3), uint64(0))
+	f.Add([]byte{0x00}, uint8(1), uint8(4), uint64(1))
+	f.Add([]byte{0x03, 1, 2, 3, 4, 5, 6, 7, 8}, uint8(1), uint8(8), uint64(2))
+	f.Add([]byte{0xFF}, uint8(2), uint8(8), uint64(3))
+	f.Fuzz(func(t *testing.T, payload []byte, d8, blocks8 uint8, seed uint64) {
+		d := int(d8%8) + 1
+		blocks := int(blocks8 % 16)
+		row := make([]float64, blocks*d)
+		for i := range row {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			row[i] = float64(int64(seed)) / (1 << 32)
+		}
+		before := append([]float64(nil), row...)
+
+		// Defensive direction: arbitrary bytes never panic, and a
+		// successful decode patched exactly the blocks the bitmap names.
+		n, err := DecodeDeltaPayload(row, payload, d)
+		if err == nil {
+			want, cerr := CheckDeltaPayload(payload, blocks, d)
+			if cerr != nil || want != n {
+				t.Fatalf("decode accepted what check rejects: n=%d want=%d err=%v", n, want, cerr)
+			}
+			for b := 0; b < blocks; b++ {
+				if MaskBit(payload, b) {
+					continue
+				}
+				for i := 0; i < d; i++ {
+					if math.Float64bits(row[b*d+i]) != math.Float64bits(before[b*d+i]) {
+						t.Fatalf("absent block %d was patched", b)
+					}
+				}
+			}
+		} else {
+			copy(row, before)
+		}
+
+		// Round-trip direction: whatever state the row is in now, a
+		// fresh encode against a synchronized shadow must decode back
+		// to cur exactly at threshold 0.
+		shadow := append([]float64(nil), before...)
+		recv := append([]float64(nil), before...)
+		enc, sent := AppendDeltaPayload(nil, row, shadow, d, 0)
+		got, err := DecodeDeltaPayload(recv, enc, d)
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v", err)
+		}
+		if got != sent {
+			t.Fatalf("decoded %d blocks, encoder sent %d", got, sent)
+		}
+		for i := range row {
+			if math.Float64bits(recv[i]) != math.Float64bits(row[i]) {
+				t.Fatalf("round-trip mismatch at %d: %x vs %x", i, math.Float64bits(recv[i]), math.Float64bits(row[i]))
+			}
+		}
+	})
+}

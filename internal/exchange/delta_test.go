@@ -1,0 +1,129 @@
+package exchange
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeltaRoundTripExact(t *testing.T) {
+	d := 3
+	prev := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	cur := append([]float64(nil), prev...)
+	cur[0] = 1.5  // block 0 changes
+	cur[10] = -11 // block 3 changes
+
+	shadow := append([]float64(nil), prev...)
+	payload, sent := AppendDeltaPayload(nil, cur, shadow, d, 0)
+	if sent != 2 {
+		t.Fatalf("sent %d blocks, want 2", sent)
+	}
+	if want := DeltaMaskLen(4) + 2*d*8; len(payload) != want {
+		t.Fatalf("payload %d bytes, want %d", len(payload), want)
+	}
+	// The sender's shadow advanced only for shipped blocks and now
+	// mirrors cur exactly (threshold 0 ships every changed block).
+	for i := range cur {
+		if shadow[i] != cur[i] {
+			t.Fatalf("shadow[%d] = %v after send, want %v", i, shadow[i], cur[i])
+		}
+	}
+
+	recv := append([]float64(nil), prev...)
+	n, err := DecodeDeltaPayload(recv, payload, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("patched %d blocks, want 2", n)
+	}
+	for i := range cur {
+		if recv[i] != cur[i] {
+			t.Fatalf("recv[%d] = %v, want %v", i, recv[i], cur[i])
+		}
+	}
+}
+
+func TestDeltaThresholdZeroIsBitExact(t *testing.T) {
+	// Signed zero and NaN changes are invisible to ==, but threshold 0
+	// compares bit patterns, so both must ship.
+	d := 1
+	prev := []float64{0, math.NaN()}
+	cur := []float64{math.Copysign(0, -1), math.NaN()}
+	shadow := append([]float64(nil), prev...)
+	_, sent := AppendDeltaPayload(nil, cur, shadow, d, 0)
+	if sent != 1 {
+		t.Fatalf("sent %d blocks, want 1 (-0 vs +0 must ship, identical NaN bits must not)", sent)
+	}
+}
+
+func TestDeltaThresholdSuppressesSmallChanges(t *testing.T) {
+	d := 2
+	prev := []float64{1, 1, 5, 5}
+	cur := []float64{1.0005, 0.9995, 5, 7} // block 0 within 1e-3, block 1 beyond
+	shadow := append([]float64(nil), prev...)
+	payload, sent := AppendDeltaPayload(nil, cur, shadow, d, 1e-3)
+	if sent != 1 {
+		t.Fatalf("sent %d blocks, want 1", sent)
+	}
+	// Unshipped block 0's shadow must NOT advance — drift accumulates
+	// against the last sent value, not the last computed one.
+	if shadow[0] != 1 || shadow[1] != 1 {
+		t.Fatalf("shadow advanced for unshipped block: %v", shadow[:2])
+	}
+	recv := append([]float64(nil), prev...)
+	if _, err := DecodeDeltaPayload(recv, payload, d); err != nil {
+		t.Fatal(err)
+	}
+	if recv[0] != 1 || recv[1] != 1 || recv[2] != 5 || recv[3] != 7 {
+		t.Fatalf("recv = %v, want [1 1 5 7]", recv)
+	}
+	// A NaN element never satisfies |cur-prev| <= t: the block ships.
+	cur[0] = math.NaN()
+	if _, sent = AppendDeltaPayload(nil, cur, shadow, d, 1e-3); sent != 1 {
+		t.Fatalf("NaN block did not ship (sent %d)", sent)
+	}
+}
+
+func TestDeltaEmptyPayload(t *testing.T) {
+	d := 4
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	shadow := append([]float64(nil), vals...)
+	payload, sent := AppendDeltaPayload(nil, vals, shadow, d, 0)
+	if sent != 0 {
+		t.Fatalf("sent %d blocks from an unchanged row", sent)
+	}
+	if len(payload) != DeltaMaskLen(2) {
+		t.Fatalf("empty delta payload %d bytes, want bitmap only (%d)", len(payload), DeltaMaskLen(2))
+	}
+	recv := []float64{9, 9, 9, 9, 9, 9, 9, 9}
+	n, err := DecodeDeltaPayload(recv, payload, d)
+	if err != nil || n != 0 {
+		t.Fatalf("decode empty delta: n=%d err=%v", n, err)
+	}
+	if recv[0] != 9 {
+		t.Fatal("empty delta touched the receiver row")
+	}
+}
+
+func TestDeltaDecodeRejectsMalformed(t *testing.T) {
+	d := 2
+	dst := make([]float64, 6) // 3 blocks
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"short bitmap", []byte{}},
+		{"trailing bit set", []byte{0x08}},                  // bit 3 of a 3-block row
+		{"length below bitmap promise", []byte{0x01, 0, 0}}, // 1 block promised, 2 bytes follow
+		{"length above bitmap promise", append([]byte{0x00}, make([]byte, 16)...)},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeDeltaPayload(dst, tc.payload, d); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+	if _, err := DecodeDeltaPayload(dst, []byte{0x07}, 0); err == nil {
+		t.Error("d=0 decoded without error")
+	}
+}

@@ -36,15 +36,35 @@ type Exchanger interface {
 	Close() error
 }
 
+// Overlapped is the split form of the two sync points, implemented by
+// exchangers that can put boundary frames on the wire before the
+// worker's interior compute and collect them after: Begin ships this
+// worker's outbound contributions (its boundary state is final by
+// contract), Finish blocks until the peers' inbound frames are ingested.
+// BeginX/FinishX must bracket exactly like a single X call; the pair is
+// equivalent to X, the worker just gets to compute between them.
+// GatherM and ScatterZ remain valid (they degenerate to Begin+Finish
+// back to back) so non-overlapping schedules run unchanged.
+type Overlapped interface {
+	Exchanger
+	BeginGatherM(worker int)
+	FinishGatherM(worker int)
+	BeginScatterZ(worker int)
+	FinishScatterZ(worker int)
+}
+
 // Stats counts an exchanger's data-plane traffic. Every byte is counted
 // once, at its sender, so the totals are "bytes moved" regardless of
 // topology; Local moves no bytes and reports zeros.
 type Stats struct {
 	// BytesMoved is the cumulative boundary-state payload sent across
 	// all workers this exchanger carries: the doubles of the m/z blocks
-	// themselves, exactly what the graph.CutCost word model prices
-	// (BytesMoved per round == PredictedWords x 8 when the manifest is
-	// correct — the transport tests pin the identity).
+	// actually shipped, post-compression. The graph.CutCost word model
+	// prices the dense exchange, so BytesMoved per round <=
+	// PredictedWords x 8 always, with equality on dense frames
+	// (delta mode off, or every block changed) — the transport tests
+	// pin the bound and the dense-mode equality. Delta bitmaps count as
+	// framing (WireBytes), not payload.
 	BytesMoved int64
 	// WireBytes is the cumulative bytes actually written to the
 	// streams: BytesMoved plus per-frame header overhead. The gap is
@@ -53,6 +73,14 @@ type Stats struct {
 	WireBytes int64
 	// Frames is the number of data-plane frames sent.
 	Frames int64
+	// DenseFrames counts the data-plane frames sent dense (FrameM and
+	// FrameZ: full manifest rows). With delta mode off this equals
+	// Frames; with it on, only priming frames (the first round after a
+	// state install) are dense.
+	DenseFrames int64
+	// DeltaFrames counts the delta-encoded data-plane frames sent
+	// (FrameMDelta and FrameZDelta). DenseFrames + DeltaFrames == Frames.
+	DeltaFrames int64
 	// Rounds is the number of completed iterations (GatherM+ScatterZ
 	// pairs) observed by the accounting worker.
 	Rounds int64

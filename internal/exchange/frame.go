@@ -32,6 +32,14 @@ const (
 	FrameM byte = 1
 	// FrameZ carries owner-combined boundary z blocks (sync point 2).
 	FrameZ byte = 2
+	// FrameMDelta is the delta-encoded form of FrameM: a block bitmap
+	// plus only the d-blocks whose change since the last sent value
+	// exceeds the sender's threshold. Receivers patch in place against
+	// the handshake manifest; unlisted blocks keep their last-sent
+	// value. See delta.go for the payload layout.
+	FrameMDelta byte = 3
+	// FrameZDelta is the delta-encoded form of FrameZ.
+	FrameZDelta byte = 4
 
 	// FrameCfg opens a coordinator session: JSON worker configuration.
 	FrameCfg byte = 10
@@ -48,7 +56,9 @@ const (
 	FrameParams byte = 15
 	// FrameDone reports a finished block: JSON worker statistics.
 	FrameDone byte = 16
-	// FrameUp follows FrameDone: raw owned X|U|N|Z state.
+	// FrameUp follows FrameDone: raw owned X|U|Z state (plus a zPrev
+	// capture when the block requested one); N is recomputed
+	// coordinator-side from the n = z - u identity.
 	FrameUp byte = 17
 	// FrameBye ends a session.
 	FrameBye byte = 18

@@ -31,10 +31,30 @@ import (
 //	          non-empty (the owner-combined z blocks), then ingest the
 //	          peers' z into the Z array.
 //
+// Both sync points also exist in split form (BeginGatherM/FinishGatherM,
+// BeginScatterZ/FinishScatterZ — the Overlapped interface): Begin puts
+// this worker's outbound frames on the wire, Finish ingests the peers'.
+// An overlapping schedule calls Begin as soon as its outbound boundary
+// state is final, computes interior phases while the frames are in
+// flight, and calls Finish only where the remote data is consumed. The
+// combined calls are exactly Begin followed by Finish, so both
+// schedules produce bit-identical frames.
+//
+// With delta mode on (EnableDelta), steady-state frames switch to
+// FrameMDelta/FrameZDelta: a block bitmap plus only the d-blocks that
+// changed beyond the threshold since they were last shipped (delta.go).
+// The first frame to each peer after construction or ResetDelta is
+// dense and primes the sender's shadow. At threshold 0 the changed-set
+// is exact (bit-pattern compare), so iterates are unchanged; wire
+// payload still shrinks once blocks stop changing.
+//
 // With a shared graph (loopback) the ingested z bytes already equal the
 // owner's in-place writes, so receivers decode and verify lengths but
 // skip the store; the frame receipt itself is the happens-before edge
-// that replaces the barrier crossing.
+// that replaces the barrier crossing. (At a nonzero delta threshold
+// this makes loopback z slightly *more* exact than a cross-process run,
+// which holds unshipped blocks at their last-shipped value; threshold 0
+// is bit-identical everywhere.)
 //
 // Failure semantics are fail-stop per solve: construction and handshake
 // errors are returned by the coordinator protocol (internal/shard), but
@@ -59,6 +79,18 @@ type Messaged struct {
 	// acct is the lowest local worker id; it owns the rounds counter.
 	acct int
 
+	// Delta mode (EnableDelta): prevM/prevZ[w*k+j] shadow the last
+	// values shipped on that pair (allocated lazily at priming);
+	// primedM/primedZ gate the dense priming frame. The shadows are
+	// only touched by the owning worker's send path, which is joined
+	// before the next round begins.
+	deltaOn  bool
+	deltaThr float64
+	prevM    [][]float64
+	prevZ    [][]float64
+	primedM  []bool
+	primedZ  []bool
+
 	// ioTimeout, when > 0, bounds each mesh frame read and write via
 	// the streams' deadline support (loopback pipes have none and stay
 	// unbounded). sendFault carries a send-goroutine panic across
@@ -70,6 +102,8 @@ type Messaged struct {
 	bytes  atomic.Int64
 	wire   atomic.Int64
 	frames atomic.Int64
+	dense  atomic.Int64
+	delta  atomic.Int64
 	rounds int64
 }
 
@@ -78,6 +112,12 @@ type msgWorkerState struct {
 	round   uint32
 	sendBuf []byte
 	recvBuf []byte
+	// curRow gathers one manifest row's current doubles before
+	// encoding (needed for the delta compare; reused for dense).
+	curRow []float64
+	// pend is the in-flight send completion between a Begin and its
+	// Finish on the split schedule.
+	pend <-chan struct{}
 }
 
 // NewLoopback returns a messaged exchanger carrying all of the
@@ -130,6 +170,33 @@ func NewPeer(g *graph.Graph, man *Manifest, fused bool, id int, conns []io.ReadW
 	}, nil
 }
 
+// EnableDelta switches steady-state data frames to delta encoding with
+// the given change threshold (>= 0; 0 ships exactly the blocks whose
+// bit pattern changed). Both ends of every stream must agree — the
+// session config carries the knob. Call before the solve starts.
+func (m *Messaged) EnableDelta(threshold float64) {
+	k := m.man.Shards
+	m.deltaOn = true
+	m.deltaThr = threshold
+	m.prevM = make([][]float64, k*k)
+	m.prevZ = make([][]float64, k*k)
+	m.primedM = make([]bool, k*k)
+	m.primedZ = make([]bool, k*k)
+}
+
+// ResetDelta invalidates the delta shadows: the next frame on every
+// pair is sent dense and re-primes. Call after boundary state changed
+// out of band (a mid-session state install), never mid-iteration.
+func (m *Messaged) ResetDelta() {
+	if !m.deltaOn {
+		return
+	}
+	for i := range m.primedM {
+		m.primedM[i] = false
+		m.primedZ[i] = false
+	}
+}
+
 // SetIOTimeout bounds each subsequent frame read and write to d (0
 // restores unbounded I/O). Streams without deadline support (loopback
 // pipes) are unaffected. Call before the solve starts; the exchanger
@@ -164,8 +231,42 @@ func (m *Messaged) armWrite(s io.Writer) {
 // into M, so boundary z must be combined with the reference CSR gather.
 func (m *Messaged) Materialized() bool { return true }
 
-// GatherM implements Exchanger (sync point 1).
-func (m *Messaged) GatherM(w int) {
+// BeginGatherM ships worker w's outbound m-contributions (sync point 1,
+// send half). On the fused schedule the off-diagonal rows read x + u
+// directly, so the sent edges' x-phase must be complete; interior
+// functions may still be pending.
+func (m *Messaged) BeginGatherM(w int) {
+	k, d := m.man.Shards, m.man.D
+	st := &m.state[w]
+	g := m.g
+	send := func() {
+		for j := 0; j < k; j++ {
+			row := m.man.MEdges[w*k+j]
+			if j == w || len(row) == 0 {
+				continue
+			}
+			cur := st.curRow[:0]
+			for _, e := range row {
+				base := int(e) * d
+				if m.fused {
+					for i := 0; i < d; i++ {
+						cur = append(cur, g.X[base+i]+g.U[base+i])
+					}
+				} else {
+					cur = append(cur, g.M[base:base+d]...)
+				}
+			}
+			st.curRow = cur
+			m.sendRow(st, w, j, FrameM, FrameMDelta, cur, m.primedM, m.prevM)
+		}
+	}
+	st.pend = m.dispatchSends(send)
+}
+
+// FinishGatherM ingests the peers' m-contributions into M and completes
+// sync point 1. On the fused schedule it first materializes w's own
+// diagonal contributions, so every edge's x-phase must be complete.
+func (m *Messaged) FinishGatherM(w int) {
 	k, d := m.man.Shards, m.man.D
 	st := &m.state[w]
 	g := m.g
@@ -180,33 +281,28 @@ func (m *Messaged) GatherM(w int) {
 			}
 		}
 	}
-	send := func() {
-		for j := 0; j < k; j++ {
-			row := m.man.MEdges[w*k+j]
-			if j == w || len(row) == 0 {
-				continue
-			}
-			buf := beginFrame(st.sendBuf[:0], FrameM, st.round)
-			for _, e := range row {
-				base := int(e) * d
-				for i := 0; i < d; i++ {
-					v := g.M[base+i]
-					if m.fused {
-						v = g.X[base+i] + g.U[base+i]
-					}
-					buf = AppendF64(buf, v)
-				}
-			}
-			st.sendBuf = m.sendFrame(m.streams[w][j], buf, w, j)
-		}
-	}
-	done := m.dispatchSends(send)
 	for j := 0; j < k; j++ {
 		row := m.man.MEdges[j*k+w]
 		if j == w || len(row) == 0 {
 			continue
 		}
-		payload := m.recvFrame(st, w, j, FrameM, len(row)*d)
+		payload, isDelta := m.recvData(st, w, j, FrameM, FrameMDelta, len(row))
+		if isDelta {
+			maskLen := DeltaMaskLen(len(row))
+			data := payload[maskLen:]
+			idx := 0
+			for bi, e := range row {
+				if !MaskBit(payload, bi) {
+					continue
+				}
+				base := int(e) * d
+				for i := 0; i < d; i++ {
+					g.M[base+i] = F64At(data, idx*d+i)
+				}
+				idx++
+			}
+			continue
+		}
 		for idx, e := range row {
 			base := int(e) * d
 			for i := 0; i < d; i++ {
@@ -214,11 +310,20 @@ func (m *Messaged) GatherM(w int) {
 			}
 		}
 	}
-	m.joinSends(done)
+	m.joinSends(st.pend)
+	st.pend = nil
 }
 
-// ScatterZ implements Exchanger (sync point 2).
-func (m *Messaged) ScatterZ(w int) {
+// GatherM implements Exchanger (sync point 1).
+func (m *Messaged) GatherM(w int) {
+	m.BeginGatherM(w)
+	m.FinishGatherM(w)
+}
+
+// BeginScatterZ ships worker w's owned boundary z blocks (sync point 2,
+// send half). The owned boundary z-update must be complete; edge-local
+// phases may still be pending.
+func (m *Messaged) BeginScatterZ(w int) {
 	k, d := m.man.Shards, m.man.D
 	st := &m.state[w]
 	g := m.g
@@ -228,26 +333,51 @@ func (m *Messaged) ScatterZ(w int) {
 			if j == w || len(row) == 0 {
 				continue
 			}
-			buf := beginFrame(st.sendBuf[:0], FrameZ, st.round)
+			cur := st.curRow[:0]
 			for _, v := range row {
 				base := int(v) * d
-				buf = AppendF64s(buf, g.Z[base:base+d])
+				cur = append(cur, g.Z[base:base+d]...)
 			}
-			st.sendBuf = m.sendFrame(m.streams[w][j], buf, w, j)
+			st.curRow = cur
+			m.sendRow(st, w, j, FrameZ, FrameZDelta, cur, m.primedZ, m.prevZ)
 		}
 	}
-	done := m.dispatchSends(send)
+	st.pend = m.dispatchSends(send)
+}
+
+// FinishScatterZ ingests the peers' owner-combined z blocks into Z and
+// completes sync point 2 (and the round).
+func (m *Messaged) FinishScatterZ(w int) {
+	k, d := m.man.Shards, m.man.D
+	st := &m.state[w]
+	g := m.g
 	for j := 0; j < k; j++ {
 		row := m.man.ZVars[j*k+w]
 		if j == w || len(row) == 0 {
 			continue
 		}
-		payload := m.recvFrame(st, w, j, FrameZ, len(row)*d)
+		payload, isDelta := m.recvData(st, w, j, FrameZ, FrameZDelta, len(row))
 		if m.shared {
 			// The owner already wrote these exact bytes into the shared
 			// Z; storing them again would race with nothing to gain.
 			// Receipt alone orders the owner's write before this
 			// worker's phase-C reads.
+			continue
+		}
+		if isDelta {
+			maskLen := DeltaMaskLen(len(row))
+			data := payload[maskLen:]
+			idx := 0
+			for bi, v := range row {
+				if !MaskBit(payload, bi) {
+					continue
+				}
+				base := int(v) * d
+				for i := 0; i < d; i++ {
+					g.Z[base+i] = F64At(data, idx*d+i)
+				}
+				idx++
+			}
 			continue
 		}
 		for idx, v := range row {
@@ -257,11 +387,43 @@ func (m *Messaged) ScatterZ(w int) {
 			}
 		}
 	}
-	m.joinSends(done)
+	m.joinSends(st.pend)
+	st.pend = nil
 	st.round++
 	if w == m.acct {
 		m.rounds++
 	}
+}
+
+// ScatterZ implements Exchanger (sync point 2).
+func (m *Messaged) ScatterZ(w int) {
+	m.BeginScatterZ(w)
+	m.FinishScatterZ(w)
+}
+
+// sendRow encodes one manifest row, already gathered into cur, and
+// ships it to peer j: dense when delta mode is off or the pair is
+// unprimed (the priming frame also seeds the shadow), delta otherwise.
+func (m *Messaged) sendRow(st *msgWorkerState, w, j int, denseKind, deltaKind byte, cur []float64, primed []bool, prev [][]float64) {
+	stream := m.streams[w][j]
+	pi := w*m.man.Shards + j
+	if m.deltaOn && primed[pi] {
+		buf := beginFrame(st.sendBuf[:0], deltaKind, st.round)
+		var sent int
+		buf, sent = AppendDeltaPayload(buf, cur, prev[pi], m.man.D, m.deltaThr)
+		st.sendBuf = m.sendFrame(stream, buf, w, j, int64(sent*m.man.D*8), true)
+		return
+	}
+	buf := beginFrame(st.sendBuf[:0], denseKind, st.round)
+	buf = AppendF64s(buf, cur)
+	if m.deltaOn {
+		if prev[pi] == nil {
+			prev[pi] = make([]float64, len(cur))
+		}
+		copy(prev[pi], cur)
+		primed[pi] = true
+	}
+	st.sendBuf = m.sendFrame(stream, buf, w, j, int64(len(cur)*8), false)
 }
 
 // dispatchSends runs send inline on loopback streams (writes never
@@ -311,38 +473,60 @@ func beginFrame(buf []byte, kind byte, seq uint32) []byte {
 }
 
 // sendFrame patches the frame length, writes the frame, and accounts
-// payload and wire bytes. It returns the buffer for reuse.
-func (m *Messaged) sendFrame(w io.Writer, buf []byte, from, to int) []byte {
+// traffic: moved is the payload doubles actually carried (excluding the
+// delta bitmap, which is framing), wire is the full frame length.
+func (m *Messaged) sendFrame(w io.Writer, buf []byte, from, to int, moved int64, delta bool) []byte {
 	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
 	m.armWrite(w)
 	if _, err := w.Write(buf); err != nil {
 		panic(fmt.Sprintf("exchange: worker %d: send to peer %d: %v", from, to, err))
 	}
-	m.bytes.Add(int64(len(buf) - frameOverhead))
+	m.bytes.Add(moved)
 	m.wire.Add(int64(len(buf)))
 	m.frames.Add(1)
+	if delta {
+		m.delta.Add(1)
+	} else {
+		m.dense.Add(1)
+	}
 	return buf
 }
 
-// recvFrame reads and validates one data frame from peer j: kind, round
-// sequence, and payload size must all match the manifest's expectation,
+// recvData reads and validates one data frame from peer j: the round
+// sequence must match, the kind must be the expected dense kind (or its
+// delta form when delta mode is on), and the payload must be exactly
+// the manifest row's dense size or a well-formed delta for it —
 // otherwise the stream has desynchronized and the solve fail-stops.
-func (m *Messaged) recvFrame(st *msgWorkerState, w, j int, kind byte, words int) []byte {
+func (m *Messaged) recvData(st *msgWorkerState, w, j int, denseKind, deltaKind byte, blocks int) ([]byte, bool) {
 	m.armRead(m.streams[w][j])
 	f, buf, err := ReadFrame(m.streams[w][j], st.recvBuf)
 	st.recvBuf = buf
 	if err != nil {
 		panic(fmt.Sprintf("exchange: worker %d: recv from peer %d: %v", w, j, err))
 	}
-	if f.Kind != kind || f.Seq != st.round {
+	if f.Seq != st.round {
 		panic(fmt.Sprintf("exchange: worker %d: peer %d desynchronized: frame kind %d seq %d, want kind %d seq %d",
-			w, j, f.Kind, f.Seq, kind, st.round))
+			w, j, f.Kind, f.Seq, denseKind, st.round))
 	}
-	if len(f.Payload) != words*8 {
-		panic(fmt.Sprintf("exchange: worker %d: peer %d frame payload %d bytes, manifest expects %d",
-			w, j, len(f.Payload), words*8))
+	switch f.Kind {
+	case denseKind:
+		if len(f.Payload) != blocks*m.man.D*8 {
+			panic(fmt.Sprintf("exchange: worker %d: peer %d frame payload %d bytes, manifest expects %d",
+				w, j, len(f.Payload), blocks*m.man.D*8))
+		}
+		return f.Payload, false
+	case deltaKind:
+		if !m.deltaOn {
+			panic(fmt.Sprintf("exchange: worker %d: peer %d sent delta frame kind %d but delta mode is off", w, j, f.Kind))
+		}
+		if _, err := CheckDeltaPayload(f.Payload, blocks, m.man.D); err != nil {
+			panic(fmt.Sprintf("exchange: worker %d: peer %d delta frame invalid: %v", w, j, err))
+		}
+		return f.Payload, true
+	default:
+		panic(fmt.Sprintf("exchange: worker %d: peer %d desynchronized: frame kind %d seq %d, want kind %d seq %d",
+			w, j, f.Kind, f.Seq, denseKind, st.round))
 	}
-	return f.Payload
 }
 
 // Stats implements Exchanger.
@@ -351,6 +535,8 @@ func (m *Messaged) Stats() Stats {
 		BytesMoved:     m.bytes.Load(),
 		WireBytes:      m.wire.Load(),
 		Frames:         m.frames.Load(),
+		DenseFrames:    m.dense.Load(),
+		DeltaFrames:    m.delta.Load(),
 		Rounds:         m.rounds,
 		PredictedWords: m.man.Words(),
 	}
@@ -372,4 +558,7 @@ func (m *Messaged) Close() error {
 	return first
 }
 
-var _ Exchanger = (*Messaged)(nil)
+var (
+	_ Exchanger  = (*Messaged)(nil)
+	_ Overlapped = (*Messaged)(nil)
+)

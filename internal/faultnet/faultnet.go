@@ -63,9 +63,30 @@ type Plan struct {
 	// Delay is added latency: each Read and Write sleeps this long
 	// before moving bytes.
 	Delay time.Duration
+	// WriteDelay is write-side-only latency: each Write sleeps this
+	// long before moving bytes while reads pass through untouched — a
+	// one-way link delay that a sender pushing frames from a dedicated
+	// goroutine can hide behind compute (the wire-overlap benches
+	// price the sync and overlapped exchanges against it).
+	WriteDelay time.Duration
+	// WriteBytesPerSec, when > 0, is the link's bandwidth term: each
+	// Write additionally sleeps len(p)/rate. Together with WriteDelay
+	// this models a latency+bandwidth link — the fixed term is what
+	// overlapped exchange hides, the size term is what delta frames
+	// shrink.
+	WriteBytesPerSec int
 	// In faults bytes the wrapped endpoint reads; Out faults bytes it
 	// writes.
 	In, Out Cut
+}
+
+// linkTime is the bandwidth term of the plan's simulated link: the
+// time n bytes occupy a link limited to WriteBytesPerSec.
+func (p Plan) linkTime(n int) time.Duration {
+	if p.WriteBytesPerSec <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(p.WriteBytesPerSec) * float64(time.Second))
 }
 
 // Script assigns the Plan for the i-th accepted connection (0-based,
@@ -250,12 +271,16 @@ func (c *Conn) faultErr(cut Cut, dl *deadlineVar) error {
 }
 
 func (c *Conn) delay() {
-	if c.plan.Delay <= 0 {
+	c.sleep(c.plan.Delay)
+}
+
+func (c *Conn) sleep(d time.Duration) {
+	if d <= 0 {
 		return
 	}
 	select {
 	case <-c.closed:
-	case <-time.After(c.plan.Delay):
+	case <-time.After(d):
 	}
 }
 
@@ -302,6 +327,8 @@ func (c *Conn) Write(p []byte) (int, error) {
 		return 0, c.faultErr(c.plan.Out, &c.wd)
 	}
 	c.delay()
+	c.sleep(c.plan.WriteDelay)
+	c.sleep(c.plan.linkTime(len(p)))
 	c.mu.Lock()
 	keep, trip := c.out.admit(p)
 	if trip {

@@ -187,6 +187,35 @@ func TestDelay(t *testing.T) {
 	}
 }
 
+// TestWriteLink: WriteDelay + WriteBytesPerSec price writes as a
+// latency+bandwidth link while reads on the same end stay free.
+func TestWriteLink(t *testing.T) {
+	fc, peer := pipePair(faultnet.Plan{
+		WriteDelay:       20 * time.Millisecond,
+		WriteBytesPerSec: 100_000, // 1000 bytes -> 10ms
+	})
+	defer fc.Close()
+	go func() {
+		io.ReadFull(peer, make([]byte, 1000))
+		peer.Write([]byte("pong"))
+	}()
+	start := time.Now()
+	if _, err := fc.Write(make([]byte, 1000)); err != nil {
+		t.Fatalf("delayed write: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("write returned after %v, want >= 20ms delay + 10ms link time", d)
+	}
+	// The read direction is untouched: the reply arrives immediately.
+	start = time.Now()
+	if _, err := io.ReadFull(fc, make([]byte, 4)); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if d := time.Since(start); d >= 20*time.Millisecond {
+		t.Fatalf("read took %v, want the write-only plan to leave reads free", d)
+	}
+}
+
 func TestListenerScript(t *testing.T) {
 	inner, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

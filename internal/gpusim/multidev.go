@@ -26,6 +26,13 @@ type MultiDevice struct {
 	Count          int
 	LinkBandwidth  float64 // bytes/s per direction, device to device
 	LinkLatencySec float64 // per-iteration synchronization latency
+	// Overlap prices the sharded executor's overlapped exchange
+	// (admm.ExecutorSpec.Overlap): boundary frames leave before the
+	// interior compute starts, so the link term hides behind the x- and
+	// z-phase work on interior edges and only the uncovered remainder
+	// extends the iteration. IterationTime's exchange component then
+	// reports just that exposed remainder.
+	Overlap bool
 }
 
 // NewMultiDevice returns a multi-device simulator with count devices of
@@ -192,9 +199,11 @@ func (m *MultiDevice) IterationTime(g *graph.Graph, p Partition) (total, compute
 		}
 		return worst
 	}
-	compute += shard(admm.PhaseX, func(a int) int { return p.FuncDevice[a] })
+	xT := shard(admm.PhaseX, func(a int) int { return p.FuncDevice[a] })
+	zT := shard(admm.PhaseZ, func(v int) int { return varDev[v] })
+	compute += xT
 	compute += shard(admm.PhaseM, func(e int) int { return edgeDev[e] })
-	compute += shard(admm.PhaseZ, func(v int) int { return varDev[v] })
+	compute += zT
 	compute += shard(admm.PhaseU, func(e int) int { return edgeDev[e] })
 	compute += shard(admm.PhaseN, func(e int) int { return edgeDev[e] })
 
@@ -202,6 +211,18 @@ func (m *MultiDevice) IterationTime(g *graph.Graph, p Partition) (total, compute
 	// owners broadcast z back, priced by the shared word model
 	// (ExchangeWords — graph.CutCost when available).
 	exchange = m.LinkLatencySec + p.ExchangeBytesPerIter(g)/m.LinkBandwidth
+	if m.Overlap && g.NumEdges() > 0 {
+		// Frames fly while the interior share of the x and z phases
+		// runs; only the exposed remainder of the link term serializes.
+		interior := 1 - float64(p.BoundaryEdges)/float64(g.NumEdges())
+		if window := interior * (xT + zT); window > 0 {
+			if window >= exchange {
+				exchange = 0
+			} else {
+				exchange -= window
+			}
+		}
+	}
 	return compute + exchange, compute, exchange
 }
 

@@ -49,6 +49,13 @@ type wireConfig struct {
 	Strategy string          `json:"strategy"`
 	Refine   bool            `json:"refine"`
 	Fused    bool            `json:"fused"`
+	// Overlap selects the overlapped fused schedule (requires Fused):
+	// boundary frames depart before interior compute. DeltaThreshold,
+	// when non-nil, delta-encodes steady-state mesh frames with the
+	// given change threshold. Every worker of a session must agree —
+	// the coordinator stamps both from its ExecutorSpec.
+	Overlap        bool     `json:"overlap,omitempty"`
+	DeltaThreshold *float64 `json:"delta_threshold,omitempty"`
 	// Peers lists every worker's control endpoint, indexed by worker;
 	// worker i dials workers j < i it shares boundary state with.
 	Peers []string `json:"peers"`
@@ -68,14 +75,16 @@ type wireConfig struct {
 // push. On a miss the coordinator follows with a full FrameCfg on the
 // same connection; the session id and knobs must match the probe's.
 type wireCacheProbe struct {
-	Session     uint64 `json:"session"`
-	Worker      int    `json:"worker"`
-	Shards      int    `json:"shards"`
-	Key         string `json:"key"`
-	StateDigest string `json:"state_digest"`
-	Strategy    string `json:"strategy"`
-	Refine      bool   `json:"refine"`
-	Fused       bool   `json:"fused"`
+	Session        uint64   `json:"session"`
+	Worker         int      `json:"worker"`
+	Shards         int      `json:"shards"`
+	Key            string   `json:"key"`
+	StateDigest    string   `json:"state_digest"`
+	Strategy       string   `json:"strategy"`
+	Refine         bool     `json:"refine"`
+	Fused          bool     `json:"fused"`
+	Overlap        bool     `json:"overlap,omitempty"`
+	DeltaThreshold *float64 `json:"delta_threshold,omitempty"`
 	// Peers lists every worker's control endpoint, indexed by worker
 	// (same contract as wireConfig.Peers).
 	Peers          []string `json:"peers"`
@@ -118,6 +127,8 @@ func (p wireCacheProbe) asConfig() wireConfig {
 		Strategy:       p.Strategy,
 		Refine:         p.Refine,
 		Fused:          p.Fused,
+		Overlap:        p.Overlap,
+		DeltaThreshold: p.DeltaThreshold,
 		Peers:          p.Peers,
 		FrameTimeoutMS: p.FrameTimeoutMS,
 	}
@@ -162,9 +173,14 @@ type wireReady struct {
 	ManifestDigest string `json:"manifest_digest"`
 }
 
-// wireIter commands one block of iterations (FrameIter payload).
+// wireIter commands one block of iterations (FrameIter payload). ZPrev
+// asks the worker to capture its owned z after iteration Iters-1 and
+// append it to the block's state upload — the coordinator assembles the
+// captures into the zPrev array its dual-residual computation needs,
+// instead of splitting the block in two just to copy z mid-block.
 type wireIter struct {
-	Iters int `json:"iters"`
+	Iters int  `json:"iters"`
+	ZPrev bool `json:"zprev,omitempty"`
 }
 
 // wirePong answers a FramePing health probe: whether a session is
@@ -186,6 +202,8 @@ type wireDone struct {
 	BytesMoved     int64                 `json:"bytes_moved"`
 	WireBytes      int64                 `json:"wire_bytes"`
 	Frames         int64                 `json:"frames"`
+	DenseFrames    int64                 `json:"dense_frames,omitempty"`
+	DeltaFrames    int64                 `json:"delta_frames,omitempty"`
 }
 
 // writeJSONFrame marshals v and writes it as one frame of the given kind.
@@ -349,18 +367,29 @@ func installParams(g *graph.Graph, payload []byte) error {
 	return nil
 }
 
-// Owned-state upload (FrameUp): X, U and N over the shard's owned edge
-// runs, then Z over its owned variables (appendOwnedVars order). Both
+// Owned-state upload (FrameUp): X and U over the shard's owned edge
+// runs, then Z over its owned variables (appendOwnedVars order), then —
+// when the block requested a zPrev capture (wireIter.ZPrev) — the owned
+// z as of the block's second-to-last iteration, same variable order.
+// N is never uploaded: the n-update is the pure identity n = z - u, so
+// the coordinator recomputes it from the X/U/Z it just installed
+// (admm.UpdateNRange), bit-identical to the workers' own sweep. Both
 // ends derive the layout from the same partition, so the payload is
 // raw doubles.
 
-func ownedWords(lp *localPlan, d int) int {
-	return 3*lp.ownedEdgeCount()*d + lp.ownedVarCount()*d
+func ownedWords(lp *localPlan, d int, zprev bool) int {
+	n := 2*lp.ownedEdgeCount()*d + lp.ownedVarCount()*d
+	if zprev {
+		n += lp.ownedVarCount() * d
+	}
+	return n
 }
 
-func appendOwned(dst []byte, g *graph.Graph, lp *localPlan, ownedVars []int) []byte {
+// appendOwned encodes the upload; zprev is the worker's captured owned
+// z in appendOwnedVars order (nil when the block did not request it).
+func appendOwned(dst []byte, g *graph.Graph, lp *localPlan, ownedVars []int, zprev []float64) []byte {
 	d := g.D()
-	for _, arr := range [][]float64{g.X, g.U, g.N} {
+	for _, arr := range [][]float64{g.X, g.U} {
 		for _, r := range lp.edgeRuns {
 			dst = exchange.AppendF64s(dst, arr[r.Lo*d:r.Hi*d])
 		}
@@ -368,22 +397,30 @@ func appendOwned(dst []byte, g *graph.Graph, lp *localPlan, ownedVars []int) []b
 	for _, v := range ownedVars {
 		dst = exchange.AppendF64s(dst, g.Z[v*d:(v+1)*d])
 	}
-	return dst
+	return exchange.AppendF64s(dst, zprev)
 }
 
-func installOwned(g *graph.Graph, lp *localPlan, ownedVars []int, payload []byte) error {
+// installOwned decodes the upload into g; zPrev, when non-nil, is the
+// coordinator's full-length zPrev array, into which the trailing
+// capture segment is scattered at the owned variables' offsets.
+func installOwned(g *graph.Graph, lp *localPlan, ownedVars []int, payload []byte, zPrev []float64) error {
 	d := g.D()
-	if len(payload) != ownedWords(lp, d)*8 {
-		return fmt.Errorf("shard: owned-state payload %d bytes, want %d", len(payload), ownedWords(lp, d)*8)
+	if want := ownedWords(lp, d, zPrev != nil) * 8; len(payload) != want {
+		return fmt.Errorf("shard: owned-state payload %d bytes, want %d", len(payload), want)
 	}
 	cur := payloadCursor{payload: payload}
-	for _, arr := range [][]float64{g.X, g.U, g.N} {
+	for _, arr := range [][]float64{g.X, g.U} {
 		for _, r := range lp.edgeRuns {
 			cur.take(arr[r.Lo*d : r.Hi*d])
 		}
 	}
 	for _, v := range ownedVars {
 		cur.take(g.Z[v*d : (v+1)*d])
+	}
+	if zPrev != nil {
+		for _, v := range ownedVars {
+			cur.take(zPrev[v*d : (v+1)*d])
+		}
 	}
 	return nil
 }

@@ -31,6 +31,8 @@ func init() {
 		sb.Fused = s.FusedEnabled()
 		sb.Refine = s.Refine
 		sb.Transport = s.Transport
+		sb.Overlap = s.Overlap
+		sb.DeltaThreshold = s.DeltaThreshold
 		return sb, nil
 	})
 }

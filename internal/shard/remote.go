@@ -68,6 +68,8 @@ type Remote struct {
 	strategy graph.PartitionStrategy
 	fused    bool
 	refine   bool
+	overlap  bool
+	deltaThr *float64
 	session  uint64
 	addrs    []string
 	tmo      timeouts
@@ -108,6 +110,8 @@ type Remote struct {
 	exBytes  int64
 	exWire   int64
 	exFrames int64
+	exDense  int64
+	exDelta  int64
 }
 
 // remoteSessions feeds session identifiers; combined with the PID they
@@ -150,6 +154,8 @@ func NewRemoteContext(ctx context.Context, spec admm.ExecutorSpec, shards int, g
 		strategy: strategy,
 		fused:    spec.FusedEnabled(),
 		refine:   spec.Refine,
+		overlap:  spec.Overlap && spec.FusedEnabled(),
+		deltaThr: spec.DeltaThreshold,
 		addrs:    append([]string(nil), spec.Addrs...),
 		tmo:      specTimeouts(spec),
 		g:        g,
@@ -298,6 +304,8 @@ func (r *Remote) sendConfig(i int) error {
 		Strategy:       string(r.strategy),
 		Refine:         r.refine,
 		Fused:          r.fused,
+		Overlap:        r.overlap,
+		DeltaThreshold: r.deltaThr,
 		Peers:          r.addrs,
 		FrameTimeoutMS: int(r.tmo.frame / time.Millisecond),
 	}
@@ -383,6 +391,8 @@ func (r *Remote) handshakeCached() error {
 		Strategy:       string(r.strategy),
 		Refine:         r.refine,
 		Fused:          r.fused,
+		Overlap:        r.overlap,
+		DeltaThreshold: r.deltaThr,
 		Peers:          r.addrs,
 		FrameTimeoutMS: int(r.tmo.frame / time.Millisecond),
 	}
@@ -469,6 +479,9 @@ func (r *Remote) Name() string {
 	if r.fused {
 		strat += ",fused"
 	}
+	if r.overlap {
+		strat += ",overlap"
+	}
 	return fmt.Sprintf("sharded(%d,%s,remote)", r.shards, strat)
 }
 
@@ -479,6 +492,22 @@ func (r *Remote) Stats() Stats { return r.stats }
 // Iterate implements admm.Backend: one iteration block across all
 // worker processes.
 func (r *Remote) Iterate(g *graph.Graph, iters int, phaseNanos *[admm.NumPhases]int64) {
+	r.iterateBlock(g, iters, nil, phaseNanos)
+}
+
+// IterateZPrev implements admm.ZPrevIterator: the whole residual round
+// runs as ONE worker block, with each worker capturing its owned slice
+// of z after iteration iters-1 and appending the capture to its upload.
+// The assembled capture is exactly what the engine's split form
+// (Iterate(iters-1); copy zPrev; Iterate(1)) would have observed —
+// ownedVars partition the variables — so residuals are bit-identical
+// while the round costs one control round-trip and one state upload
+// instead of two.
+func (r *Remote) IterateZPrev(g *graph.Graph, iters int, zPrev []float64, phaseNanos *[admm.NumPhases]int64) {
+	r.iterateBlock(g, iters, zPrev, phaseNanos)
+}
+
+func (r *Remote) iterateBlock(g *graph.Graph, iters int, zPrev []float64, phaseNanos *[admm.NumPhases]int64) {
 	if r.closed {
 		panic("shard: Iterate on closed Remote")
 	}
@@ -500,7 +529,7 @@ func (r *Remote) Iterate(g *graph.Graph, iters int, phaseNanos *[admm.NumPhases]
 	r.started = true
 	for i, conn := range r.conns {
 		r.armWrite(i)
-		if err := writeJSONFrame(conn, exchange.FrameIter, wireIter{Iters: iters}); err != nil {
+		if err := writeJSONFrame(conn, exchange.FrameIter, wireIter{Iters: iters, ZPrev: zPrev != nil}); err != nil {
 			panic(&WorkerError{Worker: i, Addr: r.addrs[i], Phase: PhaseIterate, Err: err})
 		}
 	}
@@ -511,7 +540,7 @@ func (r *Remote) Iterate(g *graph.Graph, iters int, phaseNanos *[admm.NumPhases]
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = r.collect(i, g, &dones[i])
+			errs[i] = r.collect(i, g, zPrev, &dones[i])
 		}(i)
 	}
 	wg.Wait()
@@ -520,18 +549,25 @@ func (r *Remote) Iterate(g *graph.Graph, iters int, phaseNanos *[admm.NumPhases]
 			panic(&WorkerError{Worker: i, Addr: r.addrs[i], Phase: PhaseCollect, Err: err})
 		}
 	}
+	// The slim upload drops N; rebuild it from the n = z - u identity
+	// the reference kernels maintain, against the just-installed
+	// authoritative Z and U.
+	admm.UpdateNRange(g, 0, g.NumEdges())
 	// After the block, the coordinator's Rho went down with the last
 	// params push (or never changed) and U was just uploaded by the
 	// workers — both sides agree again; resync the shadows.
 	copy(r.rhoShadow, g.Rho)
 	copy(r.uShadow, g.U)
-	var bytes, wire, frames int64
+	var bytes, wire, frames, dense, delta int64
 	for i := range dones {
 		bytes += dones[i].BytesMoved
 		wire += dones[i].WireBytes
 		frames += dones[i].Frames
+		dense += dones[i].DenseFrames
+		delta += dones[i].DeltaFrames
 	}
 	r.exBytes, r.exWire, r.exFrames = bytes, wire, frames
+	r.exDense, r.exDelta = dense, delta
 	for p, v := range dones[0].PhaseNanos {
 		phaseNanos[p] += v
 	}
@@ -541,6 +577,8 @@ func (r *Remote) Iterate(g *graph.Graph, iters int, phaseNanos *[admm.NumPhases]
 	r.stats.BytesPerIter = float64(r.exBytes) / float64(r.stats.Iterations)
 	r.stats.WireBytesPerIter = float64(r.exWire) / float64(r.stats.Iterations)
 	r.stats.ExchangeFrames = r.exFrames
+	r.stats.DenseFrames = r.exDense
+	r.stats.DeltaFrames = r.exDelta
 }
 
 // paramsChanged reports whether Rho or U differs from the workers'
@@ -578,8 +616,9 @@ func (r *Remote) armRead(i int) {
 
 // collect reads one worker's Done report and owned-state upload and
 // installs the state into the coordinator graph (disjoint slices per
-// worker, so installs run concurrently).
-func (r *Remote) collect(i int, g *graph.Graph, done *wireDone) error {
+// worker, so installs run concurrently). A non-nil zPrev receives the
+// worker's owned z-capture from the block's penultimate iteration.
+func (r *Remote) collect(i int, g *graph.Graph, zPrev []float64, done *wireDone) error {
 	r.armRead(i)
 	f, buf, err := readFrameKind(r.conns[i], r.bufs[i], exchange.FrameDone)
 	r.bufs[i] = buf
@@ -595,7 +634,7 @@ func (r *Remote) collect(i int, g *graph.Graph, done *wireDone) error {
 	if err != nil {
 		return err
 	}
-	return installOwned(g, &r.plan.local[i], r.ownedVars[i], f.Payload)
+	return installOwned(g, &r.plan.local[i], r.ownedVars[i], f.Payload, zPrev)
 }
 
 // Close implements admm.Backend: ends the session and closes the
@@ -625,3 +664,4 @@ func (r *Remote) teardown() {
 }
 
 var _ admm.Backend = (*Remote)(nil)
+var _ admm.ZPrevIterator = (*Remote)(nil)

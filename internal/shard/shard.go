@@ -45,6 +45,21 @@ type Backend struct {
 	// before the first Iterate.
 	Transport string
 
+	// Overlap runs the overlapped fused schedule on a message transport:
+	// boundary frames go on the wire before interior compute and are
+	// collected where they are consumed (exchange.Overlapped). Requires
+	// Fused and the sockets transport; ignored otherwise (the local
+	// barrier exchanger has no split form). Bit-identical to the
+	// synchronous schedule — only the wait moves. Set before the first
+	// Iterate.
+	Overlap bool
+
+	// DeltaThreshold, when non-nil, switches the message transport's
+	// steady-state data frames to delta encoding with the given change
+	// threshold (0 = exact bit-pattern deltas). Ignored on the local
+	// transport. Set before the first Iterate.
+	DeltaThreshold *float64
+
 	cmd    chan struct{}
 	done   chan struct{}
 	closed bool
@@ -106,8 +121,13 @@ type Stats struct {
 	// boundaries (a chain's handful of cut points) keep the framing
 	// share visible; wide ones amortize it away.
 	WireBytesPerIter float64
-	// ExchangeFrames counts data-plane frames sent so far.
+	// ExchangeFrames counts data-plane frames sent so far; DenseFrames
+	// and DeltaFrames split the count by encoding (DeltaFrames is 0
+	// unless the delta knob is on — the split makes the wire saving
+	// observable, not just inferable from byte counts).
 	ExchangeFrames int64
+	DenseFrames    int64
+	DeltaFrames    int64
 	// HandshakeRetries counts full dial+handshake attempts the remote
 	// transport burned beyond the first before the session stood up
 	// (always 0 in-process).
@@ -180,6 +200,9 @@ func (b *Backend) Name() string {
 	if b.Transport == admm.TransportSockets {
 		strat += ",sockets"
 	}
+	if b.overlapActive() {
+		strat += ",overlap"
+	}
 	return fmt.Sprintf("sharded(%d,%s)", b.shards, strat)
 }
 
@@ -229,6 +252,22 @@ func (b *Backend) Iterate(g *graph.Graph, iters int, phaseNanos *[admm.NumPhases
 	b.stats.BytesPerIter = ex.BytesPerRound()
 	b.stats.WireBytesPerIter = ex.WireBytesPerRound()
 	b.stats.ExchangeFrames = ex.Frames
+	b.stats.DenseFrames = ex.DenseFrames
+	b.stats.DeltaFrames = ex.DeltaFrames
+}
+
+// overlapActive reports whether the overlapped schedule actually runs:
+// the knob is set and the bound (or configured) transport supports the
+// split sync points under the fused schedule.
+func (b *Backend) overlapActive() bool {
+	if !b.Overlap || !b.Fused {
+		return false
+	}
+	if b.ex != nil {
+		_, ok := b.ex.(exchange.Overlapped)
+		return ok
+	}
+	return b.Transport == admm.TransportSockets
 }
 
 // bindExchanger (re)builds the exchanger for a freshly planned graph.
@@ -247,7 +286,11 @@ func (b *Backend) bindExchanger(g *graph.Graph, p *plan) {
 			old.Close()
 		}
 		man := exchange.NewManifest(g, &p.part, b.shards)
-		b.ex = exchange.NewLoopback(g, man, b.Fused)
+		lb := exchange.NewLoopback(g, man, b.Fused)
+		if b.DeltaThreshold != nil {
+			lb.EnableDelta(*b.DeltaThreshold)
+		}
+		b.ex = lb
 	default:
 		panic(fmt.Sprintf("shard: unknown transport %q", b.Transport))
 	}
@@ -288,7 +331,11 @@ func (b *Backend) worker(id int) {
 			}
 			tm = &lead
 		}
-		runShardIters(b.g, &b.plan.local[id], b.ex, id, b.iters, b.Fused, tm)
+		if ov, ok := b.ex.(exchange.Overlapped); ok && b.overlapActive() {
+			runShardItersOverlap(b.g, &b.plan.local[id], ov, id, b.iters, tm)
+		} else {
+			runShardIters(b.g, &b.plan.local[id], b.ex, id, b.iters, b.Fused, tm)
+		}
 		b.done <- struct{}{}
 	}
 }
@@ -414,6 +461,92 @@ func runShardIters(g *graph.Graph, lp *localPlan, ex exchange.Exchanger, id, ite
 	}
 }
 
+// runShardItersOverlap executes the overlapped fused schedule: the same
+// two sync points as runShardIters, split so outbound boundary frames
+// are on the wire while interior compute runs, and inbound frames are
+// awaited only where they are consumed. Per iteration:
+//
+//	x over frontier functions        (their edges feed outbound m-frames)
+//	-- BeginGatherM --               (m-frames depart; x+u is final for
+//	                                  every sent edge)
+//	x over rest functions, fused interior z
+//	-- FinishGatherM --              (own diagonal materialized, peer
+//	                                  m-blocks ingested)
+//	z for owned boundary variables   (reference gather over M)
+//	-- BeginScatterZ --              (owned z-frames depart)
+//	u/n over local-z edges           (their z never crosses the wire)
+//	-- FinishScatterZ --             (peer z ingested)
+//	u/n over remote-z edges
+//
+// Every per-edge and per-variable computation is the same arithmetic in
+// the same order as the synchronous fused schedule — only the waiting
+// moves — so iterates are bit-identical; the conformance suite pins it.
+// Lead-worker accounting keeps its meaning: syncWait is now only the
+// residual blocking at the two Finish points, which is exactly the wire
+// time the overlap failed to hide.
+func runShardItersOverlap(g *graph.Graph, lp *localPlan, ex exchange.Overlapped, id, iters int, tm *workerTimings) {
+	lead := tm != nil
+	var t time.Time
+	for it := 0; it < iters; it++ {
+		if lead {
+			t = time.Now()
+		}
+		for _, r := range lp.frontierFuncRuns {
+			admm.UpdateXRange(g, r.Lo, r.Hi)
+		}
+		ex.BeginGatherM(id)
+		for _, r := range lp.restFuncRuns {
+			admm.UpdateXRange(g, r.Lo, r.Hi)
+		}
+		if lead {
+			tm.phaseNanos[admm.PhaseX] += time.Since(t).Nanoseconds()
+			t = time.Now()
+		}
+		for _, r := range lp.interiorRuns {
+			admm.UpdateZFusedRange(g, r.Lo, r.Hi)
+		}
+		if lead {
+			tm.phaseNanos[admm.PhaseZ] += time.Since(t).Nanoseconds()
+			t = time.Now()
+		}
+		ex.FinishGatherM(id)
+		if lead {
+			*tm.syncWait += time.Since(t).Nanoseconds()
+			t = time.Now()
+		}
+		// Reference gather over M — the messaged exchanger materialized
+		// the complete row (peer frames plus own diagonal) in Finish.
+		admm.UpdateZVars(g, lp.boundary)
+		if lead {
+			dt := time.Since(t).Nanoseconds()
+			tm.phaseNanos[admm.PhaseZ] += dt
+			*tm.boundaryZ += dt
+		}
+		ex.BeginScatterZ(id)
+		if lead {
+			t = time.Now()
+		}
+		for _, r := range lp.localZEdgeRuns {
+			admm.UpdateUNRange(g, r.Lo, r.Hi)
+		}
+		if lead {
+			tm.phaseNanos[admm.PhaseU] += time.Since(t).Nanoseconds()
+			t = time.Now()
+		}
+		ex.FinishScatterZ(id)
+		if lead {
+			*tm.syncWait += time.Since(t).Nanoseconds()
+			t = time.Now()
+		}
+		for _, r := range lp.remoteZEdgeRuns {
+			admm.UpdateUNRange(g, r.Lo, r.Hi)
+		}
+		if lead {
+			tm.phaseNanos[admm.PhaseU] += time.Since(t).Nanoseconds()
+		}
+	}
+}
+
 var _ admm.Backend = (*Backend)(nil)
 
 // plan is the precomputed execution structure for one graph: the
@@ -433,6 +566,19 @@ type localPlan struct {
 	edgeRuns     []sched.Range
 	interiorRuns []sched.Range
 	boundary     []int
+
+	// Overlap splits (the overlapped fused schedule). Frontier
+	// functions own at least one edge whose boundary variable another
+	// shard owns — their x feeds an outbound m-frame, so they run
+	// before BeginGatherM; rest is the complement. localZEdges are the
+	// owned edges whose z this shard computes itself (interior or
+	// own-boundary variable), updatable before the scatter completes;
+	// remoteZEdges wait for peer z. The splits partition funcRuns and
+	// edgeRuns exactly.
+	frontierFuncRuns []sched.Range
+	restFuncRuns     []sched.Range
+	localZEdgeRuns   []sched.Range
+	remoteZEdgeRuns  []sched.Range
 }
 
 // ownedEdgeCount is the number of edges this shard owns.
@@ -489,6 +635,13 @@ func newPlan(g *graph.Graph, shards int, strategy graph.PartitionStrategy, refin
 		part.Refine(g)
 	}
 	p := &plan{g: g, part: part, local: make([]localPlan, shards)}
+	appendRun := func(runs []sched.Range, lo, hi int) []sched.Range {
+		if n := len(runs); n > 0 && runs[n-1].Hi == lo {
+			runs[n-1].Hi = hi
+			return runs
+		}
+		return append(runs, sched.Range{Lo: lo, Hi: hi})
+	}
 	for a := 0; a < g.NumFunctions(); a++ {
 		s := part.FuncPart[a]
 		lo, hi := g.FuncEdges(a)
@@ -499,6 +652,26 @@ func newPlan(g *graph.Graph, shards int, strategy graph.PartitionStrategy, refin
 		} else {
 			lp.funcRuns = append(lp.funcRuns, sched.Range{Lo: a, Hi: a + 1})
 			lp.edgeRuns = append(lp.edgeRuns, sched.Range{Lo: lo, Hi: hi})
+		}
+		// Overlap splits: an edge whose boundary variable another shard
+		// owns is shipped at sync point 1 (its function is frontier)
+		// and receives its z back at sync point 2 (it is a remote-z
+		// edge); everything else is local.
+		frontier := false
+		for e := lo; e < hi; e++ {
+			v := g.EdgeVar(e)
+			remote := part.IsBoundary(v) && part.VarPart[v] != s
+			if remote {
+				frontier = true
+				lp.remoteZEdgeRuns = appendRun(lp.remoteZEdgeRuns, e, e+1)
+			} else {
+				lp.localZEdgeRuns = appendRun(lp.localZEdgeRuns, e, e+1)
+			}
+		}
+		if frontier {
+			lp.frontierFuncRuns = appendRun(lp.frontierFuncRuns, a, a+1)
+		} else {
+			lp.restFuncRuns = appendRun(lp.restFuncRuns, a, a+1)
 		}
 	}
 	for v := 0; v < g.NumVariables(); v++ {

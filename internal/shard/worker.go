@@ -516,6 +516,9 @@ func runSessionLoop(conn net.Conn, cfg wireConfig, run sessionRun, opts WorkerOp
 		return fail(err)
 	}
 	defer ex.Close()
+	if cfg.DeltaThreshold != nil {
+		ex.EnableDelta(*cfg.DeltaThreshold)
+	}
 	// The coordinator's frame timeout applies symmetrically: bound the
 	// mesh exchange and this worker's control-plane writes, so a
 	// stalled peer or coordinator fails the session instead of wedging
@@ -549,6 +552,7 @@ func runSessionLoop(conn net.Conn, cfg wireConfig, run sessionRun, opts WorkerOp
 	lp := &plan.local[id]
 	ownedVars := lp.appendOwnedVars(nil)
 	var buf, out []byte
+	var zprevBuf []float64
 	stateInstalled := run.stateInstalled
 	block := 0
 	for {
@@ -566,6 +570,10 @@ func runSessionLoop(conn net.Conn, cfg wireConfig, run sessionRun, opts WorkerOp
 			if err := installState(g, f.Payload); err != nil {
 				return fail(err)
 			}
+			// A wholesale state replacement invalidates the delta
+			// shadows; every peer re-primes with dense frames. All
+			// workers see the same push, so the reset stays symmetric.
+			ex.ResetDelta()
 			stateInstalled = true
 			if run.onState != nil {
 				run.onState(f.Payload)
@@ -589,7 +597,14 @@ func runSessionLoop(conn net.Conn, cfg wireConfig, run sessionRun, opts WorkerOp
 				opts.OnIterBlock(cfg.Session, block)
 			}
 			block++
-			done, iterErr := runWorkerBlock(g, lp, ex, id, cmd.Iters, cfg.Fused)
+			var zprev []float64
+			if cmd.ZPrev {
+				if zprevBuf == nil {
+					zprevBuf = make([]float64, len(ownedVars)*g.D())
+				}
+				zprev = zprevBuf
+			}
+			done, iterErr := runWorkerBlock(g, lp, ex, id, cmd.Iters, cfg.Fused, cfg.Overlap, ownedVars, zprev)
 			if iterErr != nil {
 				return fail(iterErr)
 			}
@@ -597,7 +612,7 @@ func runSessionLoop(conn net.Conn, cfg wireConfig, run sessionRun, opts WorkerOp
 			if err := writeJSONFrame(conn, exchange.FrameDone, done); err != nil {
 				return err
 			}
-			out = appendOwned(out[:0], g, lp, ownedVars)
+			out = appendOwned(out[:0], g, lp, ownedVars, zprev)
 			armWrite()
 			if err := exchange.WriteFrame(conn, exchange.FrameUp, 0, out); err != nil {
 				return err
@@ -612,8 +627,11 @@ func runSessionLoop(conn net.Conn, cfg wireConfig, run sessionRun, opts WorkerOp
 
 // runWorkerBlock executes one iteration block on a worker process,
 // converting the exchanger's fail-stop panics into session errors (the
-// worker must survive a dead peer and serve the next session).
-func runWorkerBlock(g *graph.Graph, lp *localPlan, ex *exchange.Messaged, id, iters int, fused bool) (done wireDone, err error) {
+// worker must survive a dead peer and serve the next session). A
+// non-nil zprev receives this worker's owned z (appendOwnedVars order)
+// as of the block's penultimate iteration — the capture a merged
+// residual round uploads alongside the final state.
+func runWorkerBlock(g *graph.Graph, lp *localPlan, ex *exchange.Messaged, id, iters int, fused, overlap bool, ownedVars []int, zprev []float64) (done wireDone, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("iteration block: %v", r)
@@ -624,10 +642,30 @@ func runWorkerBlock(g *graph.Graph, lp *localPlan, ex *exchange.Messaged, id, it
 		syncWait:   &done.SyncWaitNanos,
 		boundaryZ:  &done.BoundaryZNanos,
 	}
-	runShardIters(g, lp, ex, id, iters, fused, &tm)
+	run := func(n int) {
+		if overlap && fused {
+			runShardItersOverlap(g, lp, ex, id, n, &tm)
+		} else {
+			runShardIters(g, lp, ex, id, n, fused, &tm)
+		}
+	}
+	if zprev != nil {
+		if iters > 1 {
+			run(iters - 1)
+		}
+		d := g.D()
+		for k, v := range ownedVars {
+			copy(zprev[k*d:(k+1)*d], g.Z[v*d:(v+1)*d])
+		}
+		run(1)
+	} else {
+		run(iters)
+	}
 	st := ex.Stats()
 	done.BytesMoved = st.BytesMoved
 	done.WireBytes = st.WireBytes
 	done.Frames = st.Frames
+	done.DenseFrames = st.DenseFrames
+	done.DeltaFrames = st.DeltaFrames
 	return done, nil
 }
